@@ -1,0 +1,68 @@
+// Command tabsim runs the paper's tab-switching experiment (§4.3,
+// Figure 4): open N tabs, scroll each, switch through them, compressing
+// inactive tabs into a ZRAM pool with LZO, and print the per-second swap
+// traffic timeline.
+//
+// Usage:
+//
+//	tabsim [-tabs 50] [-resident 12] [-footprint-mb 4] [-seed 2024]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gopim/internal/browser"
+)
+
+func main() {
+	tabs := flag.Int("tabs", 50, "number of tabs to open and switch through")
+	resident := flag.Int("resident", 12, "tabs kept uncompressed in memory")
+	footprintMB := flag.Int("footprint-mb", 4, "memory footprint per tab, MiB")
+	seed := flag.Int64("seed", 2024, "content seed")
+	flag.Parse()
+
+	res, err := browser.RunSwitchSession(*tabs, *resident, *footprintMB<<20, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tabsim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("tabs: %d (resident budget %d, %d MiB each)\n", *tabs, *resident, *footprintMB)
+	fmt.Printf("swapped out: %.2f GB, swapped in: %.2f GB (paper: 11.7 / 7.8 GB over 50 tabs)\n",
+		float64(res.TotalOut)/1e9, float64(res.TotalIn)/1e9)
+	fmt.Printf("LZO compression ratio: %.2f\n", res.CompressRatio)
+
+	var peakOut, peakIn int
+	for _, s := range res.Samples {
+		if s.OutBytes > peakOut {
+			peakOut = s.OutBytes
+		}
+		if s.InBytes > peakIn {
+			peakIn = s.InBytes
+		}
+	}
+	fmt.Printf("peak rates: out %.0f MB/s, in %.0f MB/s (paper: up to 201 / 227 MB/s)\n\n",
+		float64(peakOut)/1e6, float64(peakIn)/1e6)
+
+	// ASCII timeline, one row per second with activity.
+	scale := peakOut
+	if peakIn > scale {
+		scale = peakIn
+	}
+	if scale == 0 {
+		return
+	}
+	const cols = 50
+	fmt.Printf("timeline (each column = %.1f MB/s; # = swap-out, * = swap-in)\n", float64(scale)/1e6/cols)
+	for _, s := range res.Samples {
+		if s.OutBytes == 0 && s.InBytes == 0 {
+			continue
+		}
+		out := s.OutBytes * cols / scale
+		in := s.InBytes * cols / scale
+		fmt.Printf("t=%4ds |%-*s|%-*s|\n", s.Second, cols, strings.Repeat("#", out), cols, strings.Repeat("*", in))
+	}
+}

@@ -1,0 +1,121 @@
+// Command vp9tool exercises the VP9-class codec on synthetic video:
+// it encodes a clip, decodes it back, verifies the reconstruction, and
+// reports rate, quality, and the work counters that drive the paper's
+// hardware traffic model.
+//
+// Usage:
+//
+//	vp9tool [-w 640] [-h 384] [-frames 8] [-q 28] [-seed 7] [-traffic]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gopim/internal/video"
+	"gopim/internal/vp9"
+)
+
+func main() {
+	width := flag.Int("w", 640, "frame width (multiple of 16)")
+	height := flag.Int("h", 384, "frame height (multiple of 16)")
+	frames := flag.Int("frames", 8, "frames to encode")
+	qIndex := flag.Int("q", 28, "quantizer index (0-63, higher = smaller/worse)")
+	seed := flag.Uint("seed", 7, "synthetic content seed")
+	traffic := flag.Bool("traffic", false, "also print the hardware traffic model (Figures 12/16)")
+	flag.Parse()
+
+	if err := run(*width, *height, *frames, *qIndex, uint32(*seed), *traffic); err != nil {
+		fmt.Fprintln(os.Stderr, "vp9tool:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w, h, frames, qIndex int, seed uint32, traffic bool) error {
+	cfg := vp9.Config{Width: w, Height: h, QIndex: qIndex}
+	enc, err := vp9.NewEncoder(cfg)
+	if err != nil {
+		return err
+	}
+	dec, err := vp9.NewDecoder(cfg)
+	if err != nil {
+		return err
+	}
+
+	synth := video.NewSynth(w, h, 4, seed)
+	rawFrame := w * h * 3 / 2
+	fmt.Printf("encoding %d frames of %dx%d synthetic video (raw %d B/frame, q=%d)\n",
+		frames, w, h, rawFrame, qIndex)
+
+	var totalBytes int
+	for i := 0; i < frames; i++ {
+		src := synth.Frame(i)
+		data, recon, err := enc.Encode(src)
+		if err != nil {
+			return err
+		}
+		decoded, err := dec.Decode(data)
+		if err != nil {
+			return fmt.Errorf("frame %d: decode: %w", i, err)
+		}
+		if !framesEqual(decoded, recon) {
+			return fmt.Errorf("frame %d: decoder output does not match encoder reconstruction", i)
+		}
+		totalBytes += len(data)
+		fmt.Printf("  frame %2d: %6d B (%.2fx), PSNR %.1f dB\n",
+			i, len(data), float64(rawFrame)/float64(len(data)), video.PSNR(src, recon))
+	}
+
+	st := enc.Stats
+	fmt.Printf("\ntotals: %d B (%.3f bits/px), %d intra MBs, %d inter MBs\n",
+		totalBytes, float64(totalBytes)*8/float64(w*h*frames), st.IntraMBs, st.InterMBs)
+	fmt.Printf("motion estimation: %d SADs, %.1f reference px/px\n",
+		st.ME.SADs, float64(st.ME.RefPixelsRead)/float64(w*h*frames))
+	fmt.Printf("motion compensation: %d blocks (%d sub-pel), %.2f reference px/px\n",
+		st.MC.Blocks, st.MC.SubPelBlocks,
+		float64(st.MC.RefPixelsRead)/float64(st.MC.PixelsProduced+1))
+	fmt.Printf("deblocking: %d edges checked, %d filtered\n",
+		st.Deblock.EdgesChecked, st.Deblock.EdgesFiltered)
+
+	if traffic {
+		clip, err := vp9.CodeClip(w, h, minInt(frames, 4), qIndex, seed)
+		if err != nil {
+			return err
+		}
+		p := vp9.MeasureHWParams(clip)
+		fmt.Printf("\nhardware model parameters: ref %.2f px/px, ME window %.2f px/px, %.2f bits/px, frame compression ratio %.2f\n",
+			p.RefPxPerPx, p.MEWindowPxPerPx, p.BitsPerPixel, p.CompressionRatio)
+		for _, comp := range []bool{false, true} {
+			d := vp9.HWDecodeTraffic(video.HDWidth, video.HDHeight, comp, p)
+			e := vp9.HWEncodeTraffic(video.HDWidth, video.HDHeight, comp, p)
+			fmt.Printf("HD decode traffic (compression=%v): %.1f MB/frame; encode: %.1f MB/frame\n",
+				comp, vp9.TotalTraffic(d)/1e6, vp9.TotalTraffic(e)/1e6)
+		}
+	}
+	return nil
+}
+
+func framesEqual(a, b *video.Frame) bool {
+	if len(a.Y) != len(b.Y) {
+		return false
+	}
+	for i := range a.Y {
+		if a.Y[i] != b.Y[i] {
+			return false
+		}
+	}
+	for i := range a.U {
+		if a.U[i] != b.U[i] || a.V[i] != b.V[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,65 @@
+// Browser scrolling: profile a custom instrumented kernel with the public
+// API and run the paper's PIM-target identification methodology (§3.2)
+// over its functions, then check what ZRAM tab compression does to a
+// real tab memory image.
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"gopim"
+	"gopim/workloads"
+)
+
+func main() {
+	// A custom kernel: stream a "page layer" bitmap, then reorganize it —
+	// the same structure as Chrome's rasterize→tile pipeline, written
+	// against the public instrumentation API.
+	const size = 1024 * 1024 * 4 // one 1024x1024 RGBA layer
+	kernel := gopim.KernelFunc{
+		KernelName: "custom raster pipeline",
+		Fn: func(ctx *gopim.Ctx) {
+			layer := ctx.Alloc("layer", size)
+			tiles := ctx.Alloc("tiles", size)
+
+			ctx.SetPhase("paint")
+			for off := 0; off < size; off += 4096 {
+				ctx.StoreV(layer, off, 4096)
+			}
+			ctx.SIMD(size / 16)
+
+			ctx.SetPhase("tile")
+			for off := 0; off < size; off += 128 {
+				ctx.LoadV(layer, off, 128)
+				ctx.StoreV(tiles, (off*7)%size&^127, 128) // reorganizing writes
+				ctx.Ops(4)
+			}
+		},
+	}
+
+	profile, phases := gopim.RunKernel(gopim.SoC(), kernel)
+	fmt.Printf("profiled %q: %d instructions, %.1f MB moved, LLC MPKI %.1f\n",
+		kernel.KernelName, profile.Instructions(), float64(profile.Mem.Total())/1e6, profile.LLCMPKI())
+
+	// Apply the paper's candidate criteria to each function.
+	ev := gopim.NewEvaluator()
+	cands := ev.IdentifyCandidates(phases, gopim.DefaultCriteria())
+	fmt.Println("\nPIM target candidates (paper §3.2 criteria):")
+	for _, c := range cands {
+		fmt.Printf("  %-8s energy %5.1f%%  movement %5.1f%% of own  MPKI %6.1f  qualifies=%v\n",
+			c.Function, c.EnergyFraction*100, c.OwnMovementFraction*100, c.MPKI, c.Qualifies())
+	}
+
+	// The six pages of Figure 1 and their ZRAM behaviour.
+	fmt.Println("\ntab compression (LZO, as ZRAM does):")
+	pages := workloads.ScrollPages()
+	sort.Slice(pages, func(i, j int) bool { return pages[i].Name < pages[j].Name })
+	for _, p := range pages {
+		mem := workloads.TabMemory(p.TabFootprint, int64(len(p.Name)))
+		comp := workloads.LZOCompress(mem)
+		fmt.Printf("  %-16s %4.1f MiB tab -> %4.1f MiB compressed (%.0f%%)\n",
+			p.Name, float64(len(mem))/(1<<20), float64(len(comp))/(1<<20),
+			float64(len(comp))/float64(len(mem))*100)
+	}
+}

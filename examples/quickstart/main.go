@@ -1,0 +1,44 @@
+// Quickstart: evaluate one PIM target — texture tiling, the Chrome
+// graphics-driver kernel — under CPU-only, PIM-core and PIM-accelerator
+// execution, and print the modelled energy and runtime, reproducing one
+// group of bars from the paper's Figure 18.
+package main
+
+import (
+	"fmt"
+
+	"gopim"
+)
+
+func main() {
+	// Every paper target comes pre-instrumented; pick texture tiling.
+	var target gopim.Target
+	for _, t := range gopim.Targets(gopim.Quick) {
+		if t.Name == "Texture Tiling" {
+			target = t
+			break
+		}
+	}
+
+	fmt.Printf("evaluating %q (%s workload)\n", target.Name, target.Workload)
+	fmt.Printf("accelerator area: %.2f mm²", target.AccArea)
+	if frac, ok := gopim.AreaFeasible(target.AccArea); ok {
+		fmt.Printf(" — fits the per-vault budget (%.1f%% of %.1f mm²)\n", frac*100, gopim.VaultAreaBudget)
+	} else {
+		fmt.Println(" — does NOT fit the vault budget")
+	}
+
+	result := gopim.Evaluate(target)
+	base := result.ByMode[gopim.CPUOnly]
+	fmt.Printf("\n%-10s %14s %14s %12s\n", "mode", "energy (µJ)", "runtime (µs)", "data moved")
+	for _, mode := range gopim.Modes {
+		e := result.ByMode[mode]
+		fmt.Printf("%-10s %14.1f %14.1f %9.1f MB\n",
+			mode.String(), e.Energy.Total()/1e6, e.Seconds*1e6, float64(e.Profile.Mem.Total())/1e6)
+	}
+	fmt.Printf("\nvs CPU-only: PIM-Core saves %.1f%% energy at %.2fx speed; PIM-Acc %.1f%% at %.2fx\n",
+		result.EnergyReduction(gopim.PIMCore)*100, result.Speedup(gopim.PIMCore),
+		result.EnergyReduction(gopim.PIMAcc)*100, result.Speedup(gopim.PIMAcc))
+	fmt.Printf("data movement share of CPU-only energy: %.1f%% (the paper's core observation)\n",
+		base.Energy.DataMovementFraction()*100)
+}

@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"gopim"
+	"gopim/internal/core"
+	"gopim/internal/energy"
+	"gopim/internal/profile"
+	"gopim/internal/timing"
+)
+
+// Ablation studies for the design choices DESIGN.md calls out. Each sweep
+// profiles a representative PIM target once and re-evaluates the analytic
+// models across one design axis, isolating that axis's contribution.
+
+// ablationProfiles profiles the texture tiling target (the paper's first
+// and most-discussed PIM target) once per hardware flavor.
+func ablationProfiles(o Options) (cpu, pim profile.Profile, t gopim.Target) {
+	for _, cand := range gopim.Targets(o.Scale) {
+		if cand.Name == "Texture Tiling" {
+			t = cand
+			break
+		}
+	}
+	cpuTotal, cpuPhases := profile.Run(profile.SoC(), t.Kernel)
+	pimTotal, pimPhases := profile.Run(profile.PIMCore(), t.Kernel)
+	_ = cpuTotal
+	_ = pimTotal
+	var cpuSel, pimSel profile.Profile
+	for _, name := range t.Phases {
+		cpuSel = cpuSel.Add(cpuPhases[name])
+		pimSel = pimSel.Add(pimPhases[name])
+	}
+	return cpuSel, pimSel, t
+}
+
+// VaultRow is one point of the vault-count sweep.
+type VaultRow struct {
+	Vaults  int
+	Speedup float64 // vs CPU-only
+}
+
+// AblationVaults sweeps how many vault PIM cores the target's data
+// parallelism uses. Scaling is near-linear while each added core brings
+// both compute and memory-level parallelism; it flattens once the cores
+// collectively saturate the logic layer's 256 GB/s (the 32/64 points model
+// a hypothetical second cube to expose the ceiling).
+func AblationVaults(o Options) []VaultRow {
+	cpuProf, pimProf, _ := ablationProfiles(o)
+	cpuSec := timing.SoC().Seconds(cpuProf)
+	var rows []VaultRow
+	for _, v := range []int{1, 2, 4, 8, 16, 32, 64} {
+		sec := timing.PIMCore(v).Seconds(pimProf)
+		rows = append(rows, VaultRow{Vaults: v, Speedup: cpuSec / sec})
+	}
+	return rows
+}
+
+// BandwidthRow is one point of the internal-bandwidth sweep.
+type BandwidthRow struct {
+	GBs     float64 // logic-layer bandwidth
+	Speedup float64
+}
+
+// AblationBandwidth sweeps the 3D stack's logic-layer bandwidth, holding
+// everything else at Table 1 values. The paper's 256 GB/s sits on the flat
+// part of the curve for most targets — latency and compute, not raw
+// bandwidth, bound them.
+func AblationBandwidth(o Options) []BandwidthRow {
+	cpuProf, pimProf, _ := ablationProfiles(o)
+	cpuSec := timing.SoC().Seconds(cpuProf)
+	var rows []BandwidthRow
+	for _, gbs := range []float64{32, 64, 128, 256, 512} {
+		e := timing.PIMCore(4)
+		e.Bandwidth = gbs * 1e9
+		rows = append(rows, BandwidthRow{GBs: gbs, Speedup: cpuSec / e.Seconds(pimProf)})
+	}
+	return rows
+}
+
+// CoherenceRow is one point of the coherence-cost sweep.
+type CoherenceRow struct {
+	SharedFraction float64
+	EnergyOverhead float64 // coherence energy / kernel PIM energy
+}
+
+// AblationCoherence sweeps the fraction of a kernel's lines that are
+// CPU-shared and need directory messages (§8.2): the paper's fine-grained
+// scheme assumes this is small; the sweep shows when it would stop being
+// negligible.
+func AblationCoherence(o Options) []CoherenceRow {
+	_, pimProf, _ := ablationProfiles(o)
+	ev := core.NewEvaluator()
+	var rows []CoherenceRow
+	for _, frac := range []float64{0, 0.01, 0.05, 0.1, 0.25, 0.5} {
+		m := core.DefaultCoherence()
+		m.SharedFraction = frac
+		coh := m.Overhead(pimProf)
+		sec := timing.PIMCore(4).Seconds(pimProf) + coh.Latency
+		base := ev.PIMCoreEnergy(pimProf, sec, core.Coherence{}).Total()
+		withCoh := ev.PIMCoreEnergy(pimProf, sec, coh).Total()
+		rows = append(rows, CoherenceRow{SharedFraction: frac, EnergyOverhead: withCoh/base - 1})
+	}
+	return rows
+}
+
+// EfficiencyRow is one point of the accelerator-efficiency sweep.
+type EfficiencyRow struct {
+	EfficiencyX     float64 // accelerator ops-per-joule advantage over the CPU
+	EnergyReduction float64 // vs CPU-only
+}
+
+// AblationAccEfficiency sweeps the fixed-function accelerator's efficiency
+// assumption (the paper conservatively uses 20x over the CPU, §3.1). For
+// these data-intensive targets the answer saturates quickly: once compute
+// energy is small, only data movement remains, which is the paper's point.
+func AblationAccEfficiency(o Options) []EfficiencyRow {
+	cpuProf, pimProf, t := ablationProfiles(o)
+	ev := core.NewEvaluator()
+	cpuSec := timing.SoC().Seconds(cpuProf)
+	base := ev.CPUEnergy(cpuProf, cpuSec).Total()
+	accSec := timing.PIMAcc(4).Seconds(pimProf)
+	_ = t
+	var rows []EfficiencyRow
+	for _, x := range []float64{5, 10, 20, 40, 80} {
+		params := energy.Default()
+		params.PIMAccOp = params.CPUInstr / x
+		ev2 := &core.Evaluator{Params: params, Coherence: core.DefaultCoherence()}
+		total := ev2.PIMAccEnergy(pimProf, accSec, core.Coherence{}).Total()
+		rows = append(rows, EfficiencyRow{EfficiencyX: x, EnergyReduction: 1 - total/base})
+	}
+	return rows
+}
+
+// BatteryRow is one line of the battery-life projection.
+type BatteryRow struct {
+	Scenario      string
+	Share         float64 // workload share of device power
+	Reduction     float64 // PIM-Acc energy reduction for that workload
+	LifeExtension float64 // battery-life multiplier
+}
+
+// BatteryLife converts the headline PIM-Acc energy reductions into
+// battery-life extensions for usage scenarios dominated by each workload
+// (the paper's §1 motivation). Share is the fraction of whole-device power
+// attributable to the modelled SoC+memory activity in that scenario.
+func BatteryLife(o Options) []BatteryRow {
+	head := Headline(o)
+	perWorkload := map[string][]float64{}
+	for _, r := range head.PerTarget {
+		perWorkload[r.Target.Workload] = append(perWorkload[r.Target.Workload], r.EnergyReduction(gopim.PIMAcc))
+	}
+	scenario := func(name, workload string, share float64) BatteryRow {
+		var sum float64
+		rs := perWorkload[workload]
+		for _, v := range rs {
+			sum += v
+		}
+		red := 0.0
+		if len(rs) > 0 {
+			red = sum / float64(len(rs))
+		}
+		return BatteryRow{
+			Scenario: name, Share: share, Reduction: red,
+			LifeExtension: energy.LifeExtension(share, red),
+		}
+	}
+	return []BatteryRow{
+		scenario("web browsing", "Chrome", 0.5),
+		scenario("on-device inference", "TensorFlow", 0.6),
+		scenario("video playback", "Video Playback", 0.4),
+		scenario("video capture", "Video Capture", 0.5),
+	}
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"gopim"
+	"gopim/internal/browser"
+	"gopim/internal/core"
+	"gopim/internal/energy"
+	"gopim/internal/profile"
+)
+
+// Fig1Row is one page's scrolling energy breakdown (paper Figure 1).
+type Fig1Row struct {
+	Page          string
+	TextureTiling float64
+	ColorBlitting float64
+	Other         float64
+}
+
+// Fig1 reproduces Figure 1: the fraction of total scrolling energy spent
+// on texture tiling, color blitting, and everything else, for the six test
+// pages plus the average.
+func Fig1(o Options) []Fig1Row {
+	frames := 4
+	if o.Scale == gopim.Standard {
+		frames = 12
+	}
+	ev := core.NewEvaluator()
+	var rows []Fig1Row
+	var avg Fig1Row
+	pages := browser.ScrollPages()
+	for _, page := range pages {
+		_, phases := profile.Run(profile.SoC(), browser.ScrollKernel(page, frames))
+		fr := fractionsOf(ev, phases, []string{browser.PhaseTiling, browser.PhaseBlitting}, "Other")
+		row := Fig1Row{Page: page.Name, TextureTiling: fr[0].Fraction, ColorBlitting: fr[1].Fraction, Other: fr[2].Fraction}
+		rows = append(rows, row)
+		avg.TextureTiling += row.TextureTiling / float64(len(pages))
+		avg.ColorBlitting += row.ColorBlitting / float64(len(pages))
+		avg.Other += row.Other / float64(len(pages))
+	}
+	avg.Page = "AVG"
+	return append(rows, avg)
+}
+
+// Fig2Result is the Google Docs scrolling breakdown (paper Figure 2): per
+// hardware component, split by function, plus the data movement summary.
+type Fig2Result struct {
+	// ByPhase maps function -> component breakdown.
+	ByPhase map[string]energy.Breakdown
+	// Total is the sum over functions.
+	Total energy.Breakdown
+	// DataMovementFraction is the share of total energy spent moving data
+	// (paper: 77% for Google Docs).
+	DataMovementFraction float64
+	// TilingBlittingMovementFraction is the share of total system energy
+	// that is data movement caused by texture tiling + color blitting
+	// (paper: 37.7%).
+	TilingBlittingMovementFraction float64
+	// LLCMPKI is the whole-workload miss rate (paper: 21.4 average).
+	LLCMPKI float64
+}
+
+// Fig2 reproduces Figure 2 for the Google Docs page.
+func Fig2(o Options) Fig2Result {
+	frames := 4
+	if o.Scale == gopim.Standard {
+		frames = 12
+	}
+	ev := core.NewEvaluator()
+	total, phases := profile.Run(profile.SoC(), browser.ScrollKernel(browser.GoogleDocs(), frames))
+
+	res := Fig2Result{ByPhase: map[string]energy.Breakdown{}}
+	for name, p := range phases {
+		b := ev.CPUPhaseEnergy(p)
+		res.ByPhase[name] = b
+		res.Total = res.Total.Add(b)
+	}
+	res.DataMovementFraction = res.Total.DataMovementFraction()
+	moving := res.ByPhase[browser.PhaseTiling].DataMovement() + res.ByPhase[browser.PhaseBlitting].DataMovement()
+	if t := res.Total.Total(); t > 0 {
+		res.TilingBlittingMovementFraction = moving / t
+	}
+	res.LLCMPKI = total.LLCMPKI()
+	return res
+}
+
+// Fig4Result is the ZRAM swap timeline (paper Figure 4).
+type Fig4Result struct {
+	browser.SwitchResult
+	PeakOutMBs float64 // peak swap-out rate, MB/s (paper: up to 201)
+	PeakInMBs  float64 // peak swap-in rate, MB/s (paper: up to 227)
+	TotalOutGB float64 // paper: 11.7 GB over the session
+	TotalInGB  float64 // paper: 7.8 GB
+}
+
+// Fig4 reproduces Figure 4: per-second data swapped to and from ZRAM while
+// opening and switching between tabs.
+func Fig4(o Options) (Fig4Result, error) {
+	nTabs, budget, footprint := 12, 4, 1<<20
+	if o.Scale == gopim.Standard {
+		nTabs, budget, footprint = 50, 12, 4<<20
+	}
+	sw, err := browser.RunSwitchSession(nTabs, budget, footprint, 2024)
+	if err != nil {
+		return Fig4Result{}, err
+	}
+	res := Fig4Result{SwitchResult: sw}
+	for _, s := range sw.Samples {
+		if mb := float64(s.OutBytes) / 1e6; mb > res.PeakOutMBs {
+			res.PeakOutMBs = mb
+		}
+		if mb := float64(s.InBytes) / 1e6; mb > res.PeakInMBs {
+			res.PeakInMBs = mb
+		}
+	}
+	res.TotalOutGB = float64(sw.TotalOut) / 1e9
+	res.TotalInGB = float64(sw.TotalIn) / 1e9
+	return res, nil
+}

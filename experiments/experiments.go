@@ -1,0 +1,98 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md's per-experiment index). Each runner returns
+// typed rows; the cmd/pimsim tool prints them as paper-style tables, and
+// EXPERIMENTS.md records paper-vs-measured values.
+//
+// Runners accept an Options value selecting the input scale: Quick inputs
+// finish in seconds for tests; Standard inputs use working sets that
+// exceed the LLC the way the paper's native inputs do and are meant for
+// the benchmark harness.
+package experiments
+
+import (
+	"sort"
+
+	"gopim"
+	"gopim/internal/core"
+	"gopim/internal/profile"
+	"gopim/internal/timing"
+)
+
+// Options parameterizes all experiment runners.
+type Options struct {
+	Scale gopim.Scale
+}
+
+// PhaseFraction is one slice of a stacked-bar figure.
+type PhaseFraction struct {
+	Name     string
+	Fraction float64
+}
+
+// fractionsOf converts per-phase profiles into energy fractions over the
+// listed phases, folding everything else into an "Other" entry if catchAll
+// is non-empty.
+func fractionsOf(ev *core.Evaluator, phases map[string]profile.Profile, order []string, catchAll string) []PhaseFraction {
+	total := 0.0
+	per := map[string]float64{}
+	for name, p := range phases {
+		e := ev.CPUPhaseEnergy(p).Total()
+		per[name] = e
+		total += e
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]PhaseFraction, 0, len(order)+1)
+	used := 0.0
+	for _, name := range order {
+		out = append(out, PhaseFraction{Name: name, Fraction: per[name] / total})
+		used += per[name]
+	}
+	if catchAll != "" {
+		rest := (total - used) / total
+		if rest < 0 {
+			rest = 0
+		}
+		out = append(out, PhaseFraction{Name: catchAll, Fraction: rest})
+	}
+	return out
+}
+
+// timeFractionsOf is fractionsOf for execution time.
+func timeFractionsOf(phases map[string]profile.Profile, order []string, catchAll string) []PhaseFraction {
+	eng := timing.SoC()
+	total := 0.0
+	per := map[string]float64{}
+	for name, p := range phases {
+		t := eng.Seconds(p)
+		per[name] = t
+		total += t
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]PhaseFraction, 0, len(order)+1)
+	used := 0.0
+	for _, name := range order {
+		out = append(out, PhaseFraction{Name: name, Fraction: per[name] / total})
+		used += per[name]
+	}
+	if catchAll != "" {
+		rest := (total - used) / total
+		if rest < 0 {
+			rest = 0
+		}
+		out = append(out, PhaseFraction{Name: catchAll, Fraction: rest})
+	}
+	return out
+}
+
+func sortedPhaseNames(phases map[string]profile.Profile) []string {
+	names := make([]string, 0, len(phases))
+	for n := range phases {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

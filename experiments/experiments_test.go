@@ -1,0 +1,438 @@
+package experiments
+
+import (
+	"testing"
+
+	"gopim"
+	"gopim/internal/vp9"
+)
+
+var quick = Options{Scale: gopim.Quick}
+
+func TestFig1Shape(t *testing.T) {
+	rows := Fig1(quick)
+	if len(rows) != 7 {
+		t.Fatalf("got %d rows, want 6 pages + AVG", len(rows))
+	}
+	avg := rows[len(rows)-1]
+	if avg.Page != "AVG" {
+		t.Fatal("last row must be the average")
+	}
+	t.Logf("Fig1 AVG: tiling %.1f%% + blitting %.1f%% = %.1f%% (paper: 41.9%%)",
+		avg.TextureTiling*100, avg.ColorBlitting*100, (avg.TextureTiling+avg.ColorBlitting)*100)
+	// Paper: tiling+blitting are a significant share (41.9%) of scroll
+	// energy on average.
+	if combined := avg.TextureTiling + avg.ColorBlitting; combined < 0.25 || combined > 0.68 {
+		t.Errorf("tiling+blitting = %.1f%% of scroll energy, want 25-68%% (paper: 41.9%%)", combined*100)
+	}
+	for _, r := range rows {
+		if s := r.TextureTiling + r.ColorBlitting + r.Other; s < 0.99 || s > 1.01 {
+			t.Errorf("%s: fractions sum to %.3f", r.Page, s)
+		}
+	}
+	// The animation page should blit more than the text pages.
+	byName := map[string]Fig1Row{}
+	for _, r := range rows {
+		byName[r.Page] = r
+	}
+	// The animation page repaints continuously: its combined raster share
+	// (tiling+blitting) must exceed the text-heavy Docs page's.
+	animShare := byName["Animation"].TextureTiling + byName["Animation"].ColorBlitting
+	docsShare := byName["Google Docs"].TextureTiling + byName["Google Docs"].ColorBlitting
+	if animShare <= docsShare {
+		t.Errorf("animation raster share %.1f%% <= docs %.1f%%", animShare*100, docsShare*100)
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	res := Fig2(quick)
+	t.Logf("Fig2: data movement %.1f%% (paper 77%%); tiling+blitting movement %.1f%% (paper 37.7%%); MPKI %.1f (paper 21.4)",
+		res.DataMovementFraction*100, res.TilingBlittingMovementFraction*100, res.LLCMPKI)
+	if res.DataMovementFraction < 0.55 || res.DataMovementFraction > 0.9 {
+		t.Errorf("data movement fraction %.1f%%, want 55-90%% (paper: 77%%)", res.DataMovementFraction*100)
+	}
+	if res.TilingBlittingMovementFraction < 0.2 || res.TilingBlittingMovementFraction > 0.6 {
+		t.Errorf("tiling+blitting movement %.1f%% of total, want 20-60%% (paper: 37.7%%)", res.TilingBlittingMovementFraction*100)
+	}
+	if res.LLCMPKI < 5 {
+		t.Errorf("scrolling MPKI %.1f too low (paper: 21.4)", res.LLCMPKI)
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	res, err := Fig4(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("Fig4: out %.2f GB in %.2f GB, peaks %.0f/%.0f MB/s, ratio %.2f",
+		res.TotalOutGB, res.TotalInGB, res.PeakOutMBs, res.PeakInMBs, res.CompressRatio)
+	if res.TotalOut == 0 || res.TotalIn == 0 {
+		t.Fatal("no swap traffic")
+	}
+	if res.PeakOutMBs <= 0 || res.PeakInMBs <= 0 {
+		t.Error("no peak rates recorded")
+	}
+}
+
+func TestFig6And7Shape(t *testing.T) {
+	for name, rows := range map[string][]TFRow{"Fig6": Fig6(quick), "Fig7": Fig7(quick)} {
+		if len(rows) != 5 {
+			t.Fatalf("%s: %d rows, want 4 networks + AVG", name, len(rows))
+		}
+		avg := rows[len(rows)-1]
+		t.Logf("%s AVG: packing %.1f%% quant %.1f%% gemm %.1f%% other %.1f%%",
+			name, avg.Packing*100, avg.Quantization*100, avg.GEMM*100, avg.Other*100)
+		// Paper Fig 6: packing+quantization ~39.3% of energy on average;
+		// Fig 7: ~27.4% of time. Both must be a substantial minority.
+		overhead := avg.Packing + avg.Quantization
+		if overhead < 0.15 || overhead > 0.6 {
+			t.Errorf("%s: packing+quantization = %.1f%%, want 15-60%%", name, overhead*100)
+		}
+		if avg.GEMM < 0.3 {
+			t.Errorf("%s: GEMM share %.1f%% too small", name, avg.GEMM*100)
+		}
+		for _, r := range rows {
+			if s := r.Packing + r.Quantization + r.GEMM + r.Other; s < 0.99 || s > 1.01 {
+				t.Errorf("%s %s: fractions sum to %.3f", name, r.Network, s)
+			}
+		}
+	}
+}
+
+func TestFig6ResNetQuantExceedsVGG(t *testing.T) {
+	rows := Fig6(quick)
+	byName := map[string]TFRow{}
+	for _, r := range rows {
+		byName[r.Network] = r
+	}
+	// Paper §5.3: ResNet's 156 Conv2D ops make quantization a bigger share
+	// than VGG's 19.
+	if byName["ResNet-V2-152"].Quantization <= byName["VGG-19"].Quantization {
+		t.Errorf("ResNet quantization share (%.1f%%) should exceed VGG's (%.1f%%)",
+			byName["ResNet-V2-152"].Quantization*100, byName["VGG-19"].Quantization*100)
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	fr, err := Fig10(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	by := map[string]float64{}
+	for _, f := range fr {
+		by[f.Name] = f.Fraction
+		t.Logf("Fig10 %-28s %.1f%%", f.Name, f.Fraction*100)
+	}
+	// Paper: sub-pel 37.5%, deblocking 29.7%; both dominate entropy and
+	// inverse transform.
+	if by[vp9.PhaseSubPel] < by[vp9.PhaseEntropy] || by[vp9.PhaseSubPel] < by[vp9.PhaseInvXfrm] {
+		t.Error("sub-pel interpolation should dominate entropy/inverse-transform energy")
+	}
+	if by[vp9.PhaseDeblock] < by[vp9.PhaseInvXfrm] {
+		t.Error("deblocking should exceed inverse transform energy")
+	}
+	if by[vp9.PhaseSubPel] < 0.2 || by[vp9.PhaseSubPel] > 0.6 {
+		t.Errorf("sub-pel fraction %.1f%%, want 20-60%% (paper: 37.5%%)", by[vp9.PhaseSubPel]*100)
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	res, err := Fig11(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("Fig11: data movement %.1f%% (paper 63.5%%), sub-pel share of movement %.1f%% (paper 42.6%% of total)",
+		res.DataMovementFraction*100, res.SubPelMovementShare*100)
+	// The paper's 63.5%% is measured decoding 4K, where nothing fits the
+	// LLC; the Quick clip is 720p-class, where the LLC legitimately absorbs
+	// part of the reconstruction traffic, so the floor is lower here (the
+	// Standard-scale benches report the larger-frame value).
+	if res.DataMovementFraction < 0.25 || res.DataMovementFraction > 0.85 {
+		t.Errorf("decoder data movement %.1f%%, want 25-85%% (paper at 4K: 63.5%%)", res.DataMovementFraction*100)
+	}
+	if res.SubPelMovementShare < 0.2 {
+		t.Errorf("sub-pel movement share %.1f%% too small", res.SubPelMovementShare*100)
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	rows, err := Fig12(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4 (HD/4K x compression)", len(rows))
+	}
+	find := func(res string, comp bool) HWTrafficRow {
+		for _, r := range rows {
+			if r.Resolution == res && r.Compressed == comp {
+				return r
+			}
+		}
+		t.Fatalf("missing row %s comp=%v", res, comp)
+		return HWTrafficRow{}
+	}
+	hdN, hdC := find("HD", false), find("HD", true)
+	k4N := find("4K", false)
+	t.Logf("Fig12: HD %.1f MB (comp %.1f), 4K %.1f MB; 4K/HD = %.1f (paper 4.6)",
+		hdN.TotalMB, hdC.TotalMB, k4N.TotalMB, k4N.TotalMB/hdN.TotalMB)
+	if hdC.TotalMB >= hdN.TotalMB {
+		t.Error("compression did not reduce HD traffic")
+	}
+	if r := k4N.TotalMB / hdN.TotalMB; r < 3.5 || r > 6.5 {
+		t.Errorf("4K/HD traffic ratio %.1f, want ~4.6", r)
+	}
+	// Reference frame dominates.
+	if hdN.Items[0].Name != vp9.CatReferenceFrame || hdN.Items[0].Bytes < 0.4*hdN.TotalMB*1e6 {
+		t.Error("reference frame traffic should dominate HD decode")
+	}
+}
+
+func TestFig15Shape(t *testing.T) {
+	fr, err := Fig15(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	by := map[string]float64{}
+	for _, f := range fr {
+		by[f.Name] = f.Fraction
+		t.Logf("Fig15 %-20s %.1f%%", f.Name, f.Fraction*100)
+	}
+	// Paper: ME is the single largest consumer (39.6%).
+	me := by[vp9.PhaseME]
+	for name, f := range by {
+		if name != vp9.PhaseME && f > me {
+			t.Errorf("%s (%.1f%%) exceeds motion estimation (%.1f%%)", name, f*100, me*100)
+		}
+	}
+	if me < 0.25 || me > 0.6 {
+		t.Errorf("ME fraction %.1f%%, want 25-60%% (paper: 39.6%%)", me*100)
+	}
+}
+
+func TestFig16Shape(t *testing.T) {
+	rows, err := Fig16(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hd HWTrafficRow
+	for _, r := range rows {
+		if r.Resolution == "HD" && !r.Compressed {
+			hd = r
+		}
+	}
+	var ref, total float64
+	for _, it := range hd.Items {
+		total += it.Bytes
+		if it.Name == vp9.CatReferenceFrame {
+			ref = it.Bytes
+		}
+	}
+	t.Logf("Fig16: HD reference share %.1f%% (paper 65.1%%), total %.1f MB", ref/total*100, total/1e6)
+	if frac := ref / total; frac < 0.4 || frac > 0.85 {
+		t.Errorf("encoder reference share %.1f%%, want 40-85%% (paper: 65.1%%)", frac*100)
+	}
+}
+
+func TestFig18Shape(t *testing.T) {
+	rows := Fig18(quick)
+	if len(rows) != 12 {
+		t.Fatalf("got %d rows, want 4 kernels x 3 modes", len(rows))
+	}
+	var coreE, accE, coreS, accS float64
+	n := 0.0
+	for _, r := range rows {
+		if r.Mode == gopim.CPUOnly {
+			if r.NormEnergy != 1 || r.NormRuntime != 1 {
+				t.Errorf("%s CPU-only not normalized to 1", r.Kernel)
+			}
+			continue
+		}
+		if r.Mode == gopim.PIMCore {
+			coreE += r.EnergySavings
+			coreS += r.Speedup
+			n++
+		} else {
+			accE += r.EnergySavings
+			accS += r.Speedup
+		}
+	}
+	coreE, accE, coreS, accS = coreE/n, accE/n, coreS/n, accS/n
+	t.Logf("Fig18 avg: PIM-Core -%.1f%% energy %.2fx; PIM-Acc -%.1f%% energy %.2fx (paper: 51.3%%/1.6x, 61.0%%/2.0x)",
+		coreE*100, coreS, accE*100, accS)
+	if coreE < 0.3 || coreE > 0.75 {
+		t.Errorf("PIM-Core browser energy savings %.1f%%, want 30-75%% (paper: 51.3%%)", coreE*100)
+	}
+	if accE <= coreE {
+		t.Error("PIM-Acc savings must exceed PIM-Core")
+	}
+	if coreS < 1.1 || accS < coreS {
+		t.Errorf("speedups: core %.2fx acc %.2fx; want core > 1.1 and acc >= core", coreS, accS)
+	}
+}
+
+func TestFig19Shape(t *testing.T) {
+	energies, speedups := Fig19(quick)
+	if len(energies) != 6 {
+		t.Fatalf("got %d energy rows, want 2 kernels x 3 modes", len(energies))
+	}
+	for _, e := range energies {
+		if e.Mode != gopim.CPUOnly && e.Normalized >= 1 {
+			t.Errorf("%s %s: normalized energy %.2f >= 1", e.Kernel, e.Mode, e.Normalized)
+		}
+	}
+	// Paper: speedup grows with the number of GEMM operations.
+	get := func(ops int, m gopim.Mode) float64 {
+		for _, s := range speedups {
+			if s.GEMMOps == ops && s.Mode == m {
+				return s.Speedup
+			}
+		}
+		t.Fatalf("missing speedup %d/%v", ops, m)
+		return 0
+	}
+	for _, m := range []gopim.Mode{gopim.PIMCore, gopim.PIMAcc} {
+		s1, s16 := get(1, m), get(16, m)
+		t.Logf("Fig19 %s: 1 GEMM %.2fx, 16 GEMMs %.2fx (paper: 1.13x->1.57x core, 1.17x->1.98x acc)", m, s1, s16)
+		// A single GEMM pays the un-overlapped pipeline prologue, so it may
+		// hover near break-even; steady state must clearly win.
+		if s1 < 0.9 {
+			t.Errorf("%s: 1-GEMM speedup %.2f < 0.9", m, s1)
+		}
+		if s16 <= s1 {
+			t.Errorf("%s: speedup should grow with GEMM count (%.2f -> %.2f)", m, s1, s16)
+		}
+		if s16 < 1.2 {
+			t.Errorf("%s: 16-GEMM speedup %.2f < 1.2 (paper: 1.57x/1.98x)", m, s16)
+		}
+	}
+	if get(16, gopim.PIMAcc) < get(16, gopim.PIMCore) {
+		t.Error("PIM-Acc should not be slower than PIM-Core at 16 GEMMs")
+	}
+}
+
+func TestFig20Shape(t *testing.T) {
+	rows, err := Fig20(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 {
+		t.Fatalf("got %d rows, want 3 kernels x 3 modes", len(rows))
+	}
+	by := map[string]map[gopim.Mode]Fig20Row{}
+	for _, r := range rows {
+		if by[r.Kernel] == nil {
+			by[r.Kernel] = map[gopim.Mode]Fig20Row{}
+		}
+		by[r.Kernel][r.Mode] = r
+		if r.Mode != gopim.CPUOnly {
+			t.Logf("Fig20 %-24s %s: -%.1f%% energy, %.2fx", r.Kernel, r.Mode, r.EnergySavings*100, r.Speedup)
+		}
+	}
+	// Paper: ME gains little from PIM-Core (1.13x) but a lot from PIM-Acc
+	// (2.1x), because it is the most compute-intensive target.
+	me := by["Motion Estimation"]
+	if me[gopim.PIMAcc].Speedup <= me[gopim.PIMCore].Speedup {
+		t.Error("ME: PIM-Acc should clearly beat PIM-Core")
+	}
+	// All video kernels must save energy in both PIM modes (paper: 46.8%
+	// core, 66.6% acc on average).
+	for k, modes := range by {
+		for _, m := range []gopim.Mode{gopim.PIMCore, gopim.PIMAcc} {
+			if modes[m].EnergySavings <= 0 {
+				t.Errorf("%s %s: no energy savings", k, m)
+			}
+		}
+		if modes[gopim.PIMAcc].EnergySavings <= modes[gopim.PIMCore].EnergySavings {
+			t.Errorf("%s: PIM-Acc savings should exceed PIM-Core", k)
+		}
+	}
+}
+
+func TestFig21Shape(t *testing.T) {
+	rows, err := Fig21(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("got %d rows, want 2 codecs x 3 modes x 2 compression", len(rows))
+	}
+	get := func(codec string, m vp9.HWEnergyMode, comp bool) float64 {
+		for _, r := range rows {
+			if r.Codec == codec && r.Mode == m && r.Compressed == comp {
+				return r.EnergyMJ
+			}
+		}
+		t.Fatalf("missing row %s/%v/%v", codec, m, comp)
+		return 0
+	}
+	for _, codec := range []string{"decoder", "encoder"} {
+		base := get(codec, vp9.HWBaseline, true)
+		core := get(codec, vp9.HWPIMCore, true)
+		acc := get(codec, vp9.HWPIMAcc, true)
+		t.Logf("Fig21 %s (comp): VP9 %.3f mJ, PIM-Core %.3f, PIM-Acc %.3f", codec, base, core, acc)
+		// Paper: PIM-Acc cuts decoder energy 75.1%, encoder 69.8%; PIM-Core
+		// with compression costs *more* than the VP9 baseline (+63.4% dec).
+		if acc >= base {
+			t.Errorf("%s: PIM-Acc (%.3f) not below baseline (%.3f)", codec, acc, base)
+		}
+		if core <= acc {
+			t.Errorf("%s: PIM-Core (%.3f) should exceed PIM-Acc (%.3f)", codec, core, acc)
+		}
+		// PIM-Acc without compression beats baseline with compression.
+		if accNo := get(codec, vp9.HWPIMAcc, false); accNo >= base {
+			t.Errorf("%s: PIM-Acc w/o compression (%.3f) should beat baseline w/ compression (%.3f)", codec, accNo, base)
+		}
+	}
+}
+
+func TestHeadlineShape(t *testing.T) {
+	res := Headline(quick)
+	t.Logf("Headline: DM %.1f%% (paper 62.7%%); PIM-Core -%.1f%% / %.2fx (paper 49.1%%/1.45x); PIM-Acc -%.1f%% / %.2fx (paper 55.4%%/1.54x); max %.2fx/%.2fx (paper 2.2x/2.5x)",
+		res.AvgDataMovementFraction*100,
+		res.AvgEnergyReduction[gopim.PIMCore]*100, res.AvgSpeedup[gopim.PIMCore],
+		res.AvgEnergyReduction[gopim.PIMAcc]*100, res.AvgSpeedup[gopim.PIMAcc],
+		res.MaxSpeedup[gopim.PIMCore], res.MaxSpeedup[gopim.PIMAcc])
+	if res.AvgDataMovementFraction < 0.45 || res.AvgDataMovementFraction > 0.9 {
+		t.Errorf("avg data movement %.1f%%, want 45-90%% (paper: 62.7%%)", res.AvgDataMovementFraction*100)
+	}
+	if r := res.AvgEnergyReduction[gopim.PIMCore]; r < 0.3 || r > 0.75 {
+		t.Errorf("PIM-Core avg energy reduction %.1f%%, want 30-75%% (paper: 49.1%%)", r*100)
+	}
+	if res.AvgEnergyReduction[gopim.PIMAcc] <= res.AvgEnergyReduction[gopim.PIMCore] {
+		t.Error("PIM-Acc must save more energy than PIM-Core on average")
+	}
+	if res.AvgSpeedup[gopim.PIMCore] < 1.1 {
+		t.Errorf("PIM-Core avg speedup %.2fx < 1.1x (paper: +44.6%%)", res.AvgSpeedup[gopim.PIMCore])
+	}
+	if res.MaxSpeedup[gopim.PIMAcc] < 1.8 {
+		t.Errorf("PIM-Acc max speedup %.2fx < 1.8x (paper: up to 2.5x)", res.MaxSpeedup[gopim.PIMAcc])
+	}
+}
+
+func TestAreasAllFeasible(t *testing.T) {
+	rows := Areas()
+	if len(rows) < 7 {
+		t.Fatalf("only %d area rows", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Feasible {
+			t.Errorf("%s (%.2f mm²) does not fit the vault budget", r.Logic, r.AreaMM2)
+		}
+		if r.Logic == "PIM Core (Cortex-R8-class)" && r.BudgetFraction > 0.10 {
+			t.Errorf("PIM core uses %.1f%% of the vault budget, paper says <= 9.4%%", r.BudgetFraction*100)
+		}
+	}
+}
+
+func TestTable1(t *testing.T) {
+	rows := Table1()
+	if len(rows) < 4 {
+		t.Fatal("Table 1 incomplete")
+	}
+	for _, r := range rows {
+		if r.Component == "" || r.Value == "" {
+			t.Error("empty Table 1 row")
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"gopim/internal/browser"
+	"gopim/internal/core"
+	"gopim/internal/profile"
+	"gopim/internal/timing"
+)
+
+// PageLoadRow is one page's load-time analysis.
+type PageLoadRow struct {
+	Page string
+	// Phases is the CPU-raster load broken down by pipeline stage
+	// (energy fractions).
+	Phases []PhaseFraction
+	// CPUMillis is the modelled CPU-rasterized load time.
+	CPUMillis float64
+	// GPUMillis swaps the raster stage for the GPU estimate.
+	GPUMillis float64
+	// GPUSlowdown is GPU/CPU total load time; above 1 means GPU raster
+	// hurts (the paper measured up to +24.9% on text-heavy pages).
+	GPUSlowdown float64
+}
+
+// PageLoad analyzes loading each test page with CPU rasterization
+// (instrumented) and GPU rasterization (analytic), reproducing §4.2.2's
+// observation that GPU rasterization slows text-heavy page loads — the
+// reason PIM-assisted texture tiling beats moving rasterization to the GPU.
+func PageLoad(o Options) []PageLoadRow {
+	ev := core.NewEvaluator()
+	soc := timing.SoC()
+	var rows []PageLoadRow
+	for _, page := range browser.ScrollPages() {
+		_, phases := profile.Run(profile.SoC(), browser.LoadKernel(page))
+		var total, raster float64
+		for name, p := range phases {
+			t := soc.Seconds(p)
+			total += t
+			if name == browser.PhaseBlitting {
+				raster = t
+			}
+		}
+		gpu := total - raster + browser.GPURasterEstimate(page)
+		rows = append(rows, PageLoadRow{
+			Page:        page.Name,
+			Phases:      fractionsOf(ev, phases, browser.LoadPhases[:4], "Other"),
+			CPUMillis:   total * 1e3,
+			GPUMillis:   gpu * 1e3,
+			GPUSlowdown: gpu / total,
+		})
+	}
+	return rows
+}

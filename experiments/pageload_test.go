@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"testing"
+
+	"gopim/internal/browser"
+	"gopim/internal/profile"
+)
+
+func TestLoadKernelPhases(t *testing.T) {
+	_, phases := profile.Run(profile.SoC(), browser.LoadKernel(browser.GoogleDocs()))
+	for _, want := range browser.LoadPhases {
+		if _, ok := phases[want]; !ok {
+			t.Errorf("missing load phase %q", want)
+		}
+	}
+	if phases[browser.PhaseBlitting].Mem.Total() == 0 {
+		t.Error("first-viewport rasterization moved no data")
+	}
+	if phases[browser.PhaseParse].Ops == 0 {
+		t.Error("parsing did no work")
+	}
+}
+
+func TestPageLoadGPURasterHurtsTextPages(t *testing.T) {
+	rows := PageLoad(quick)
+	if len(rows) != 6 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	byName := map[string]PageLoadRow{}
+	for _, r := range rows {
+		byName[r.Page] = r
+		t.Logf("%-16s CPU %.2f ms, GPU %.2f ms (%.2fx)", r.Page, r.CPUMillis, r.GPUMillis, r.GPUSlowdown)
+		if r.CPUMillis <= 0 || r.GPUMillis <= 0 {
+			t.Errorf("%s: non-positive load time", r.Page)
+		}
+	}
+	// Paper §4.2.2: GPU rasterization slows text-heavy pages (up to 24.9%),
+	// which is why Chrome ships CPU rasterization by default.
+	docs := byName["Google Docs"]
+	if docs.GPUSlowdown <= 1.0 {
+		t.Errorf("Google Docs (75%% text): GPU raster %.2fx; should be slower than CPU raster", docs.GPUSlowdown)
+	}
+	if docs.GPUSlowdown > 1.6 {
+		t.Errorf("Google Docs GPU slowdown %.2fx implausibly large (paper: up to 1.25x)", docs.GPUSlowdown)
+	}
+	// The animation page (15% text, big fills) should suffer less than the
+	// text-heavy Docs page — or even benefit.
+	anim := byName["Animation"]
+	if anim.GPUSlowdown >= docs.GPUSlowdown {
+		t.Errorf("animation page GPU slowdown (%.2fx) should be below Docs' (%.2fx)",
+			anim.GPUSlowdown, docs.GPUSlowdown)
+	}
+}
+
+func TestPageLoadFractionsSum(t *testing.T) {
+	for _, r := range PageLoad(quick) {
+		var sum float64
+		for _, f := range r.Phases {
+			sum += f.Fraction
+		}
+		if sum < 0.99 || sum > 1.01 {
+			t.Errorf("%s: load phase fractions sum to %.3f", r.Page, sum)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"gopim"
+	"gopim/internal/core"
+	"gopim/internal/dram"
+)
+
+// Fig18Row is one bar pair of Figure 18: a browser kernel under one
+// execution mode.
+type Fig18Row struct {
+	Kernel        string
+	Mode          gopim.Mode
+	NormEnergy    float64
+	NormRuntime   float64
+	Energy        gopim.Breakdown
+	Speedup       float64
+	EnergySavings float64
+}
+
+// Fig18 reproduces Figure 18: energy and runtime of the four Chrome
+// kernels (texture tiling, color blitting, compression, decompression)
+// under CPU-only, PIM-core and PIM-accelerator execution.
+func Fig18(o Options) []Fig18Row {
+	ev := core.NewEvaluator()
+	var rows []Fig18Row
+	for _, t := range gopim.Targets(o.Scale) {
+		if t.Workload != "Chrome" {
+			continue
+		}
+		res := ev.Evaluate(t)
+		base := res.ByMode[gopim.CPUOnly]
+		for _, mode := range gopim.Modes {
+			e := res.ByMode[mode]
+			rows = append(rows, Fig18Row{
+				Kernel: t.Name, Mode: mode,
+				NormEnergy:    e.Energy.Total() / base.Energy.Total(),
+				NormRuntime:   e.Seconds / base.Seconds,
+				Energy:        e.Energy,
+				Speedup:       res.Speedup(mode),
+				EnergySavings: res.EnergyReduction(mode),
+			})
+		}
+	}
+	return rows
+}
+
+// AreaRow is one line of the area feasibility analysis (§§3.3–7).
+type AreaRow struct {
+	Logic          string
+	AreaMM2        float64
+	BudgetFraction float64
+	Feasible       bool
+}
+
+// Areas reproduces the paper's per-target accelerator area analysis: every
+// piece of PIM logic must fit the per-vault logic layer budget.
+func Areas() []AreaRow {
+	rows := []AreaRow{{Logic: "PIM Core (Cortex-R8-class)", AreaMM2: gopim.PIMCoreArea}}
+	seen := map[string]bool{}
+	for _, t := range gopim.Targets(gopim.Quick) {
+		name := t.Name + " accelerator"
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		rows = append(rows, AreaRow{Logic: name, AreaMM2: t.AccArea})
+	}
+	for i := range rows {
+		rows[i].BudgetFraction, rows[i].Feasible = gopim.AreaFeasible(rows[i].AreaMM2)
+	}
+	return rows
+}
+
+// HeadlineResult aggregates the paper's headline claims (§1, §12).
+type HeadlineResult struct {
+	// PerTarget holds each PIM target's evaluation.
+	PerTarget []gopim.Result
+	// AvgEnergyReduction is the mean energy reduction per mode across all
+	// targets (paper: PIM-Core 49.1%, PIM-Acc 55.4%).
+	AvgEnergyReduction map[gopim.Mode]float64
+	// AvgSpeedup is the mean speedup per mode (paper: PIM-Core 44.6%
+	// improvement, PIM-Acc 54.2%; up to 2.2x / 2.5x).
+	AvgSpeedup map[gopim.Mode]float64
+	// MaxSpeedup is the best single-kernel speedup per mode.
+	MaxSpeedup map[gopim.Mode]float64
+	// AvgDataMovementFraction is the average share of CPU-only energy
+	// spent on data movement across targets (paper: 62.7% across
+	// workloads).
+	AvgDataMovementFraction float64
+}
+
+// Headline evaluates every PIM target and aggregates the paper's headline
+// averages.
+func Headline(o Options) HeadlineResult {
+	ev := core.NewEvaluator()
+	res := HeadlineResult{
+		AvgEnergyReduction: map[gopim.Mode]float64{},
+		AvgSpeedup:         map[gopim.Mode]float64{},
+		MaxSpeedup:         map[gopim.Mode]float64{},
+	}
+	targets := gopim.Targets(o.Scale)
+	for _, t := range targets {
+		r := ev.Evaluate(t)
+		res.PerTarget = append(res.PerTarget, r)
+		for _, mode := range []gopim.Mode{gopim.PIMCore, gopim.PIMAcc} {
+			res.AvgEnergyReduction[mode] += r.EnergyReduction(mode) / float64(len(targets))
+			s := r.Speedup(mode)
+			res.AvgSpeedup[mode] += s / float64(len(targets))
+			if s > res.MaxSpeedup[mode] {
+				res.MaxSpeedup[mode] = s
+			}
+		}
+		res.AvgDataMovementFraction += r.ByMode[gopim.CPUOnly].Energy.DataMovementFraction() / float64(len(targets))
+	}
+	return res
+}
+
+// Table1Row is one line of the platform configuration table.
+type Table1Row struct {
+	Component string
+	Value     string
+}
+
+// Table1 reproduces the paper's Table 1: the evaluated system
+// configuration as modelled by this library.
+func Table1() []Table1Row {
+	return []Table1Row{
+		{"SoC", "4 OoO cores, 8-wide issue; L1 I/D: 64 kB private, 4-way; L2: 2 MB shared, 8-way; MESI"},
+		{"PIM Core", "1 core per vault, 1-wide issue, 4-wide SIMD, 32 kB private 4-way L1"},
+		{"3D-Stacked Memory", "2 GB cube, 16 vaults; internal bandwidth 256 GB/s; off-chip channel 32 GB/s"},
+		{"Baseline Memory", "LPDDR3, 2 GB, FR-FCFS scheduler"},
+		{"Per-vault PIM area budget", "3.5 mm² (50-60 mm² per cube logic layer)"},
+	}
+}
+
+// VaultBudget re-exports the modelled per-vault area budget for reports.
+const VaultBudget = dram.VaultAreaBudget

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"gopim"
+	"gopim/internal/core"
+	"gopim/internal/mem"
+)
+
+// TargetStatsRow characterizes one PIM target against the paper's §3.2
+// selection criteria.
+type TargetStatsRow struct {
+	Name             string
+	Workload         string
+	LLCMPKI          float64 // criterion: > 10
+	MovementFraction float64 // criterion: data movement dominates its energy
+	TrafficMB        float64
+	Instructions     uint64
+	MemoryIntensive  bool
+	MovementDominant bool
+}
+
+// TargetStats profiles every PIM target on the SoC and reports the
+// §3.2 criteria values: all of the paper's targets must be memory-intensive
+// (LLC MPKI > 10) and movement-dominated.
+func TargetStats(o Options) []TargetStatsRow {
+	ev := core.NewEvaluator()
+	var rows []TargetStatsRow
+	for _, t := range gopim.Targets(o.Scale) {
+		res := ev.Evaluate(t)
+		cpu := res.ByMode[gopim.CPUOnly]
+		row := TargetStatsRow{
+			Name:             t.Name,
+			Workload:         t.Workload,
+			LLCMPKI:          cpu.Profile.LLCMPKI(),
+			MovementFraction: cpu.Energy.DataMovementFraction(),
+			TrafficMB:        float64(cpu.Profile.Mem.Total()) / 1e6,
+			Instructions:     cpu.Profile.Instructions(),
+		}
+		row.MemoryIntensive = row.LLCMPKI > 10
+		row.MovementDominant = row.MovementFraction > 0.5
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// TabLatencyRow is the modelled latency of restoring one compressed tab.
+type TabLatencyRow struct {
+	Mode   gopim.Mode
+	Millis float64
+}
+
+// TabSwitchLatency models the user-visible cost of switching to a
+// compressed tab: the decompression of its pages (the paper reports
+// compression/decompression as 14.2% of tab switching time, §4.3.1). With
+// PIM, the decompressed lines additionally stay in DRAM, so the CPU's
+// demand misses do not pay the decompression on the critical path; here we
+// report just the decompression latency per mode.
+func TabSwitchLatency(o Options) []TabLatencyRow {
+	ev := core.NewEvaluator()
+	var target gopim.Target
+	for _, t := range gopim.Targets(o.Scale) {
+		if t.Name == "Decompression" {
+			target = t
+			break
+		}
+	}
+	res := ev.Evaluate(target)
+	// Normalize per tab: the kernel decompresses `pages` pages; a 4 MiB tab
+	// is 1024 pages.
+	kernelPages := float64(res.ByMode[gopim.CPUOnly].Profile.Mem.BytesWritten) / mem.PageSize
+	if kernelPages < 1 {
+		kernelPages = 1
+	}
+	perTab := 1024.0 / kernelPages
+	var rows []TabLatencyRow
+	for _, m := range gopim.Modes {
+		rows = append(rows, TabLatencyRow{Mode: m, Millis: res.ByMode[m].Seconds * perTab * 1e3})
+	}
+	return rows
+}
+
+// PlanRow is one line of the accelerator provisioning plan.
+type PlanRow struct {
+	Target    string
+	Mode      gopim.Mode
+	AreaMM2   float64
+	SavingsPC float64 // savings vs CPU-only, percent of that target's energy
+}
+
+// PlanResult is the area-budgeted offload plan.
+type PlanResult struct {
+	Rows        []PlanRow
+	AreaUsedMM2 float64
+	BudgetMM2   float64
+	Accelerated int
+}
+
+// Plan builds the per-vault accelerator provisioning plan (§8.1): which
+// targets earn fixed-function logic within the 3.5 mm² budget, and which
+// fall back to the shared PIM core.
+func Plan(o Options) PlanResult {
+	ev := core.NewEvaluator()
+	plan := ev.PlanOffload(gopim.Targets(o.Scale), timingBudget())
+	out := PlanResult{
+		AreaUsedMM2: plan.AreaUsedMM2,
+		BudgetMM2:   plan.BudgetMM2,
+		Accelerated: plan.Accelerated(),
+	}
+	for _, c := range plan.Choices {
+		row := PlanRow{
+			Target:  c.Target.Name,
+			Mode:    c.Mode,
+			AreaMM2: c.AreaMM2,
+		}
+		if c.BaselinePJ > 0 {
+			row.SavingsPC = c.SavingsPJ / c.BaselinePJ
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}
+
+func timingBudget() float64 { return 3.5 }

@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"gopim"
+	"gopim/internal/core"
+	"gopim/internal/nn"
+	"gopim/internal/profile"
+	"gopim/internal/qgemm"
+	"gopim/internal/timing"
+)
+
+// TFRow is one network's inference breakdown (paper Figures 6 and 7).
+type TFRow struct {
+	Network      string
+	Packing      float64
+	Quantization float64
+	GEMM         float64 // Conv2D + MatMul
+	Other        float64
+}
+
+func tfScale(o Options) int {
+	if o.Scale == gopim.Standard {
+		return 8
+	}
+	return 16
+}
+
+// Fig6 reproduces Figure 6: energy breakdown of inference per network,
+// plus the average row.
+func Fig6(o Options) []TFRow {
+	return tfBreakdown(o, func(ev *core.Evaluator, phases map[string]profile.Profile) []PhaseFraction {
+		return fractionsOf(ev, phases, []string{nn.PhasePacking, nn.PhaseQuant, nn.PhaseGEMM}, "Other")
+	})
+}
+
+// Fig7 reproduces Figure 7: execution time breakdown of inference per
+// network.
+func Fig7(o Options) []TFRow {
+	return tfBreakdown(o, func(_ *core.Evaluator, phases map[string]profile.Profile) []PhaseFraction {
+		return timeFractionsOf(phases, []string{nn.PhasePacking, nn.PhaseQuant, nn.PhaseGEMM}, "Other")
+	})
+}
+
+func tfBreakdown(o Options, split func(*core.Evaluator, map[string]profile.Profile) []PhaseFraction) []TFRow {
+	ev := core.NewEvaluator()
+	nets := nn.Evaluated()
+	var rows []TFRow
+	var avg TFRow
+	for _, net := range nets {
+		_, phases := nn.NetworkProfile(net, profile.SoC(), tfScale(o))
+		fr := split(ev, phases)
+		row := TFRow{Network: net.Name, Packing: fr[0].Fraction, Quantization: fr[1].Fraction, GEMM: fr[2].Fraction, Other: fr[3].Fraction}
+		rows = append(rows, row)
+		n := float64(len(nets))
+		avg.Packing += row.Packing / n
+		avg.Quantization += row.Quantization / n
+		avg.GEMM += row.GEMM / n
+		avg.Other += row.Other / n
+	}
+	avg.Network = "AVG"
+	return append(rows, avg)
+}
+
+// Fig19Energy is the energy side of Figure 19: the packing and
+// quantization kernels under each execution mode.
+type Fig19Energy struct {
+	Kernel string
+	Mode   gopim.Mode
+	// Normalized is energy relative to CPU-only.
+	Normalized float64
+	Energy     gopim.Breakdown
+}
+
+// Fig19Speedup is the performance side of Figure 19: end-to-end speedup
+// of inference as the number of GEMM operations grows, when packing and
+// quantization run on PIM logic concurrently with the CPU's GEMM.
+type Fig19Speedup struct {
+	GEMMOps int
+	Mode    gopim.Mode
+	Speedup float64
+}
+
+// Fig19 reproduces Figure 19.
+func Fig19(o Options) ([]Fig19Energy, []Fig19Speedup) {
+	// Matrices must exceed the LLC for the kernels to show their paper
+	// behaviour; 768x768 float32 is 2.25 MiB.
+	dim := 768
+	if o.Scale == gopim.Standard {
+		dim = 1024
+	}
+	ev := core.NewEvaluator()
+
+	packT := gopim.Target{Name: "Packing", Workload: "TensorFlow",
+		Kernel: qgemm.PackKernel(dim, dim, dim, 1), Phases: []string{"packing"}, AccArea: 0.25}
+	quantT := gopim.Target{Name: "Quantization", Workload: "TensorFlow",
+		Kernel: qgemm.QuantizeKernel(dim, dim, dim, 1), Phases: []string{"quantization"}, AccArea: 0.25}
+
+	var energies []Fig19Energy
+	results := map[string]gopim.Result{}
+	for _, t := range []gopim.Target{packT, quantT} {
+		res := ev.Evaluate(t)
+		results[t.Name] = res
+		base := res.ByMode[gopim.CPUOnly].Energy.Total()
+		for _, mode := range gopim.Modes {
+			e := res.ByMode[mode]
+			energies = append(energies, Fig19Energy{
+				Kernel: t.Name, Mode: mode,
+				Normalized: e.Energy.Total() / base,
+				Energy:     e.Energy,
+			})
+		}
+	}
+
+	// Per-GEMM-operation times come from a whole-network profile (ResNet,
+	// the conv-heaviest network), so the compute-to-preprocessing ratio
+	// matches the measured Figure 7 time breakdown. One "GEMM operation"
+	// is the network's per-Conv2D average.
+	net := nn.ResNetV2152()
+	convs := float64(net.Convs())
+	_, cpuPhases := nn.NetworkProfile(net, profile.SoC(), tfScale(o))
+	soc := timing.SoC()
+	tGEMM := soc.Seconds(cpuPhases[nn.PhaseGEMM]) / convs
+	cpuPackQuant := (soc.Seconds(cpuPhases[nn.PhasePacking]) + soc.Seconds(cpuPhases[nn.PhaseQuant])) / convs
+
+	_, pimPhases := nn.NetworkProfile(net, profile.PIMCore(), tfScale(o))
+	pimPQ := map[gopim.Mode]float64{
+		gopim.PIMCore: (timing.PIMCore(4).Seconds(pimPhases[nn.PhasePacking]) +
+			timing.PIMCore(4).Seconds(pimPhases[nn.PhaseQuant])) / convs,
+		gopim.PIMAcc: (timing.PIMAcc(4).Seconds(pimPhases[nn.PhasePacking]) +
+			timing.PIMAcc(4).Seconds(pimPhases[nn.PhaseQuant])) / convs,
+	}
+
+	var speedups []Fig19Speedup
+	for _, ops := range []int{1, 4, 16} {
+		n := float64(ops)
+		baseline := n * (tGEMM + cpuPackQuant)
+		for _, mode := range gopim.Modes {
+			var t float64
+			if mode == gopim.CPUOnly {
+				t = baseline
+			} else {
+				// PIM logic packs/quantizes chunk i+1 while the CPU runs
+				// GEMM on chunk i: the longer of the two pipelines wins,
+				// with one un-overlapped prologue.
+				pq := pimPQ[mode]
+				per := tGEMM
+				if pq > per {
+					per = pq
+				}
+				t = n*per + pq
+			}
+			speedups = append(speedups, Fig19Speedup{GEMMOps: ops, Mode: mode, Speedup: baseline / t})
+		}
+	}
+	return energies, speedups
+}

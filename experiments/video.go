@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"gopim"
+	"gopim/internal/core"
+	"gopim/internal/energy"
+	"gopim/internal/profile"
+	"gopim/internal/video"
+	"gopim/internal/vp9"
+)
+
+func videoClip(o Options) (*vp9.CodedClip, error) {
+	return gopim.EvalClip(o.Scale), nil
+}
+
+// Fig10 reproduces Figure 10: the VP9 software decoder's energy by
+// function.
+func Fig10(o Options) ([]PhaseFraction, error) {
+	clip, err := videoClip(o)
+	if err != nil {
+		return nil, err
+	}
+	ev := core.NewEvaluator()
+	_, phases := profile.Run(profile.SoC(), vp9.DecodeKernel(clip))
+	order := []string{vp9.PhaseSubPel, vp9.PhaseOtherMC, vp9.PhaseDeblock, vp9.PhaseEntropy, vp9.PhaseInvXfrm}
+	return fractionsOf(ev, phases, order, "Other"), nil
+}
+
+// Fig11Result is Figure 11: the decoder's energy split by hardware
+// component for each function, plus the total data movement share.
+type Fig11Result struct {
+	ByPhase              map[string]energy.Breakdown
+	Total                energy.Breakdown
+	DataMovementFraction float64 // paper: 63.5%
+	SubPelMovementShare  float64 // sub-pel share of all data movement
+}
+
+// Fig11 reproduces Figure 11.
+func Fig11(o Options) (Fig11Result, error) {
+	clip, err := videoClip(o)
+	if err != nil {
+		return Fig11Result{}, err
+	}
+	ev := core.NewEvaluator()
+	_, phases := profile.Run(profile.SoC(), vp9.DecodeKernel(clip))
+	res := Fig11Result{ByPhase: map[string]energy.Breakdown{}}
+	for name, p := range phases {
+		b := ev.CPUPhaseEnergy(p)
+		res.ByPhase[name] = b
+		res.Total = res.Total.Add(b)
+	}
+	res.DataMovementFraction = res.Total.DataMovementFraction()
+	if dm := res.Total.DataMovement(); dm > 0 {
+		res.SubPelMovementShare = res.ByPhase[vp9.PhaseSubPel].DataMovement() / dm
+	}
+	return res, nil
+}
+
+// Fig15 reproduces Figure 15: the VP9 software encoder's energy by
+// function.
+func Fig15(o Options) ([]PhaseFraction, error) {
+	clip, err := videoClip(o)
+	if err != nil {
+		return nil, err
+	}
+	ev := core.NewEvaluator()
+	_, phases := profile.Run(profile.SoC(), vp9.EncodeKernel(clip))
+	order := []string{vp9.PhaseME, vp9.PhaseIntraPred, vp9.PhaseTransform, vp9.PhaseQuant, vp9.PhaseDeblock}
+	return fractionsOf(ev, phases, order, "Other"), nil
+}
+
+// HWTrafficRow is one bar of Figures 12/16: per-frame off-chip traffic by
+// category for one (resolution, compression) configuration.
+type HWTrafficRow struct {
+	Resolution string
+	Compressed bool
+	Items      []vp9.TrafficItem
+	TotalMB    float64
+}
+
+func hwRows(p vp9.HWParams, model func(w, h int, c bool, p vp9.HWParams) []vp9.TrafficItem) []HWTrafficRow {
+	configs := []struct {
+		name string
+		w, h int
+		comp bool
+	}{
+		{"HD", video.HDWidth, video.HDHeight, true},
+		{"HD", video.HDWidth, video.HDHeight, false},
+		{"4K", video.K4Width, video.K4Height, true},
+		{"4K", video.K4Width, video.K4Height, false},
+	}
+	var rows []HWTrafficRow
+	for _, c := range configs {
+		items := model(c.w, c.h, c.comp, p)
+		rows = append(rows, HWTrafficRow{
+			Resolution: c.name, Compressed: c.comp, Items: items,
+			TotalMB: vp9.TotalTraffic(items) / 1e6,
+		})
+	}
+	return rows
+}
+
+// Fig12 reproduces Figure 12: hardware decoder off-chip traffic.
+func Fig12(o Options) ([]HWTrafficRow, error) {
+	clip, err := videoClip(o)
+	if err != nil {
+		return nil, err
+	}
+	return hwRows(vp9.MeasureHWParams(clip), vp9.HWDecodeTraffic), nil
+}
+
+// Fig16 reproduces Figure 16: hardware encoder off-chip traffic.
+func Fig16(o Options) ([]HWTrafficRow, error) {
+	clip, err := videoClip(o)
+	if err != nil {
+		return nil, err
+	}
+	return hwRows(vp9.MeasureHWParams(clip), vp9.HWEncodeTraffic), nil
+}
+
+// Fig20Row is one bar pair of Figure 20: a software video kernel under one
+// execution mode.
+type Fig20Row struct {
+	Kernel        string
+	Mode          gopim.Mode
+	NormEnergy    float64
+	NormRuntime   float64
+	Energy        gopim.Breakdown
+	Speedup       float64
+	EnergySavings float64
+}
+
+// Fig20 reproduces Figure 20: energy and runtime of sub-pixel
+// interpolation, the deblocking filter, and motion estimation under
+// CPU-only, PIM-core and PIM-accelerator execution.
+func Fig20(o Options) ([]Fig20Row, error) {
+	clip, err := videoClip(o)
+	if err != nil {
+		return nil, err
+	}
+	_ = clip // targets share the cached evaluation clip
+	ev := core.NewEvaluator()
+	var targets []gopim.Target
+	for _, t := range gopim.Targets(o.Scale) {
+		if t.Workload == "Video Playback" || t.Workload == "Video Capture" {
+			targets = append(targets, t)
+		}
+	}
+	var rows []Fig20Row
+	for _, t := range targets {
+		res := ev.Evaluate(t)
+		base := res.ByMode[gopim.CPUOnly]
+		for _, mode := range gopim.Modes {
+			e := res.ByMode[mode]
+			rows = append(rows, Fig20Row{
+				Kernel: t.Name, Mode: mode,
+				NormEnergy:    e.Energy.Total() / base.Energy.Total(),
+				NormRuntime:   e.Seconds / base.Seconds,
+				Energy:        e.Energy,
+				Speedup:       res.Speedup(mode),
+				EnergySavings: res.EnergyReduction(mode),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// Fig21Row is one bar of Figure 21: hardware codec energy for one
+// (codec, mode, compression) configuration.
+type Fig21Row struct {
+	Codec      string // "decoder" or "encoder"
+	Mode       vp9.HWEnergyMode
+	Compressed bool
+	EnergyMJ   float64
+	Breakdown  gopim.Breakdown
+}
+
+// Fig21 reproduces Figure 21: total energy of the hardware VP9 decoder and
+// encoder under the baseline, PIM-core, and PIM-accelerator designs, with
+// and without lossless frame compression, for one HD frame.
+func Fig21(o Options) ([]Fig21Row, error) {
+	clip, err := videoClip(o)
+	if err != nil {
+		return nil, err
+	}
+	p := vp9.MeasureHWParams(clip)
+	params := energy.Default()
+	const decodeOpsPerPixel = 12 // MC filters + deblock datapath
+	const encodeOpsPerPixel = 30 // ME SADs dominate
+
+	var rows []Fig21Row
+	for _, comp := range []bool{false, true} {
+		for _, mode := range []vp9.HWEnergyMode{vp9.HWBaseline, vp9.HWPIMCore, vp9.HWPIMAcc} {
+			items := vp9.HWDecodeTraffic(video.HDWidth, video.HDHeight, comp, p)
+			b := vp9.HWEnergy(items, video.HDWidth, video.HDHeight, mode, params, decodeOpsPerPixel)
+			rows = append(rows, Fig21Row{Codec: "decoder", Mode: mode, Compressed: comp, EnergyMJ: b.Total() / 1e9, Breakdown: b})
+
+			items = vp9.HWEncodeTraffic(video.HDWidth, video.HDHeight, comp, p)
+			b = vp9.HWEnergy(items, video.HDWidth, video.HDHeight, mode, params, encodeOpsPerPixel)
+			rows = append(rows, Fig21Row{Codec: "encoder", Mode: mode, Compressed: comp, EnergyMJ: b.Total() / 1e9, Breakdown: b})
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,89 @@
+// Package browser models the Chrome workload of the paper (§4): a
+// Blink-lite rendering pipeline — layout over a DOM-sized node set,
+// Skia-style rasterization through the color blitter, texture tiling for
+// the GPU, and compositing — driven by synthetic page specifications, plus
+// the multi-process tab model whose inactive tabs are compressed into a
+// ZRAM swap pool with the LZO algorithm.
+package browser
+
+// PageSpec describes the content mix of a synthetic web page. The values
+// steer how much rasterization, tiling and animation work scrolling
+// produces, standing in for the real pages (Google Docs, Gmail, ...) the
+// paper measures.
+type PageSpec struct {
+	Name string
+
+	// DOMNodes scales layout cost.
+	DOMNodes int
+	// TextFraction is the share of render objects drawn as text runs
+	// (blend-heavy blitting).
+	TextFraction float64
+	// ImageFraction is the share drawn as images (copy-heavy blitting).
+	ImageFraction float64
+	// AnimatedFraction of the viewport repaints every frame even without
+	// scrolling.
+	AnimatedFraction float64
+	// ObjectsPerScreen is the render object density.
+	ObjectsPerScreen int
+	// ScreensTall is the scrollable page length in viewport heights.
+	ScreensTall int
+	// TabFootprint is the page's process memory footprint in bytes, for
+	// the tab switching model.
+	TabFootprint int
+}
+
+// The paper's six scrolling test pages (§3.1). Densities are tuned so the
+// resulting energy mix matches Figure 1's spread.
+func GoogleDocs() PageSpec {
+	return PageSpec{
+		Name: "Google Docs", DOMNodes: 4500, TextFraction: 0.75, ImageFraction: 0.05,
+		AnimatedFraction: 0.02, ObjectsPerScreen: 90, ScreensTall: 12, TabFootprint: 6 << 20,
+	}
+}
+
+// Gmail returns the Gmail-like page spec.
+func Gmail() PageSpec {
+	return PageSpec{
+		Name: "Gmail", DOMNodes: 3800, TextFraction: 0.6, ImageFraction: 0.15,
+		AnimatedFraction: 0.03, ObjectsPerScreen: 70, ScreensTall: 8, TabFootprint: 7 << 20,
+	}
+}
+
+// GoogleCalendar returns the Calendar-like page spec.
+func GoogleCalendar() PageSpec {
+	return PageSpec{
+		Name: "Google Calendar", DOMNodes: 3000, TextFraction: 0.5, ImageFraction: 0.1,
+		AnimatedFraction: 0.05, ObjectsPerScreen: 60, ScreensTall: 4, TabFootprint: 5 << 20,
+	}
+}
+
+// WordPress returns the WordPress-like page spec.
+func WordPress() PageSpec {
+	return PageSpec{
+		Name: "WordPress", DOMNodes: 2200, TextFraction: 0.55, ImageFraction: 0.3,
+		AnimatedFraction: 0.04, ObjectsPerScreen: 50, ScreensTall: 10, TabFootprint: 5 << 20,
+	}
+}
+
+// Twitter returns the Twitter-like page spec.
+func Twitter() PageSpec {
+	return PageSpec{
+		Name: "Twitter", DOMNodes: 5200, TextFraction: 0.5, ImageFraction: 0.35,
+		AnimatedFraction: 0.08, ObjectsPerScreen: 110, ScreensTall: 15, TabFootprint: 8 << 20,
+	}
+}
+
+// Animation returns the animation-heavy page spec (the Telemetry
+// animation benchmark page).
+func Animation() PageSpec {
+	return PageSpec{
+		Name: "Animation", DOMNodes: 900, TextFraction: 0.15, ImageFraction: 0.25,
+		AnimatedFraction: 0.6, ObjectsPerScreen: 45, ScreensTall: 3, TabFootprint: 4 << 20,
+	}
+}
+
+// ScrollPages returns the paper's six-page scrolling set (Figure 1's
+// x-axis).
+func ScrollPages() []PageSpec {
+	return []PageSpec{GoogleDocs(), Gmail(), GoogleCalendar(), WordPress(), Twitter(), Animation()}
+}

@@ -1,0 +1,184 @@
+package browser
+
+import (
+	"bytes"
+	"testing"
+
+	"gopim/internal/lzo"
+	"gopim/internal/profile"
+)
+
+func TestScrollPagesSet(t *testing.T) {
+	pages := ScrollPages()
+	if len(pages) != 6 {
+		t.Fatalf("got %d pages, want 6 (Figure 1)", len(pages))
+	}
+	seen := map[string]bool{}
+	for _, p := range pages {
+		if seen[p.Name] {
+			t.Errorf("duplicate page %q", p.Name)
+		}
+		seen[p.Name] = true
+		if p.TextFraction+p.ImageFraction > 1 {
+			t.Errorf("%s: content fractions exceed 1", p.Name)
+		}
+		if p.DOMNodes <= 0 || p.ObjectsPerScreen <= 0 || p.TabFootprint <= 0 {
+			t.Errorf("%s: non-positive parameters", p.Name)
+		}
+	}
+}
+
+func TestScrollKernelPhases(t *testing.T) {
+	_, phases := profile.Run(profile.SoC(), ScrollKernel(GoogleDocs(), 4))
+	for _, want := range ScrollPhases {
+		if _, ok := phases[want]; !ok {
+			t.Errorf("missing phase %q", want)
+		}
+	}
+	// Figure 2: texture tiling and color blitting dominate the data
+	// movement of scrolling.
+	tiling := phases[PhaseTiling]
+	blitting := phases[PhaseBlitting]
+	other := phases[PhaseOther]
+	if tiling.Mem.Total() == 0 || blitting.Mem.Total() == 0 {
+		t.Fatal("tiling/blitting moved no data")
+	}
+	if tiling.Mem.Total()+blitting.Mem.Total() < other.Mem.Total() {
+		t.Errorf("tiling+blitting traffic (%d) below Other (%d); they should dominate",
+			tiling.Mem.Total()+blitting.Mem.Total(), other.Mem.Total())
+	}
+}
+
+func TestScrollKernelDeterministic(t *testing.T) {
+	a, _ := profile.Run(profile.SoC(), ScrollKernel(Twitter(), 2))
+	b, _ := profile.Run(profile.SoC(), ScrollKernel(Twitter(), 2))
+	if a != b {
+		t.Error("scroll kernel not deterministic")
+	}
+}
+
+func TestAnimationPageBlitsMore(t *testing.T) {
+	_, docs := profile.Run(profile.SoC(), ScrollKernel(GoogleDocs(), 4))
+	_, anim := profile.Run(profile.SoC(), ScrollKernel(Animation(), 4))
+	// The animation page repaints most of the viewport every frame, so its
+	// per-frame blitting traffic must exceed Docs'.
+	if anim[PhaseBlitting].Mem.Total() <= docs[PhaseBlitting].Mem.Total() {
+		t.Errorf("animation blit traffic %d <= docs %d", anim[PhaseBlitting].Mem.Total(), docs[PhaseBlitting].Mem.Total())
+	}
+}
+
+func TestTabMemoryCompressible(t *testing.T) {
+	m := TabMemory(1<<20, 42)
+	if len(m) != 1<<20 {
+		t.Fatalf("footprint %d, want %d", len(m), 1<<20)
+	}
+	c := lzo.Compress(m)
+	ratio := float64(len(c)) / float64(len(m))
+	// Real tab memory compresses to roughly 30-70% with LZO-class
+	// algorithms; the generator should land in that band.
+	if ratio < 0.15 || ratio > 0.8 {
+		t.Errorf("compression ratio %.2f outside [0.15, 0.8]", ratio)
+	}
+	// Deterministic.
+	m2 := TabMemory(1<<20, 42)
+	if !bytes.Equal(m, m2) {
+		t.Error("TabMemory not deterministic")
+	}
+}
+
+func TestZRAMPoolRoundTrip(t *testing.T) {
+	pool := NewZRAMPool()
+	m := TabMemory(256<<10, 7)
+	csize := pool.SwapOut(3, m)
+	if csize <= 0 || csize >= len(m) {
+		t.Errorf("compressed size %d out of range", csize)
+	}
+	if pool.PoolBytes() != csize {
+		t.Errorf("pool bytes %d != %d", pool.PoolBytes(), csize)
+	}
+	got, err := pool.SwapIn(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, m) {
+		t.Error("swap round trip corrupted tab memory")
+	}
+	if _, err := pool.SwapIn(3); err == nil {
+		t.Error("double swap-in succeeded")
+	}
+	if pool.PoolBytes() != 0 {
+		t.Error("pool not empty after swap-in")
+	}
+}
+
+func TestRunSwitchSession(t *testing.T) {
+	const nTabs, budget = 12, 4
+	res, err := RunSwitchSession(nTabs, budget, 256<<10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalOut == 0 || res.TotalIn == 0 {
+		t.Fatalf("no swap traffic: out=%d in=%d", res.TotalOut, res.TotalIn)
+	}
+	// Everything swapped in was previously swapped out.
+	if res.TotalIn > res.TotalOut {
+		t.Errorf("swapped in %d > swapped out %d", res.TotalIn, res.TotalOut)
+	}
+	if res.CompressRatio <= 0 || res.CompressRatio >= 1 {
+		t.Errorf("compression ratio %.2f out of (0,1)", res.CompressRatio)
+	}
+	if len(res.Samples) == 0 {
+		t.Fatal("no timeline samples")
+	}
+	// The timeline must contain both quiet and busy seconds.
+	busy := 0
+	for _, s := range res.Samples {
+		if s.OutBytes > 0 || s.InBytes > 0 {
+			busy++
+		}
+	}
+	if busy == 0 || busy == len(res.Samples) {
+		t.Errorf("timeline has %d/%d busy seconds; expected a mix", busy, len(res.Samples))
+	}
+}
+
+func TestCompressKernelProfile(t *testing.T) {
+	_, phases := profile.Run(profile.SoC(), CompressKernel(256, 5))
+	p, ok := phases["compression"]
+	if !ok {
+		t.Fatal("missing compression phase")
+	}
+	raw := uint64(256 * 4096)
+	if p.Mem.BytesRead < raw/2 {
+		t.Errorf("compression read %d bytes from memory, want >= %d (streams the pages)", p.Mem.BytesRead, raw/2)
+	}
+	if p.Ops == 0 {
+		t.Error("compression recorded no compute")
+	}
+}
+
+func TestDecompressKernelProfile(t *testing.T) {
+	// 1024 pages (4 MiB) exceed the LLC, so the decompressed output must
+	// spill to DRAM; smaller batches legitimately stay cache-resident.
+	_, phases := profile.Run(profile.SoC(), DecompressKernel(1024, 5))
+	p, ok := phases["decompression"]
+	if !ok {
+		t.Fatal("missing decompression phase")
+	}
+	raw := uint64(1024 * 4096)
+	if p.Mem.BytesWritten < raw/2 {
+		t.Errorf("decompression wrote %d bytes, want >= %d (materializes the pages)", p.Mem.BytesWritten, raw/2)
+	}
+}
+
+func TestCompressionIsComputeHeavierThanTiling(t *testing.T) {
+	// Paper §10.1: compression/decompression are more compute-intensive
+	// than texture tiling/color blitting, which is why they benefit more
+	// from PIM-Acc over PIM-Core.
+	_, comp := profile.Run(profile.SoC(), CompressKernel(128, 3))
+	c := comp["compression"]
+	density := float64(c.Ops+c.SIMDOps) / float64(c.Mem.Total()+1)
+	if density < 0.05 {
+		t.Errorf("compression compute density %.3f too low to be 'more compute-intensive'", density)
+	}
+}

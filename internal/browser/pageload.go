@@ -1,0 +1,121 @@
+package browser
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gopim/internal/gfx"
+	"gopim/internal/kernels/blit"
+	"gopim/internal/kernels/texture"
+	"gopim/internal/profile"
+)
+
+// Page loading (paper §4: every interaction includes a page load): parse
+// the document, build the DOM and style it, lay out, rasterize the first
+// viewport, tile the textures and composite.
+
+// Page load phase labels.
+const (
+	PhaseParse  = "Parse + DOM"
+	PhaseLayout = "Style + Layout"
+)
+
+// LoadPhases lists the page-load phases in pipeline order.
+var LoadPhases = []string{PhaseParse, PhaseLayout, PhaseBlitting, PhaseTiling, PhaseOther}
+
+// LoadKernel returns the instrumented page-load kernel: fetching and
+// parsing the page's markup, building the render tree, then producing the
+// first full viewport through the raster pipeline.
+func LoadKernel(page PageSpec) profile.Kernel {
+	return profile.KernelFunc{
+		KernelName: fmt.Sprintf("load %s", page.Name),
+		Fn:         func(ctx *profile.Ctx) { runLoad(ctx, page) },
+	}
+}
+
+func runLoad(ctx *profile.Ctx, page PageSpec) {
+	rng := rand.New(rand.NewSource(int64(len(page.Name)) * 104729))
+
+	// Markup: ~160 bytes of HTML/CSS per DOM node.
+	markup := ctx.Alloc("markup", page.DOMNodes*160)
+	dom := ctx.Alloc("DOM + render tree", page.DOMNodes*256)
+	layerBuf := ctx.Alloc("layer bitmap", ViewportW*ViewportH*gfx.BytesPerPixel)
+	srcBuf := ctx.Alloc("decoded images", ViewportW*ViewportH*gfx.BytesPerPixel)
+	tileBuf := ctx.Alloc("texture tiles", texture.TiledSize(ViewportW, ViewportH))
+	layer := gfx.FromPix(ViewportW, ViewportH, layerBuf.Data)
+	srcImg := gfx.FromPix(ViewportW, ViewportH, srcBuf.Data)
+	srcImg.FillPattern(3)
+
+	// Parsing: stream the markup, emit DOM nodes (pointer-rich stores).
+	ctx.SetPhase(PhaseParse)
+	ctx.LoadV(markup, 0, markup.Len())
+	ctx.Store(dom, 0, dom.Len())
+	ctx.Ops(markup.Len() * 4) // tokenizer state machine
+
+	// Style resolution and layout: repeated traversals of the node tree.
+	ctx.SetPhase(PhaseLayout)
+	for pass := 0; pass < 3; pass++ {
+		ctx.LoadV(dom, 0, dom.Len())
+		ctx.Ops(page.DOMNodes * 120)
+		ctx.Refs(page.DOMNodes * 16)
+	}
+
+	// First-viewport rasterization: every visible object paints.
+	ctx.SetPhase(PhaseBlitting)
+	for i := 0; i < page.ObjectsPerScreen; i++ {
+		w := 48 + rng.Intn(ViewportW/3)
+		h := 8 + rng.Intn(56)
+		x := rng.Intn(ViewportW - w + 1)
+		y := rng.Intn(ViewportH - h)
+		r := gfx.Rect{MinX: x, MinY: y, MaxX: x + w, MaxY: y + h}
+		roll := rng.Float64()
+		switch {
+		case roll < page.TextFraction:
+			blit.TraceBlend(ctx, layerBuf, layer, srcBuf, srcImg, r)
+		case roll < page.TextFraction+page.ImageFraction:
+			blit.TraceCopy(ctx, layerBuf, layer, srcBuf, srcImg, r)
+		default:
+			blit.TraceFill(ctx, layerBuf, layer, r, gfx.Color{R: byte(i), G: 0x44, B: 0x77, A: 0xFF})
+		}
+	}
+
+	// The whole viewport is tiled for the GPU.
+	ctx.SetPhase(PhaseTiling)
+	tx, ty := texture.TilesFor(ViewportW, ViewportH)
+	for tyi := 0; tyi < ty; tyi++ {
+		for txi := 0; txi < tx; txi++ {
+			for row := 0; row < texture.TileH; row++ {
+				srcOff := (tyi*texture.TileH+row)*layer.Stride + txi*texture.TileRowB
+				dstOff := ((tyi*tx+txi)*texture.TileBytes + row*texture.TileRowB)
+				ctx.LoadV(layerBuf, srcOff, texture.TileRowB)
+				ctx.StoreV(tileBuf, dstOff, texture.TileRowB)
+				ctx.Ops(4)
+			}
+		}
+	}
+
+	// Compositing reads the tiles once.
+	ctx.SetPhase(PhaseOther)
+	ctx.LoadV(tileBuf, 0, tileBuf.Len())
+	ctx.SIMD(tileBuf.Len() / 64)
+}
+
+// GPURasterEstimate models rasterizing the first viewport on the GPU
+// instead of the CPU (paper §4.2.2): large fills map well onto the GPU's
+// parallel units, but each small primitive pays a fixed launch/setup cost,
+// which is why Chrome keeps CPU rasterization for text-heavy pages — the
+// paper measured up to 24.9% longer page loads with GPU rasterization.
+// The returned value is the raster stage's wall time in seconds.
+func GPURasterEstimate(page PageSpec) float64 {
+	const (
+		launch   = 4e-6 // per-batch driver/setup cost
+		pixRate  = 4e9  // fill rate, pixels/s
+		avgPixel = 150 * 36
+	)
+	perObject := launch + avgPixel/pixRate
+	// Text runs decompose into several glyph batches, each too small to
+	// fill the GPU but each paying the launch cost.
+	textBatches := float64(page.ObjectsPerScreen) * page.TextFraction * 4
+	otherObjects := float64(page.ObjectsPerScreen) * (1 - page.TextFraction)
+	return textBatches*(launch+400/pixRate) + otherObjects*perObject
+}

@@ -1,0 +1,131 @@
+package browser
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gopim/internal/gfx"
+	"gopim/internal/kernels/blit"
+	"gopim/internal/kernels/texture"
+	"gopim/internal/profile"
+)
+
+// Scrolling (paper §4.2): each scrolled frame triggers layout,
+// rasterization of newly exposed content (through the color blitter),
+// texture tiling of the fresh bitmaps, and compositing.
+
+// Phase labels matching Figure 1's breakdown.
+const (
+	PhaseTiling   = "Texture Tiling"
+	PhaseBlitting = "Color Blitting"
+	PhaseOther    = "Other"
+)
+
+// ScrollPhases lists Figure 1's categories in presentation order.
+var ScrollPhases = []string{PhaseTiling, PhaseBlitting, PhaseOther}
+
+// Viewport geometry: a Chromebook-class screen drawn as two 1024x512
+// texture layers per frame region.
+const (
+	ViewportW = 1024
+	ViewportH = 512
+)
+
+// ScrollKernel returns the instrumented scrolling kernel: scrolling the
+// given page for frames frames at one viewport-quarter per frame.
+func ScrollKernel(page PageSpec, frames int) profile.Kernel {
+	return profile.KernelFunc{
+		KernelName: fmt.Sprintf("scroll %s", page.Name),
+		Fn:         func(ctx *profile.Ctx) { runScroll(ctx, page, frames) },
+	}
+}
+
+func runScroll(ctx *profile.Ctx, page PageSpec, frames int) {
+	rng := rand.New(rand.NewSource(int64(len(page.Name)) * 7919))
+
+	layerBuf := ctx.Alloc("layer bitmap", ViewportW*ViewportH*gfx.BytesPerPixel)
+	srcBuf := ctx.Alloc("decoded images", ViewportW*ViewportH*gfx.BytesPerPixel)
+	tileBuf := ctx.Alloc("texture tiles", texture.TiledSize(ViewportW, ViewportH))
+	layer := gfx.FromPix(ViewportW, ViewportH, layerBuf.Data)
+	srcImg := gfx.FromPix(ViewportW, ViewportH, srcBuf.Data)
+	srcImg.FillPattern(99)
+
+	// The DOM/render tree and style data walked by layout and script.
+	domBuf := ctx.Alloc("render tree", page.DOMNodes*128)
+
+	scrollStep := ViewportH / 4
+	for f := 0; f < frames; f++ {
+		// Layout, style recalculation, JavaScript scroll handlers, event
+		// dispatch: the long tail the paper folds into "Other" (each
+		// individual function is <1% of energy).
+		ctx.SetPhase(PhaseOther)
+		ctx.LoadV(domBuf, 0, domBuf.Len())
+		ctx.StoreV(domBuf, 0, domBuf.Len()/4)
+		ctx.Ops(page.DOMNodes * 280)
+		ctx.Refs(page.DOMNodes * 40)
+
+		// Rasterize the newly exposed strip plus animated regions.
+		ctx.SetPhase(PhaseBlitting)
+		exposed := scrollStep + int(float64(ViewportH)*page.AnimatedFraction)
+		if exposed > ViewportH {
+			exposed = ViewportH
+		}
+		// Newly exposed content plus continuously animated objects, which
+		// repaint every frame.
+		nObjects := page.ObjectsPerScreen*scrollStep/ViewportH +
+			int(float64(page.ObjectsPerScreen)*page.AnimatedFraction*2)
+		if nObjects < 1 {
+			nObjects = 1
+		}
+		for i := 0; i < nObjects; i++ {
+			w := 48 + rng.Intn(ViewportW/3)
+			h := 8 + rng.Intn(56)
+			x := rng.Intn(ViewportW - w + 1)
+			y := rng.Intn(maxInt(ViewportH-h, 1))
+			r := gfx.Rect{MinX: x, MinY: y, MaxX: x + w, MaxY: y + h}
+			roll := rng.Float64()
+			switch {
+			case roll < page.TextFraction:
+				// Text runs: alpha-blended glyphs.
+				blit.TraceBlend(ctx, layerBuf, layer, srcBuf, srcImg, r)
+			case roll < page.TextFraction+page.ImageFraction:
+				// Images: decoded-bitmap copies.
+				blit.TraceCopy(ctx, layerBuf, layer, srcBuf, srcImg, r)
+			default:
+				// Backgrounds, borders: solid fills.
+				blit.TraceFill(ctx, layerBuf, layer, r, gfx.Color{R: byte(i), G: 0x66, B: 0x99, A: 0xFF})
+			}
+		}
+
+		// Texture tiling: the strip's layers are re-tiled for the GPU.
+		ctx.SetPhase(PhaseTiling)
+		tileRows := (exposed + texture.TileH - 1) / texture.TileH
+		tx, _ := texture.TilesFor(ViewportW, ViewportH)
+		startRow := rng.Intn(maxInt(ViewportH/texture.TileH-tileRows, 1))
+		for ty := startRow; ty < startRow+tileRows; ty++ {
+			for txi := 0; txi < tx; txi++ {
+				for row := 0; row < texture.TileH; row++ {
+					srcOff := (ty*texture.TileH+row)*layer.Stride + txi*texture.TileRowB
+					dstOff := (ty*tx+txi)*texture.TileBytes + row*texture.TileRowB
+					ctx.LoadV(layerBuf, srcOff, texture.TileRowB)
+					ctx.StoreV(tileBuf, dstOff, texture.TileRowB)
+					ctx.Ops(4)
+					copy(tileBuf.Data[dstOff:dstOff+texture.TileRowB], layerBuf.Data[srcOff:srcOff+texture.TileRowB])
+				}
+			}
+		}
+
+		// Compositing: the GPU reads the fresh tiles (modelled as traffic
+		// attributed to Other; the GPU's own datapath is out of scope).
+		ctx.SetPhase(PhaseOther)
+		ctx.LoadV(tileBuf, 0, tileRows*tx*texture.TileBytes)
+		ctx.SIMD(tileRows * tx * texture.TileBytes / 64)
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

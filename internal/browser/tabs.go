@@ -1,0 +1,255 @@
+package browser
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gopim/internal/lzo"
+	"gopim/internal/mem"
+	"gopim/internal/profile"
+)
+
+// Tab switching (paper §4.3): Chrome compresses inactive tabs' pages into
+// a DRAM-backed ZRAM pool with LZO when memory runs low, and decompresses
+// them on switch-back.
+
+// TabMemory generates a tab's process memory: a deterministic mix of
+// zero pages, text-like structured data, and high-entropy pages (decoded
+// images, JIT code), matching the compressibility profile of real tab
+// dumps.
+func TabMemory(footprint int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]byte, 0, footprint)
+	structured := []byte(`{"node":"div","class":"content-section","style":{"margin":"0 auto","display":"flex"},"children":[`)
+	for len(out) < footprint {
+		switch rng.Intn(10) {
+		case 0, 1, 2: // zero pages
+			out = append(out, make([]byte, mem.PageSize)...)
+		case 3, 4, 5, 6: // text/DOM-like pages
+			target := len(out) + mem.PageSize
+			for len(out) < target && len(out) < footprint {
+				n := 1 + rng.Intn(len(structured))
+				out = append(out, structured[:n]...)
+			}
+		default: // high-entropy pages
+			page := make([]byte, mem.PageSize)
+			rng.Read(page)
+			out = append(out, page...)
+		}
+	}
+	return out[:footprint]
+}
+
+// ZRAMPool is the compressed swap space.
+type ZRAMPool struct {
+	compressed map[int][]byte // tab id -> compressed image
+	rawSize    map[int]int
+}
+
+// NewZRAMPool returns an empty pool.
+func NewZRAMPool() *ZRAMPool {
+	return &ZRAMPool{compressed: map[int][]byte{}, rawSize: map[int]int{}}
+}
+
+// SwapOut compresses a tab's memory into the pool, returning the
+// compressed size.
+func (z *ZRAMPool) SwapOut(tab int, memory []byte) int {
+	c := lzo.Compress(memory)
+	z.compressed[tab] = c
+	z.rawSize[tab] = len(memory)
+	return len(c)
+}
+
+// SwapIn decompresses a tab out of the pool, returning its memory.
+func (z *ZRAMPool) SwapIn(tab int) ([]byte, error) {
+	c, ok := z.compressed[tab]
+	if !ok {
+		return nil, fmt.Errorf("browser: tab %d not in ZRAM", tab)
+	}
+	out, err := lzo.Decompress(c, z.rawSize[tab])
+	if err != nil {
+		return nil, err
+	}
+	delete(z.compressed, tab)
+	delete(z.rawSize, tab)
+	return out, nil
+}
+
+// PoolBytes returns the pool's current compressed footprint.
+func (z *ZRAMPool) PoolBytes() int {
+	total := 0
+	for _, c := range z.compressed {
+		total += len(c)
+	}
+	return total
+}
+
+// SwitchSample is one simulated second of the Figure 4 timeline.
+type SwitchSample struct {
+	Second   int
+	OutBytes int // swapped out to ZRAM during this second
+	InBytes  int // swapped in from ZRAM during this second
+}
+
+// SwitchResult is the outcome of a tab-switching session.
+type SwitchResult struct {
+	Samples       []SwitchSample
+	TotalOut      int64
+	TotalIn       int64
+	CompressRatio float64 // aggregate compressed/raw
+}
+
+// RunSwitchSession simulates the paper's experiment: open nTabs tabs,
+// scroll each for a few seconds, then switch on. Tabs beyond the resident
+// budget are compressed to ZRAM; switching to a compressed tab swaps it
+// in (and evicts the least-recent resident tab). Time advances one second
+// per scroll interval and per switch.
+func RunSwitchSession(nTabs, residentBudget int, footprint int, seed int64) (SwitchResult, error) {
+	var res SwitchResult
+	pool := NewZRAMPool()
+	memories := map[int][]byte{}
+	var residents []int // LRU order: oldest first
+	second := 0
+	var rawTotal, compTotal int64
+
+	record := func(out, in int) {
+		res.Samples = append(res.Samples, SwitchSample{Second: second, OutBytes: out, InBytes: in})
+		res.TotalOut += int64(out)
+		res.TotalIn += int64(in)
+		second++
+	}
+
+	evictIfNeeded := func() int {
+		out := 0
+		for len(residents) > residentBudget {
+			victim := residents[0]
+			residents = residents[1:]
+			c := pool.SwapOut(victim, memories[victim])
+			rawTotal += int64(len(memories[victim]))
+			compTotal += int64(c)
+			out += len(memories[victim])
+			delete(memories, victim)
+		}
+		return out
+	}
+
+	// Phase 1: open all tabs in order, scrolling each for 2 seconds.
+	for tab := 0; tab < nTabs; tab++ {
+		memories[tab] = TabMemory(footprint, seed+int64(tab))
+		residents = append(residents, tab)
+		out := evictIfNeeded()
+		record(out, 0)
+		record(0, 0) // scroll second: no swap traffic
+	}
+
+	// Phase 2: switch through all tabs again.
+	for tab := 0; tab < nTabs; tab++ {
+		in := 0
+		if _, resident := memories[tab]; !resident {
+			m, err := pool.SwapIn(tab)
+			if err != nil {
+				return res, err
+			}
+			memories[tab] = m
+			in = len(m)
+			residents = append(residents, tab)
+		} else {
+			residents = moveToBack(residents, tab)
+		}
+		out := evictIfNeeded()
+		record(out, in)
+	}
+	if rawTotal > 0 {
+		res.CompressRatio = float64(compTotal) / float64(rawTotal)
+	}
+	return res, nil
+}
+
+func moveToBack(s []int, v int) []int {
+	for i, x := range s {
+		if x == v {
+			s = append(append(s[:i:i], s[i+1:]...), v)
+			return s
+		}
+	}
+	return append(s, v)
+}
+
+// CompressKernel returns the instrumented ZRAM compression PIM target:
+// LZO-compressing nPages 4 KiB pages of tab memory (paper §4.3.2).
+func CompressKernel(nPages int, seed int64) profile.Kernel {
+	return profile.KernelFunc{
+		KernelName: fmt.Sprintf("compression %d pages", nPages),
+		Fn:         func(ctx *profile.Ctx) { runCompress(ctx, nPages, seed) },
+	}
+}
+
+func runCompress(ctx *profile.Ctx, nPages int, seed int64) {
+	memory := TabMemory(nPages*mem.PageSize, seed)
+	src := ctx.Alloc("uncompressed pages", len(memory))
+	copy(src.Data, memory)
+	dst := ctx.Alloc("zram", len(memory)+len(memory)/8)
+	hashTab := ctx.Alloc("match table", 16<<10) // LZO1X-1 class table: fits any L1
+
+	ctx.SetPhase("compression")
+	outOff := 0
+	for p := 0; p < nPages; p++ {
+		off := p * mem.PageSize
+		comp, st := lzo.CompressWithStats(src.Data[off : off+mem.PageSize])
+
+		// The compressor streams the page in and the compressed page out.
+		ctx.LoadV(src, off, mem.PageSize)
+		ctx.StoreV(dst, outOff, len(comp))
+		// Hash probes hit the match table at data-dependent offsets.
+		for i := uint64(0); i < st.HashProbes; i += 4 {
+			h := (uint64(off) + i*2654435761) % uint64(hashTab.Len()-8)
+			ctx.Load(hashTab, int(h), 4)
+			ctx.Store(hashTab, int(h), 4)
+		}
+		// Match verification re-reads the window (cache-resident).
+		ctx.Refs(int(st.MatchBytes) / 8)
+		ctx.Ops(int(st.HashProbes)*3 + int(st.LiteralBytes)/8)
+		copy(dst.Data[outOff:], comp)
+		outOff += len(comp)
+	}
+}
+
+// DecompressKernel returns the instrumented ZRAM decompression PIM target.
+func DecompressKernel(nPages int, seed int64) profile.Kernel {
+	return profile.KernelFunc{
+		KernelName: fmt.Sprintf("decompression %d pages", nPages),
+		Fn:         func(ctx *profile.Ctx) { runDecompress(ctx, nPages, seed) },
+	}
+}
+
+func runDecompress(ctx *profile.Ctx, nPages int, seed int64) {
+	memory := TabMemory(nPages*mem.PageSize, seed)
+	// Compress up front (not part of the measured kernel).
+	var blobs [][]byte
+	for p := 0; p < nPages; p++ {
+		blobs = append(blobs, lzo.Compress(memory[p*mem.PageSize:(p+1)*mem.PageSize]))
+	}
+	total := 0
+	for _, b := range blobs {
+		total += len(b)
+	}
+	src := ctx.Alloc("zram", total)
+	dst := ctx.Alloc("decompressed pages", nPages*mem.PageSize)
+
+	ctx.SetPhase("decompression")
+	inOff := 0
+	for p, b := range blobs {
+		copy(src.Data[inOff:], b)
+		out, st, err := lzo.DecompressWithStats(b, mem.PageSize)
+		if err != nil {
+			panic(fmt.Sprintf("browser: round-trip decompression failed: %v", err))
+		}
+		ctx.LoadV(src, inOff, len(b))
+		ctx.StoreV(dst, p*mem.PageSize, len(out))
+		// Back-reference copies read recent output (mostly cache-resident).
+		ctx.Refs(int(st.MatchBytes) / 8)
+		ctx.Ops(int(st.Matches)*4 + int(st.LiteralBytes)/8)
+		copy(dst.Data[p*mem.PageSize:], out)
+		inOff += len(b)
+	}
+}

@@ -1,0 +1,187 @@
+// Package cache implements the set-associative cache models used by the
+// workload characterization pipeline: a private L1 per core and a shared L2
+// (the SoC's last-level cache), both write-back and write-allocate with LRU
+// replacement, plus a Hierarchy that splits byte spans into line-sized events
+// and forwards misses to a memory sink.
+//
+// The models are performance models, not functional ones: they track which
+// lines are resident, not the data in them (kernels compute on real host
+// memory separately).
+package cache
+
+import (
+	"fmt"
+
+	"gopim/internal/mem"
+)
+
+// Config describes a single cache.
+type Config struct {
+	Name     string // e.g. "L1D"
+	Size     int    // total capacity in bytes
+	Ways     int    // associativity
+	LineSize int    // line size in bytes; 0 means mem.LineSize
+}
+
+// Stats aggregates the events observed by one cache.
+type Stats struct {
+	Accesses   uint64 // total line-granularity accesses
+	Hits       uint64
+	Misses     uint64
+	Writebacks uint64 // dirty evictions
+	Reads      uint64 // read accesses (subset of Accesses)
+	Writes     uint64 // write accesses (subset of Accesses)
+}
+
+// MissRate returns Misses/Accesses, or 0 when idle.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// MPKI returns misses per kilo-instruction for the given instruction count.
+func (s Stats) MPKI(instructions uint64) float64 {
+	if instructions == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(instructions) * 1000
+}
+
+// Cache is a single set-associative write-back, write-allocate cache with
+// LRU replacement. It is not safe for concurrent use.
+type Cache struct {
+	cfg      Config
+	sets     int
+	ways     int
+	lineBits uint
+	tags     []uint64 // sets*ways entries; line address (already shifted)
+	valid    []bool
+	dirty    []bool
+	lastUse  []uint64
+	tick     uint64
+	stats    Stats
+}
+
+// New builds a cache from cfg. It panics on a malformed configuration, since
+// configurations are compile-time constants in this codebase.
+func New(cfg Config) *Cache {
+	if cfg.LineSize == 0 {
+		cfg.LineSize = mem.LineSize
+	}
+	if cfg.Size <= 0 || cfg.Ways <= 0 || cfg.LineSize <= 0 {
+		panic(fmt.Sprintf("cache: bad config %+v", cfg))
+	}
+	lines := cfg.Size / cfg.LineSize
+	if lines%cfg.Ways != 0 {
+		panic(fmt.Sprintf("cache: %s capacity %d not divisible into %d ways", cfg.Name, cfg.Size, cfg.Ways))
+	}
+	sets := lines / cfg.Ways
+	if sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache: %s set count %d is not a power of two", cfg.Name, sets))
+	}
+	var lineBits uint
+	for 1<<lineBits < cfg.LineSize {
+		lineBits++
+	}
+	n := sets * cfg.Ways
+	return &Cache{
+		cfg:      cfg,
+		sets:     sets,
+		ways:     cfg.Ways,
+		lineBits: lineBits,
+		tags:     make([]uint64, n),
+		valid:    make([]bool, n),
+		dirty:    make([]bool, n),
+		lastUse:  make([]uint64, n),
+	}
+}
+
+// Config returns the configuration the cache was built with.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a copy of the counters accumulated so far.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Reset clears contents and counters.
+func (c *Cache) Reset() {
+	for i := range c.valid {
+		c.valid[i] = false
+		c.dirty[i] = false
+	}
+	c.tick = 0
+	c.stats = Stats{}
+}
+
+// Access looks up the line containing addr, allocating it on a miss.
+// It returns whether the access hit and, if a dirty line was evicted, its
+// address (wbAddr) with writeback=true.
+func (c *Cache) Access(addr uint64, write bool) (hit bool, writeback bool, wbAddr uint64) {
+	line := addr >> c.lineBits
+	set := int(line) & (c.sets - 1)
+	base := set * c.ways
+	c.tick++
+	c.stats.Accesses++
+	if write {
+		c.stats.Writes++
+	} else {
+		c.stats.Reads++
+	}
+
+	// Hit path.
+	victim := base
+	for i := base; i < base+c.ways; i++ {
+		if c.valid[i] && c.tags[i] == line {
+			c.lastUse[i] = c.tick
+			if write {
+				c.dirty[i] = true
+			}
+			c.stats.Hits++
+			return true, false, 0
+		}
+		if !c.valid[i] {
+			victim = i
+		} else if c.valid[victim] && c.lastUse[i] < c.lastUse[victim] {
+			victim = i
+		}
+	}
+
+	// Miss: allocate, possibly writing back the LRU victim.
+	c.stats.Misses++
+	if c.valid[victim] && c.dirty[victim] {
+		writeback = true
+		wbAddr = c.tags[victim] << c.lineBits
+		c.stats.Writebacks++
+	}
+	c.tags[victim] = line
+	c.valid[victim] = true
+	c.dirty[victim] = write
+	c.lastUse[victim] = c.tick
+	return false, writeback, wbAddr
+}
+
+// Contains reports whether the line holding addr is resident. It does not
+// disturb LRU state or counters; it exists for tests.
+func (c *Cache) Contains(addr uint64) bool {
+	line := addr >> c.lineBits
+	set := int(line) & (c.sets - 1)
+	base := set * c.ways
+	for i := base; i < base+c.ways; i++ {
+		if c.valid[i] && c.tags[i] == line {
+			return true
+		}
+	}
+	return false
+}
+
+// ResidentLines returns how many lines are currently valid (for tests).
+func (c *Cache) ResidentLines() int {
+	n := 0
+	for _, v := range c.valid {
+		if v {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,92 @@
+package cache
+
+import "gopim/internal/mem"
+
+// MemorySink receives line-granularity traffic that misses the whole cache
+// hierarchy (demand fills and writebacks). Implementations are DRAM models.
+type MemorySink interface {
+	// ReadLine records a demand fill of one cache line from memory.
+	ReadLine(addr uint64)
+	// WriteLine records a writeback of one cache line to memory.
+	WriteLine(addr uint64)
+}
+
+// Hierarchy models a one- or two-level cache in front of a memory sink and
+// implements mem.Tracer, so it can be attached directly to an instrumented
+// kernel. L2 may be nil (the PIM core has only an L1; a PIM accelerator's
+// scratchpad buffer is modelled as its L1).
+//
+// The hierarchy is inclusive-enough for traffic purposes: L1 misses look up
+// L2; L2 misses fetch from memory; dirty evictions propagate downward.
+type Hierarchy struct {
+	L1  *Cache
+	L2  *Cache
+	Mem MemorySink
+
+	lineSize uint64
+}
+
+// NewHierarchy wires l1 (required), l2 (optional) and sink (required).
+func NewHierarchy(l1, l2 *Cache, sink MemorySink) *Hierarchy {
+	if l1 == nil || sink == nil {
+		panic("cache: hierarchy needs an L1 and a memory sink")
+	}
+	return &Hierarchy{L1: l1, L2: l2, Mem: sink, lineSize: uint64(l1.cfg.LineSize)}
+}
+
+// Load implements mem.Tracer.
+func (h *Hierarchy) Load(addr uint64, n int) { h.span(addr, n, false) }
+
+// Store implements mem.Tracer.
+func (h *Hierarchy) Store(addr uint64, n int) { h.span(addr, n, true) }
+
+func (h *Hierarchy) span(addr uint64, n int, write bool) {
+	if n <= 0 {
+		return
+	}
+	first := mem.LineAddr(addr)
+	last := mem.LineAddr(addr + uint64(n) - 1)
+	for line := first; ; line += h.lineSize {
+		h.access(line, write)
+		if line == last {
+			break
+		}
+	}
+}
+
+func (h *Hierarchy) access(line uint64, write bool) {
+	hit, wb, wbAddr := h.L1.Access(line, write)
+	if wb {
+		// Dirty L1 eviction: install in L2 (or write to memory directly).
+		if h.L2 != nil {
+			_, wb2, wb2Addr := h.L2.Access(wbAddr, true)
+			if wb2 {
+				h.Mem.WriteLine(wb2Addr)
+			}
+		} else {
+			h.Mem.WriteLine(wbAddr)
+		}
+	}
+	if hit {
+		return
+	}
+	if h.L2 == nil {
+		h.Mem.ReadLine(line)
+		return
+	}
+	hit2, wb2, wb2Addr := h.L2.Access(line, false)
+	if wb2 {
+		h.Mem.WriteLine(wb2Addr)
+	}
+	if !hit2 {
+		h.Mem.ReadLine(line)
+	}
+}
+
+// Reset clears both cache levels. The memory sink is left untouched.
+func (h *Hierarchy) Reset() {
+	h.L1.Reset()
+	if h.L2 != nil {
+		h.L2.Reset()
+	}
+}

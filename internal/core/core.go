@@ -1,0 +1,293 @@
+// Package core implements the paper's primary contribution: identifying PIM
+// target functions in consumer workloads (§3.2), modelling the two kinds of
+// in-memory logic that can execute them — a general-purpose PIM core and
+// fixed-function PIM accelerators (§3.3) — checking their area feasibility
+// against the logic-layer budget of 3D-stacked memory, accounting the
+// CPU↔PIM coherence traffic of fine-grained offloading (§8.2), and
+// evaluating energy and runtime of each execution mode (§10).
+package core
+
+import (
+	"fmt"
+
+	"gopim/internal/dram"
+	"gopim/internal/energy"
+	"gopim/internal/profile"
+	"gopim/internal/timing"
+)
+
+// Mode selects where a PIM target executes.
+type Mode int
+
+// Execution modes evaluated by the paper.
+const (
+	CPUOnly Mode = iota
+	PIMCore
+	PIMAcc
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case CPUOnly:
+		return "CPU-Only"
+	case PIMCore:
+		return "PIM-Core"
+	case PIMAcc:
+		return "PIM-Acc"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Modes lists all execution modes in presentation order.
+var Modes = []Mode{CPUOnly, PIMCore, PIMAcc}
+
+// PIMCoreArea is the logic-layer area of one PIM core in mm² (paper §3.3,
+// from the ARM Cortex-R8 footprint).
+const PIMCoreArea = 0.33
+
+// Target describes one PIM target function: an instrumented kernel plus the
+// properties of its in-memory implementation.
+type Target struct {
+	Name     string // e.g. "Texture Tiling"
+	Workload string // e.g. "Chrome"
+
+	// Kernel performs the target's real work under instrumentation.
+	Kernel profile.Kernel
+
+	// Phases restricts the evaluation to the listed kernel phases; kernels
+	// often have setup phases (e.g. rasterizing the bitmap that tiling will
+	// consume) that belong to a different part of the workload. Empty means
+	// the whole kernel.
+	Phases []string
+
+	// Vaults is the number of vault PIM cores the target's data
+	// parallelism can use (paper: one PIM core per vault). 0 means 4.
+	Vaults int
+
+	// AccArea is the area of one fixed-function accelerator in mm²
+	// (paper §§4–7 report these per target).
+	AccArea float64
+	// AccUnits is the number of in-memory logic units in the accelerator
+	// (paper: four for the browser and TensorFlow targets). 0 means 4.
+	AccUnits int
+}
+
+func (t Target) vaults() int {
+	if t.Vaults <= 0 {
+		return 4
+	}
+	return t.Vaults
+}
+
+func (t Target) accUnits() int {
+	if t.AccUnits <= 0 {
+		return 4
+	}
+	return t.AccUnits
+}
+
+// Evaluation is the modelled outcome of running a target in one mode.
+type Evaluation struct {
+	Mode    Mode
+	Profile profile.Profile
+	Phases  map[string]profile.Profile
+	Energy  energy.Breakdown
+	Seconds float64
+}
+
+// Result groups the evaluations of one target across modes.
+type Result struct {
+	Target Target
+	ByMode map[Mode]Evaluation
+}
+
+// EnergyReduction returns the fractional energy reduction of mode vs
+// CPU-only (0.55 means 55% lower).
+func (r Result) EnergyReduction(mode Mode) float64 {
+	base := r.ByMode[CPUOnly].Energy.Total()
+	if base == 0 {
+		return 0
+	}
+	return 1 - r.ByMode[mode].Energy.Total()/base
+}
+
+// Speedup returns runtime(CPU-only)/runtime(mode).
+func (r Result) Speedup(mode Mode) float64 {
+	t := r.ByMode[mode].Seconds
+	if t == 0 {
+		return 0
+	}
+	return r.ByMode[CPUOnly].Seconds / t
+}
+
+// Evaluator turns kernel profiles into energy and time under a parameter
+// set. The zero value is not usable; use NewEvaluator.
+type Evaluator struct {
+	Params    energy.Params
+	Coherence CoherenceModel
+}
+
+// NewEvaluator returns an evaluator with the default parameters.
+func NewEvaluator() *Evaluator {
+	return &Evaluator{Params: energy.Default(), Coherence: DefaultCoherence()}
+}
+
+// Evaluate profiles the target's kernel on the SoC and on PIM hardware and
+// models all three execution modes.
+func (e *Evaluator) Evaluate(t Target) Result {
+	res := Result{Target: t, ByMode: map[Mode]Evaluation{}}
+
+	cpuTotal, cpuPhases := profile.Run(profile.SoC(), t.Kernel)
+	cpuProf := selectPhases(cpuTotal, cpuPhases, t.Phases)
+	cpuSec := timing.SoC().Seconds(cpuProf)
+	res.ByMode[CPUOnly] = Evaluation{
+		Mode:    CPUOnly,
+		Profile: cpuProf,
+		Phases:  cpuPhases,
+		Energy:  e.CPUEnergy(cpuProf, cpuSec),
+		Seconds: cpuSec,
+	}
+
+	pimTotal, pimPhases := profile.Run(profile.PIMCore(), t.Kernel)
+	pimProf := selectPhases(pimTotal, pimPhases, t.Phases)
+	coh := e.Coherence.Overhead(pimProf)
+	coreSec := timing.PIMCore(t.vaults()).Seconds(pimProf) + coh.Latency
+	res.ByMode[PIMCore] = Evaluation{
+		Mode:    PIMCore,
+		Profile: pimProf,
+		Phases:  pimPhases,
+		Energy:  e.PIMCoreEnergy(pimProf, coreSec, coh),
+		Seconds: coreSec,
+	}
+
+	accTotal, accPhases := profile.Run(profile.PIMAcc(), t.Kernel)
+	accProf := selectPhases(accTotal, accPhases, t.Phases)
+	accSec := timing.PIMAcc(t.accUnits()).Seconds(accProf) + coh.Latency
+	res.ByMode[PIMAcc] = Evaluation{
+		Mode:    PIMAcc,
+		Profile: accProf,
+		Phases:  accPhases,
+		Energy:  e.PIMAccEnergy(accProf, accSec, coh),
+		Seconds: accSec,
+	}
+	return res
+}
+
+func selectPhases(total profile.Profile, phases map[string]profile.Profile, names []string) profile.Profile {
+	if len(names) == 0 {
+		return total
+	}
+	var out profile.Profile
+	for _, n := range names {
+		out = out.Add(phases[n])
+	}
+	return out
+}
+
+// CPUEnergy models a profile executed for seconds by the SoC cores over the
+// off-chip memory path.
+func (e *Evaluator) CPUEnergy(p profile.Profile, seconds float64) energy.Breakdown {
+	pp := e.Params
+	total := float64(p.Mem.Total())
+	return energy.Breakdown{
+		CPU:          float64(p.Instructions())*pp.CPUInstr + seconds*pp.CPUStaticW*1e12,
+		L1:           float64(p.MemRefs) * pp.L1Ref,
+		LLC:          float64(p.LLC.Accesses) * pp.L2Access,
+		Interconnect: total * pp.InterconnectByte,
+		MemCtrl:      total * pp.MemCtrlByte,
+		DRAM:         total*pp.DRAMByte + float64(p.Rows.RowOpens)*pp.RowActivate,
+	}
+}
+
+// CPUPhaseEnergy models one phase of a CPU run, deriving the phase's
+// runtime from its own profile.
+func (e *Evaluator) CPUPhaseEnergy(p profile.Profile) energy.Breakdown {
+	return e.CPUEnergy(p, timing.SoC().Seconds(p))
+}
+
+// PIMCoreEnergy models a profile executed by PIM cores inside the stack.
+func (e *Evaluator) PIMCoreEnergy(p profile.Profile, seconds float64, coh Coherence) energy.Breakdown {
+	pp := e.Params
+	total := float64(p.Mem.Total())
+	return energy.Breakdown{
+		PIM:          float64(p.Instructions())*pp.PIMCoreInstr + seconds*pp.PIMCoreStaticW*1e12,
+		L1:           float64(p.MemRefs) * pp.L1Ref,
+		Interconnect: total*pp.StackLinkByte + coh.OffChipEnergy(pp),
+		DRAM:         total*pp.StackDRAMByte + float64(p.Rows.RowOpens)*pp.StackRowActivate,
+	}
+}
+
+// PIMAccEnergy models a profile executed by a fixed-function accelerator.
+// SIMD instructions expand to their scalar-equivalent operation count;
+// address generation and control are part of the datapath and carry no
+// separate instruction cost.
+func (e *Evaluator) PIMAccEnergy(p profile.Profile, seconds float64, coh Coherence) energy.Breakdown {
+	pp := e.Params
+	total := float64(p.Mem.Total())
+	ops := float64(p.Ops) + 4*float64(p.SIMDOps)
+	return energy.Breakdown{
+		PIM:          ops*pp.PIMAccOp + seconds*pp.PIMAccStaticW*1e12,
+		L1:           float64(p.MemRefs) * pp.PIMBufRef,
+		Interconnect: total*pp.StackLinkByte + coh.OffChipEnergy(pp),
+		DRAM:         total*pp.StackDRAMByte + float64(p.Rows.RowOpens)*pp.StackRowActivate,
+	}
+}
+
+// Coherence quantifies the CPU↔PIM coordination cost of one offloaded
+// kernel execution under the paper's fine-grained PIM-side-directory scheme.
+type Coherence struct {
+	Messages uint64  // directory messages exchanged
+	Bytes    uint64  // bytes crossing the off-chip channel
+	Latency  float64 // serial launch/completion latency in seconds
+}
+
+// OffChipEnergy returns the energy of the coherence traffic over the
+// off-chip path.
+func (c Coherence) OffChipEnergy(p energy.Params) float64 {
+	return float64(c.Bytes) * (p.InterconnectByte + p.MemCtrlByte)
+}
+
+// CoherenceModel estimates coherence overhead from a kernel profile.
+// The paper's scheme keeps a PIM-side directory so that only offload
+// launch/retire messages and genuinely shared lines cross the channel.
+type CoherenceModel struct {
+	// MessageBytes is the size of one coherence/launch message.
+	MessageBytes int
+	// SharedFraction is the fraction of the kernel's memory traffic whose
+	// lines are also touched by the CPU around the offload boundary and
+	// therefore need directory messages.
+	SharedFraction float64
+	// LaunchLatency is the fixed cost of dispatching a PIM kernel and
+	// observing its completion.
+	LaunchLatency float64
+}
+
+// DefaultCoherence returns the model used by all experiments.
+func DefaultCoherence() CoherenceModel {
+	return CoherenceModel{
+		MessageBytes:   8,
+		SharedFraction: 0.01,
+		LaunchLatency:  2e-6,
+	}
+}
+
+// Overhead estimates the coherence cost of offloading a kernel with
+// profile p.
+func (m CoherenceModel) Overhead(p profile.Profile) Coherence {
+	shared := uint64(float64(p.Mem.Total()) * m.SharedFraction)
+	msgs := shared/64 + 2 // one message per shared line, plus launch+retire
+	return Coherence{
+		Messages: msgs,
+		Bytes:    msgs * uint64(m.MessageBytes),
+		Latency:  m.LaunchLatency,
+	}
+}
+
+// AreaFeasible reports whether logic of the given area fits the per-vault
+// logic-layer budget, returning the fraction of the budget it uses.
+func AreaFeasible(areaMM2 float64) (fraction float64, ok bool) {
+	fraction = areaMM2 / dram.VaultAreaBudget
+	return fraction, areaMM2 <= dram.VaultAreaBudget
+}

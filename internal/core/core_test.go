@@ -1,0 +1,179 @@
+package core
+
+import (
+	"testing"
+
+	"gopim/internal/energy"
+	"gopim/internal/kernels/blit"
+	"gopim/internal/kernels/texture"
+	"gopim/internal/profile"
+)
+
+func TestModeString(t *testing.T) {
+	if CPUOnly.String() != "CPU-Only" || PIMCore.String() != "PIM-Core" || PIMAcc.String() != "PIM-Acc" {
+		t.Error("mode names wrong")
+	}
+	if Mode(9).String() != "Mode(9)" {
+		t.Error("unknown mode formatting wrong")
+	}
+}
+
+func TestAreaFeasibility(t *testing.T) {
+	frac, ok := AreaFeasible(PIMCoreArea)
+	if !ok {
+		t.Fatal("the PIM core must fit the vault budget")
+	}
+	// Paper §3.3: PIM core needs no more than 9.4% of the per-vault area.
+	if frac > 0.10 {
+		t.Errorf("PIM core uses %.1f%% of vault area, paper says <=9.4%%", frac*100)
+	}
+	if _, ok := AreaFeasible(10.0); ok {
+		t.Error("10mm² should not fit a 3.5mm² vault budget")
+	}
+}
+
+// TestTextureTilingEvaluation checks the paper's headline claims for the
+// texture tiling PIM target (§4.2.2, Figure 18) at shape level.
+func TestTextureTilingEvaluation(t *testing.T) {
+	ev := NewEvaluator()
+	res := ev.Evaluate(Target{
+		Name:     "Texture Tiling",
+		Workload: "Chrome",
+		Kernel:   texture.Kernel(1024, 1024, 1),
+		Phases:   []string{"texture tiling"},
+		AccArea:  0.25,
+		AccUnits: 4,
+	})
+
+	cpu := res.ByMode[CPUOnly]
+	tile := cpu.Phases["texture tiling"]
+	tileE := ev.CPUPhaseEnergy(tile)
+	compute := 1 - tileE.DataMovementFraction()
+	t.Logf("texture tiling: compute fraction %.1f%% (paper: 18.5%%), MPKI %.1f", compute*100, tile.LLCMPKI())
+	if compute > 0.40 || compute < 0.05 {
+		t.Errorf("tiling compute fraction = %.1f%%, want 5-40%% (paper: 18.5%%)", compute*100)
+	}
+
+	eCore := res.EnergyReduction(PIMCore)
+	eAcc := res.EnergyReduction(PIMAcc)
+	sCore := res.Speedup(PIMCore)
+	sAcc := res.Speedup(PIMAcc)
+	t.Logf("energy reduction: PIM-Core %.1f%%, PIM-Acc %.1f%% (paper avg browser kernels: 51.3%% / 61.0%%)", eCore*100, eAcc*100)
+	t.Logf("speedup: PIM-Core %.2fx, PIM-Acc %.2fx (paper avg browser kernels: 1.6x / 2.0x)", sCore, sAcc)
+
+	if eCore < 0.30 || eCore > 0.75 {
+		t.Errorf("PIM-Core energy reduction %.1f%% outside 30-75%%", eCore*100)
+	}
+	if eAcc <= eCore {
+		t.Errorf("PIM-Acc reduction (%.1f%%) must exceed PIM-Core (%.1f%%)", eAcc*100, eCore*100)
+	}
+	if sCore < 1.1 {
+		t.Errorf("PIM-Core speedup %.2fx; PIM must not lose performance (paper criterion)", sCore)
+	}
+	if sAcc < sCore {
+		t.Errorf("PIM-Acc (%.2fx) slower than PIM-Core (%.2fx)", sAcc, sCore)
+	}
+}
+
+func TestColorBlittingEvaluation(t *testing.T) {
+	ev := NewEvaluator()
+	res := ev.Evaluate(Target{
+		Name:     "Color Blitting",
+		Workload: "Chrome",
+		Kernel:   blit.Kernel(1024, 24, 1),
+		AccArea:  0.25,
+		AccUnits: 4,
+	})
+	cpu := res.ByMode[CPUOnly]
+	dm := cpu.Energy.DataMovementFraction()
+	t.Logf("color blitting: data movement %.1f%% of energy (paper: 63.9%%)", dm*100)
+	if dm < 0.45 || dm > 0.90 {
+		t.Errorf("blitting data movement fraction %.1f%%, want 45-90%% (paper: 63.9%%)", dm*100)
+	}
+	if res.EnergyReduction(PIMCore) <= 0 {
+		t.Error("PIM-Core must reduce blitting energy")
+	}
+	if res.Speedup(PIMAcc) < res.Speedup(PIMCore) {
+		t.Error("PIM-Acc should not be slower than PIM-Core")
+	}
+}
+
+func TestCandidateIdentification(t *testing.T) {
+	ev := NewEvaluator()
+	_, phases := profile.Run(profile.SoC(), texture.Kernel(512, 512, 1))
+	cands := ev.IdentifyCandidates(phases, DefaultCriteria())
+	if len(cands) != 2 {
+		t.Fatalf("got %d candidates, want 2 (rasterize + tiling)", len(cands))
+	}
+	var tiling *Candidate
+	for i := range cands {
+		if cands[i].Function == "texture tiling" {
+			tiling = &cands[i]
+		}
+	}
+	if tiling == nil {
+		t.Fatal("texture tiling not among candidates")
+	}
+	if !tiling.MemoryIntensive {
+		t.Errorf("texture tiling MPKI = %.1f, should exceed 10", tiling.MPKI)
+	}
+	if !tiling.Qualifies() {
+		t.Errorf("texture tiling fails criteria: %+v", *tiling)
+	}
+}
+
+func TestIdentifyCandidatesEmpty(t *testing.T) {
+	ev := NewEvaluator()
+	if got := ev.IdentifyCandidates(nil, DefaultCriteria()); got != nil {
+		t.Errorf("empty phases produced candidates: %v", got)
+	}
+}
+
+func TestCoherenceOverheadSmall(t *testing.T) {
+	m := DefaultCoherence()
+	p := profile.Profile{}
+	p.Mem.BytesRead = 4 << 20
+	c := m.Overhead(p)
+	if c.Bytes >= p.Mem.Total()/10 {
+		t.Errorf("coherence traffic %d bytes is not small relative to %d", c.Bytes, p.Mem.Total())
+	}
+	if c.Messages < 2 {
+		t.Error("must at least count launch+retire messages")
+	}
+	if c.OffChipEnergy(energy.Default()) <= 0 {
+		t.Error("coherence energy should be positive")
+	}
+}
+
+func TestEnergyBreakdownComponents(t *testing.T) {
+	ev := NewEvaluator()
+	var p profile.Profile
+	p.Ops = 1000
+	p.MemRefs = 500
+	p.LLC.Accesses = 100
+	p.Mem.BytesRead = 64000
+
+	b := ev.CPUEnergy(p, 1e-6)
+	if b.CPU == 0 || b.L1 == 0 || b.LLC == 0 || b.DRAM == 0 || b.Interconnect == 0 || b.MemCtrl == 0 {
+		t.Errorf("CPU breakdown has zero components: %+v", b)
+	}
+	if b.PIM != 0 {
+		t.Error("CPU breakdown must not have PIM energy")
+	}
+
+	pc := ev.PIMCoreEnergy(p, 1e-6, Coherence{})
+	if pc.CPU != 0 || pc.PIM == 0 {
+		t.Errorf("PIM-Core breakdown wrong: %+v", pc)
+	}
+	if pc.LLC != 0 || pc.MemCtrl != 0 {
+		t.Error("PIM path must not pay LLC or off-chip memory controller energy")
+	}
+	if pc.DRAM >= b.DRAM {
+		t.Error("in-stack DRAM access must be cheaper than off-chip")
+	}
+
+	pa := ev.PIMAccEnergy(p, 1e-6, Coherence{})
+	if pa.PIM >= pc.PIM {
+		t.Error("accelerator compute should cost less than PIM-core compute")
+	}
+}

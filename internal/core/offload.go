@@ -1,0 +1,99 @@
+package core
+
+import "sort"
+
+// Offload planning (paper §8.1): the software interface marks offloadable
+// regions; something must still decide which PIM targets get fixed-function
+// accelerators, because the logic layer's area budget is shared. The paper
+// sizes each accelerator against a single vault's budget; a device vendor
+// building one SoC must fit the *set* of accelerators they ship. This
+// planner makes that call: accelerators are chosen by energy-savings-per-
+// area until the budget runs out, and everything else falls back to the
+// general-purpose PIM core (which runs any target).
+
+// OffloadChoice records the planned execution mode for one target.
+type OffloadChoice struct {
+	Target Target
+	Mode   Mode
+	// SavingsPJ is the modelled energy saving vs CPU-only for one kernel
+	// execution, in pJ; BaselinePJ is the CPU-only energy it is measured
+	// against.
+	SavingsPJ  float64
+	BaselinePJ float64
+	// AreaMM2 is the logic area this choice consumes (0 when falling back
+	// to the shared PIM core).
+	AreaMM2 float64
+}
+
+// OffloadPlan is the outcome of planning.
+type OffloadPlan struct {
+	Choices []OffloadChoice
+	// AreaUsedMM2 includes the PIM core (always present as the fallback)
+	// plus every selected accelerator.
+	AreaUsedMM2 float64
+	// BudgetMM2 is the area limit the plan was built against.
+	BudgetMM2 float64
+}
+
+// PlanOffload evaluates every target and packs fixed-function accelerators
+// into the given logic-area budget (mm²), by descending energy savings per
+// mm². Targets that do not earn an accelerator run on the PIM core, which
+// is always provisioned first. Evaluations are returned through the plan
+// so callers do not pay for them twice.
+func (e *Evaluator) PlanOffload(targets []Target, budgetMM2 float64) OffloadPlan {
+	type scored struct {
+		t       Target
+		res     Result
+		accGain float64 // accelerator savings beyond the PIM core's
+	}
+	var items []scored
+	for _, t := range targets {
+		res := e.Evaluate(t)
+		coreE := res.ByMode[PIMCore].Energy.Total()
+		accE := res.ByMode[PIMAcc].Energy.Total()
+		items = append(items, scored{t: t, res: res, accGain: coreE - accE})
+	}
+	// Most additional savings per mm² first.
+	sort.Slice(items, func(i, j int) bool {
+		return items[i].accGain/items[i].t.AccArea > items[j].accGain/items[j].t.AccArea
+	})
+
+	plan := OffloadPlan{BudgetMM2: budgetMM2, AreaUsedMM2: PIMCoreArea}
+	for _, it := range items {
+		cpuE := it.res.ByMode[CPUOnly].Energy.Total()
+		choice := OffloadChoice{Target: it.t, Mode: PIMCore, BaselinePJ: cpuE,
+			SavingsPJ: cpuE - it.res.ByMode[PIMCore].Energy.Total()}
+		if it.accGain > 0 && plan.AreaUsedMM2+it.t.AccArea <= budgetMM2 {
+			choice.Mode = PIMAcc
+			choice.SavingsPJ = cpuE - it.res.ByMode[PIMAcc].Energy.Total()
+			choice.AreaMM2 = it.t.AccArea
+			plan.AreaUsedMM2 += it.t.AccArea
+		}
+		plan.Choices = append(plan.Choices, choice)
+	}
+	// Deterministic presentation order.
+	sort.Slice(plan.Choices, func(i, j int) bool {
+		return plan.Choices[i].Target.Name < plan.Choices[j].Target.Name
+	})
+	return plan
+}
+
+// TotalSavingsPJ sums the plan's modelled savings.
+func (p OffloadPlan) TotalSavingsPJ() float64 {
+	var total float64
+	for _, c := range p.Choices {
+		total += c.SavingsPJ
+	}
+	return total
+}
+
+// Accelerated returns how many targets received fixed-function logic.
+func (p OffloadPlan) Accelerated() int {
+	n := 0
+	for _, c := range p.Choices {
+		if c.Mode == PIMAcc {
+			n++
+		}
+	}
+	return n
+}

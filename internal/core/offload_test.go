@@ -1,0 +1,101 @@
+package core
+
+import (
+	"testing"
+
+	"gopim/internal/kernels/blit"
+	"gopim/internal/kernels/texture"
+	"gopim/internal/profile"
+)
+
+func planTargets() []Target {
+	// Working sets exceed the 2 MiB LLC, as real PIM targets do.
+	return []Target{
+		{Name: "tiling", Workload: "Chrome", Kernel: texture.Kernel(1024, 1024, 1),
+			Phases: []string{"texture tiling"}, AccArea: 0.25, AccUnits: 4},
+		{Name: "blitting", Workload: "Chrome", Kernel: blit.Kernel(1024, 16, 1),
+			Phases: []string{"color blitting"}, AccArea: 0.25, AccUnits: 4},
+		{Name: "huge-accelerator", Workload: "Demo", Kernel: texture.Kernel(1024, 512, 1),
+			Phases: []string{"texture tiling"}, AccArea: 9.0, AccUnits: 4},
+	}
+}
+
+func TestPlanOffloadRespectsBudget(t *testing.T) {
+	ev := NewEvaluator()
+	plan := ev.PlanOffload(planTargets(), 3.5)
+	if plan.AreaUsedMM2 > plan.BudgetMM2 {
+		t.Fatalf("plan uses %.2f mm² of a %.2f mm² budget", plan.AreaUsedMM2, plan.BudgetMM2)
+	}
+	if plan.AreaUsedMM2 < PIMCoreArea {
+		t.Error("the fallback PIM core must always be provisioned")
+	}
+	byName := map[string]OffloadChoice{}
+	for _, c := range plan.Choices {
+		byName[c.Target.Name] = c
+	}
+	// The 9 mm² accelerator cannot fit; its target falls back to the core.
+	if byName["huge-accelerator"].Mode != PIMCore {
+		t.Error("oversized accelerator was selected despite the budget")
+	}
+	// The small, high-benefit accelerators fit.
+	if byName["tiling"].Mode != PIMAcc {
+		t.Error("tiling accelerator (0.25 mm²) should fit easily")
+	}
+	if plan.Accelerated() < 1 {
+		t.Error("no accelerators selected at all")
+	}
+}
+
+func TestPlanOffloadTinyBudget(t *testing.T) {
+	ev := NewEvaluator()
+	// Budget only covers the PIM core: everything falls back to it.
+	plan := ev.PlanOffload(planTargets(), PIMCoreArea+0.01)
+	if plan.Accelerated() != 0 {
+		t.Errorf("%d accelerators selected with no area for them", plan.Accelerated())
+	}
+	for _, c := range plan.Choices {
+		if c.Mode != PIMCore {
+			t.Errorf("%s: mode %v, want PIM-Core fallback", c.Target.Name, c.Mode)
+		}
+		if c.SavingsPJ <= 0 {
+			t.Errorf("%s: fallback savings %.0f pJ; the PIM core should still win", c.Target.Name, c.SavingsPJ)
+		}
+	}
+}
+
+func TestPlanOffloadSavingsPositive(t *testing.T) {
+	ev := NewEvaluator()
+	plan := ev.PlanOffload(planTargets(), 3.5)
+	if plan.TotalSavingsPJ() <= 0 {
+		t.Error("plan saves no energy")
+	}
+	// A larger budget can never reduce total savings.
+	small := ev.PlanOffload(planTargets(), 1.0)
+	if plan.TotalSavingsPJ() < small.TotalSavingsPJ()-1e-6 {
+		t.Errorf("bigger budget saved less: %.0f < %.0f", plan.TotalSavingsPJ(), small.TotalSavingsPJ())
+	}
+}
+
+func TestPlanOffloadDeterministicOrder(t *testing.T) {
+	ev := NewEvaluator()
+	plan := ev.PlanOffload(planTargets(), 3.5)
+	for i := 1; i < len(plan.Choices); i++ {
+		if plan.Choices[i-1].Target.Name > plan.Choices[i].Target.Name {
+			t.Fatal("choices not sorted by target name")
+		}
+	}
+}
+
+// Verify the profile phases the planner depends on behave sanely when a
+// target lists no phase filter (whole-kernel evaluation).
+func TestEvaluateWholeKernel(t *testing.T) {
+	ev := NewEvaluator()
+	res := ev.Evaluate(Target{
+		Name: "whole", Workload: "Demo",
+		Kernel:  profile.KernelFunc{KernelName: "k", Fn: func(ctx *profile.Ctx) { ctx.Ops(100) }},
+		AccArea: 0.1,
+	})
+	if res.ByMode[CPUOnly].Profile.Ops != 100 {
+		t.Error("whole-kernel profile not captured")
+	}
+}

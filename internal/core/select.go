@@ -1,0 +1,104 @@
+package core
+
+import (
+	"sort"
+
+	"gopim/internal/profile"
+)
+
+// Candidate is one workload function evaluated against the paper's PIM
+// target criteria (§3.2): it must (1) be among the top energy consumers,
+// (2) have data movement that is a significant fraction of workload energy,
+// (3) be memory-intensive (LLC MPKI > 10), and (4) have data movement as the
+// single largest component of its own energy.
+type Candidate struct {
+	Function string
+
+	// EnergyFraction is the function's share of total workload energy.
+	EnergyFraction float64
+	// MovementFraction is the share of *workload* energy spent on this
+	// function's data movement.
+	MovementFraction float64
+	// OwnMovementFraction is the share of the function's own energy spent
+	// on data movement.
+	OwnMovementFraction float64
+	// MPKI is the function's LLC misses per kilo-instruction.
+	MPKI float64
+
+	// Criterion outcomes.
+	SignificantEnergy   bool
+	SignificantMovement bool
+	MemoryIntensive     bool
+	MovementDominant    bool
+}
+
+// Qualifies reports whether all four criteria hold.
+func (c Candidate) Qualifies() bool {
+	return c.SignificantEnergy && c.SignificantMovement && c.MemoryIntensive && c.MovementDominant
+}
+
+// Criteria parameterizes candidate selection.
+type Criteria struct {
+	// MinEnergyFraction is the minimum share of workload energy a function
+	// must consume to be "a top energy consumer".
+	MinEnergyFraction float64
+	// MinMovementFraction is the minimum share of workload energy the
+	// function's data movement must account for.
+	MinMovementFraction float64
+	// MinMPKI is the paper's memory-intensity threshold.
+	MinMPKI float64
+}
+
+// DefaultCriteria mirrors the paper's thresholds (MPKI > 10; "significant"
+// interpreted as 5% of workload energy).
+func DefaultCriteria() Criteria {
+	return Criteria{MinEnergyFraction: 0.05, MinMovementFraction: 0.03, MinMPKI: 10}
+}
+
+// IdentifyCandidates applies the paper's selection methodology to the
+// per-function profiles of a workload run on the SoC, returning candidates
+// sorted by descending energy share.
+func (e *Evaluator) IdentifyCandidates(phases map[string]profile.Profile, crit Criteria) []Candidate {
+	var total float64
+	perFunc := make(map[string]struct {
+		energy   float64
+		movement float64
+		mpki     float64
+	}, len(phases))
+	for name, p := range phases {
+		b := e.CPUPhaseEnergy(p)
+		perFunc[name] = struct {
+			energy   float64
+			movement float64
+			mpki     float64
+		}{b.Total(), b.DataMovement(), p.LLCMPKI()}
+		total += b.Total()
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]Candidate, 0, len(phases))
+	for name, f := range perFunc {
+		c := Candidate{
+			Function:            name,
+			EnergyFraction:      f.energy / total,
+			MovementFraction:    f.movement / total,
+			MPKI:                f.mpki,
+			SignificantEnergy:   f.energy/total >= crit.MinEnergyFraction,
+			SignificantMovement: f.movement/total >= crit.MinMovementFraction,
+			MemoryIntensive:     f.mpki > crit.MinMPKI,
+		}
+		if f.energy > 0 {
+			c.OwnMovementFraction = f.movement / f.energy
+		}
+		c.MovementDominant = c.OwnMovementFraction > 0.5
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].EnergyFraction != out[j].EnergyFraction {
+			return out[i].EnergyFraction > out[j].EnergyFraction
+		}
+		return out[i].Function < out[j].Function
+	})
+	return out
+}

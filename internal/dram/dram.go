@@ -1,0 +1,71 @@
+// Package dram models the two memory systems of the evaluated platform: the
+// baseline LPDDR3 channel behind the SoC, and an HMC/HBM-like 3D-stacked
+// cube whose logic layer hosts the PIM logic. The models account traffic
+// (bytes moved per direction) and expose the bandwidth/latency parameters
+// consumed by the timing model.
+package dram
+
+import "gopim/internal/mem"
+
+// Geometry of the evaluated 3D-stacked memory (paper Table 1).
+const (
+	// CubeCapacity is the capacity of one 3D-stacked cube.
+	CubeCapacity = 2 << 30
+	// VaultsPerCube is the number of vertical vaults per cube; each vault
+	// hosts one PIM core or one PIM accelerator.
+	VaultsPerCube = 16
+	// InternalBandwidth is the bandwidth available to the logic layer.
+	InternalBandwidth = 256e9 // bytes/s
+	// ChannelBandwidth is the off-chip bandwidth available to the SoC.
+	ChannelBandwidth = 32e9 // bytes/s
+)
+
+// Latencies seen by a requester, in seconds. Off-chip requests pay the
+// channel crossing; logic-layer requests see only the internal access time.
+const (
+	OffChipLatency  = 80e-9
+	InternalLatency = 45e-9
+)
+
+// Traffic accumulates byte counts moved to and from a memory device.
+type Traffic struct {
+	BytesRead    uint64
+	BytesWritten uint64
+}
+
+// Total returns read plus written bytes.
+func (t Traffic) Total() uint64 { return t.BytesRead + t.BytesWritten }
+
+// Add accumulates other into t.
+func (t *Traffic) Add(other Traffic) {
+	t.BytesRead += other.BytesRead
+	t.BytesWritten += other.BytesWritten
+}
+
+// Meter is a cache.MemorySink that counts line-granularity traffic.
+type Meter struct {
+	t Traffic
+}
+
+// NewMeter returns a zeroed traffic meter.
+func NewMeter() *Meter { return &Meter{} }
+
+// ReadLine implements cache.MemorySink.
+func (m *Meter) ReadLine(addr uint64) { m.t.BytesRead += mem.LineSize }
+
+// WriteLine implements cache.MemorySink.
+func (m *Meter) WriteLine(addr uint64) { m.t.BytesWritten += mem.LineSize }
+
+// Traffic returns the accumulated counts.
+func (m *Meter) Traffic() Traffic { return m.t }
+
+// Reset zeroes the counters.
+func (m *Meter) Reset() { m.t = Traffic{} }
+
+// VaultAreaBudget is the logic-layer area available per vault for new PIM
+// logic, in mm² (paper §3.3: 50–60 mm² per cube, ~3.5–4.4 mm² per vault).
+// We use the conservative lower bound.
+const VaultAreaBudget = 3.5
+
+// CubeAreaBudget is the total logic-layer area available per cube, mm².
+const CubeAreaBudget = 50.0

@@ -1,0 +1,58 @@
+package dram
+
+import (
+	"testing"
+
+	"gopim/internal/mem"
+)
+
+func TestMeterCountsLines(t *testing.T) {
+	m := NewMeter()
+	m.ReadLine(0)
+	m.ReadLine(64)
+	m.WriteLine(128)
+	tr := m.Traffic()
+	if tr.BytesRead != 2*mem.LineSize {
+		t.Errorf("BytesRead = %d, want %d", tr.BytesRead, 2*mem.LineSize)
+	}
+	if tr.BytesWritten != mem.LineSize {
+		t.Errorf("BytesWritten = %d, want %d", tr.BytesWritten, mem.LineSize)
+	}
+	if tr.Total() != 3*mem.LineSize {
+		t.Errorf("Total = %d", tr.Total())
+	}
+	m.Reset()
+	if m.Traffic().Total() != 0 {
+		t.Error("Reset did not clear the meter")
+	}
+}
+
+func TestTrafficAdd(t *testing.T) {
+	a := Traffic{BytesRead: 10, BytesWritten: 5}
+	a.Add(Traffic{BytesRead: 1, BytesWritten: 2})
+	if a.BytesRead != 11 || a.BytesWritten != 7 {
+		t.Errorf("Add = %+v", a)
+	}
+}
+
+func TestGeometryConstants(t *testing.T) {
+	// Paper Table 1 values.
+	if CubeCapacity != 2<<30 {
+		t.Error("cube capacity should be 2 GB")
+	}
+	if VaultsPerCube != 16 {
+		t.Error("16 vaults per cube")
+	}
+	if InternalBandwidth/ChannelBandwidth != 8 {
+		t.Errorf("internal/off-chip bandwidth ratio = %.1f, want 8 (256/32 GB/s)",
+			InternalBandwidth/ChannelBandwidth)
+	}
+	if InternalLatency >= OffChipLatency {
+		t.Error("logic-layer latency must be below off-chip latency")
+	}
+	// Per-vault budget consistent with the cube-level budget (§3.3).
+	if VaultAreaBudget*VaultsPerCube > CubeAreaBudget+10 {
+		t.Errorf("per-vault budgets (%.1f x %d) exceed the cube budget (%.1f)",
+			VaultAreaBudget, VaultsPerCube, CubeAreaBudget)
+	}
+}

@@ -1,0 +1,80 @@
+package dram
+
+// Row-buffer model: DRAM accesses that hit an open row cost much less than
+// ones that must activate a new row. The meter variant below tracks per-
+// bank open rows, giving the row-buffer locality statistics that separate
+// streaming kernels (texture tiling's tile writes) from scattered ones
+// (motion compensation's reference fetches), and letting the energy model
+// charge activations separately.
+
+// Bank geometry for the modelled LPDDR3/stacked devices.
+const (
+	// RowSize is the DRAM page (row) size per bank.
+	RowSize = 2048
+	// BankCount is the number of banks interleaved at row granularity.
+	BankCount = 8
+)
+
+// RowStats counts row-buffer behaviour.
+type RowStats struct {
+	Accesses uint64 // line-granularity accesses
+	RowHits  uint64 // served from an open row
+	RowOpens uint64 // activations (misses + first touches)
+}
+
+// HitRate returns RowHits/Accesses, or 0 when idle.
+func (s RowStats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.RowHits) / float64(s.Accesses)
+}
+
+// RowMeter is a cache.MemorySink that, in addition to byte counts, tracks
+// row-buffer hits and activations across BankCount banks.
+type RowMeter struct {
+	Meter
+	rows  RowStats
+	open  [BankCount]uint64
+	valid [BankCount]bool
+}
+
+// NewRowMeter returns a zeroed row-aware traffic meter.
+func NewRowMeter() *RowMeter { return &RowMeter{} }
+
+// ReadLine implements cache.MemorySink.
+func (m *RowMeter) ReadLine(addr uint64) {
+	m.Meter.ReadLine(addr)
+	m.touch(addr)
+}
+
+// WriteLine implements cache.MemorySink.
+func (m *RowMeter) WriteLine(addr uint64) {
+	m.Meter.WriteLine(addr)
+	m.touch(addr)
+}
+
+func (m *RowMeter) touch(addr uint64) {
+	row := addr / RowSize
+	bank := int(row % BankCount) // rows interleave across banks
+	m.rows.Accesses++
+	if m.valid[bank] && m.open[bank] == row {
+		m.rows.RowHits++
+		return
+	}
+	m.rows.RowOpens++
+	m.open[bank] = row
+	m.valid[bank] = true
+}
+
+// RowStats returns the accumulated row-buffer counters.
+func (m *RowMeter) RowStats() RowStats { return m.rows }
+
+// Reset zeroes counters and closes all rows.
+func (m *RowMeter) Reset() {
+	m.Meter.Reset()
+	m.rows = RowStats{}
+	for i := range m.valid {
+		m.valid[i] = false
+	}
+}

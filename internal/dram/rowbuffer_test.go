@@ -1,0 +1,83 @@
+package dram
+
+import (
+	"math/rand"
+	"testing"
+
+	"gopim/internal/mem"
+)
+
+func TestRowMeterStreamingHitsRows(t *testing.T) {
+	m := NewRowMeter()
+	// Stream 4 rows' worth of lines sequentially: within each row, every
+	// access after the first hits the open row.
+	for addr := uint64(0); addr < 4*RowSize; addr += mem.LineSize {
+		m.ReadLine(addr)
+	}
+	st := m.RowStats()
+	linesPerRow := uint64(RowSize / mem.LineSize)
+	if st.RowOpens != 4 {
+		t.Errorf("opens = %d, want 4 (one per row)", st.RowOpens)
+	}
+	if st.RowHits != 4*(linesPerRow-1) {
+		t.Errorf("hits = %d, want %d", st.RowHits, 4*(linesPerRow-1))
+	}
+	if hr := st.HitRate(); hr < 0.9 {
+		t.Errorf("streaming hit rate %.2f, want > 0.9", hr)
+	}
+	// Byte accounting still works through the embedded meter.
+	if m.Traffic().BytesRead != 4*RowSize {
+		t.Errorf("bytes read = %d", m.Traffic().BytesRead)
+	}
+}
+
+func TestRowMeterRandomThrashesRows(t *testing.T) {
+	m := NewRowMeter()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 20000; i++ {
+		m.ReadLine(uint64(rng.Intn(1<<28)) &^ (mem.LineSize - 1))
+	}
+	if hr := m.RowStats().HitRate(); hr > 0.1 {
+		t.Errorf("random access hit rate %.2f, want near 0", hr)
+	}
+}
+
+func TestRowMeterBankInterleaving(t *testing.T) {
+	m := NewRowMeter()
+	// Alternate between two rows in *different* banks: both stay open.
+	a := uint64(0)       // row 0 -> bank 0
+	b := uint64(RowSize) // row 1 -> bank 1
+	for i := 0; i < 100; i++ {
+		m.ReadLine(a)
+		m.ReadLine(b)
+	}
+	st := m.RowStats()
+	if st.RowOpens != 2 {
+		t.Errorf("opens = %d, want 2 (banks hold both rows open)", st.RowOpens)
+	}
+	// Alternate between two rows in the *same* bank: every access misses.
+	m.Reset()
+	a = 0
+	b = uint64(RowSize * BankCount) // same bank, different row
+	for i := 0; i < 100; i++ {
+		m.ReadLine(a)
+		m.ReadLine(b)
+	}
+	st = m.RowStats()
+	if st.RowHits != 0 {
+		t.Errorf("same-bank conflict produced %d hits, want 0", st.RowHits)
+	}
+}
+
+func TestRowMeterReset(t *testing.T) {
+	m := NewRowMeter()
+	m.WriteLine(0)
+	m.Reset()
+	if m.RowStats().Accesses != 0 || m.Traffic().Total() != 0 {
+		t.Error("Reset incomplete")
+	}
+	m.ReadLine(0)
+	if m.RowStats().RowOpens != 1 {
+		t.Error("row left open across Reset")
+	}
+}

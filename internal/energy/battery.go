@@ -1,0 +1,54 @@
+package energy
+
+// Battery-life projection. The paper's motivation (§1) is that lithium-ion
+// capacity has only doubled in twenty years while workload demands grow,
+// making system energy the binding constraint; this model turns the
+// evaluated energy reductions into the quantity a consumer device vendor
+// actually ships: hours of use.
+
+// Battery describes a consumer device battery.
+type Battery struct {
+	// CapacityWh is the usable capacity in watt-hours. A Chromebook-class
+	// device carries ~40 Wh; a phone ~12 Wh.
+	CapacityWh float64
+}
+
+// ChromebookBattery returns the battery of the paper's test device class.
+func ChromebookBattery() Battery { return Battery{CapacityWh: 40} }
+
+// PhoneBattery returns a phone-class battery.
+func PhoneBattery() Battery { return Battery{CapacityWh: 12} }
+
+// Hours returns how long the battery sustains the given average system
+// power draw in watts.
+func (b Battery) Hours(watts float64) float64 {
+	if watts <= 0 {
+		return 0
+	}
+	return b.CapacityWh / watts
+}
+
+// LifeExtension returns the battery-life multiplier obtained by reducing
+// the energy of a workload that accounts for `share` of the device's total
+// power draw by `reduction` (both in 0..1). The rest of the system (display,
+// radios, sensors) is unaffected — which is why a 55% compute-energy
+// reduction does not double battery life.
+func LifeExtension(share, reduction float64) float64 {
+	if share < 0 {
+		share = 0
+	}
+	if share > 1 {
+		share = 1
+	}
+	if reduction < 0 {
+		reduction = 0
+	}
+	if reduction > 1 {
+		reduction = 1
+	}
+	remaining := 1 - share*reduction
+	if remaining <= 0 {
+		return 0
+	}
+	return 1 / remaining
+}

@@ -1,0 +1,135 @@
+// Package energy implements the system energy model of the paper (§3.1):
+// total system energy is the sum of per-event energies of the CPU cores, the
+// L1 and L2 caches, the off-chip interconnect, the memory controller, and
+// DRAM, with separate parameters for the baseline LPDDR3 path and for
+// accesses served inside the 3D-stacked cube (as seen by PIM logic), plus
+// per-operation energies for the PIM core and PIM accelerators.
+//
+// All parameters are in picojoules. The absolute values are ballparks
+// assembled from the paper's cited sources (CACTI at 22 nm for caches,
+// LPDDR3/HMC per-bit estimates for memory, ARM Cortex-class per-instruction
+// estimates for cores, and a 20x-over-CPU efficiency assumption for
+// fixed-function accelerators, all per §3.1); the experiments reproduce the
+// paper's *relative* breakdowns, which depend on ratios between these costs.
+package energy
+
+// Params holds every per-event energy cost, in pJ, plus static power terms
+// in watts (the paper's counter-driven CPU energy includes the energy of
+// stall cycles, which a purely per-instruction cost would miss).
+type Params struct {
+	// Compute.
+	CPUInstr     float64 // OoO SoC core, per instruction (core only)
+	PIMCoreInstr float64 // PIM core, per instruction
+	PIMAccOp     float64 // PIM accelerator, per scalar-equivalent operation
+
+	// Static/stall power of the active engine, in watts; multiplied by the
+	// kernel's modelled runtime.
+	CPUStaticW     float64
+	PIMCoreStaticW float64
+	PIMAccStaticW  float64
+
+	// On-chip SRAM.
+	L1Ref     float64 // per load/store reference (CPU or PIM-core L1)
+	L2Access  float64 // per line-granularity LLC access
+	PIMBufRef float64 // per reference to a PIM accelerator's scratchpad
+
+	// Off-chip path (SoC <-> DRAM), per byte moved.
+	InterconnectByte float64
+	MemCtrlByte      float64
+	DRAMByte         float64 // LPDDR3 array + I/O
+
+	// Inside the 3D stack (logic layer <-> DRAM layers), per byte moved.
+	StackDRAMByte float64 // TSV + array access
+	StackLinkByte float64 // vault-internal routing
+
+	// Per-row-activation costs: a DRAM access that misses the open row
+	// pays an activate/precharge, which scattered access patterns (motion
+	// compensation's reference fetches) incur far more often than
+	// streaming ones (texture tiling's tile writes).
+	RowActivate      float64 // off-chip LPDDR3 row
+	StackRowActivate float64 // in-stack row (smaller arrays)
+}
+
+// Default returns the parameter set used by all experiments.
+func Default() Params {
+	return Params{
+		CPUInstr:     75,
+		PIMCoreInstr: 25,
+		PIMAccOp:     75.0 / 20, // paper §3.1: accelerator 20x more efficient than CPU
+
+		CPUStaticW:     0.15,
+		PIMCoreStaticW: 0.04,
+		PIMAccStaticW:  0.015,
+		L1Ref:          10,
+		L2Access:       90,
+		PIMBufRef:      4,
+
+		InterconnectByte: 20,
+		MemCtrlByte:      10,
+		DRAMByte:         60,
+
+		StackDRAMByte: 38,
+		StackLinkByte: 6,
+
+		RowActivate:      1500,
+		StackRowActivate: 900,
+	}
+}
+
+// Breakdown is a per-component energy total in pJ, mirroring the component
+// axes of the paper's Figures 2, 11, 18, 19 and 20.
+type Breakdown struct {
+	CPU          float64 // SoC core compute (or zero for PIM runs)
+	PIM          float64 // PIM core / accelerator compute
+	L1           float64 // L1 (or PIM scratchpad) references
+	LLC          float64
+	Interconnect float64
+	MemCtrl      float64
+	DRAM         float64
+}
+
+// Total returns the sum over all components.
+func (b Breakdown) Total() float64 {
+	return b.CPU + b.PIM + b.L1 + b.LLC + b.Interconnect + b.MemCtrl + b.DRAM
+}
+
+// DataMovement returns the energy spent moving data: caches, interconnect,
+// memory controller and DRAM (the paper's definition in §4.2.1).
+func (b Breakdown) DataMovement() float64 {
+	return b.L1 + b.LLC + b.Interconnect + b.MemCtrl + b.DRAM
+}
+
+// DataMovementFraction returns DataMovement()/Total(), or 0 when empty.
+func (b Breakdown) DataMovementFraction() float64 {
+	t := b.Total()
+	if t == 0 {
+		return 0
+	}
+	return b.DataMovement() / t
+}
+
+// Add returns the component-wise sum of b and other.
+func (b Breakdown) Add(other Breakdown) Breakdown {
+	return Breakdown{
+		CPU:          b.CPU + other.CPU,
+		PIM:          b.PIM + other.PIM,
+		L1:           b.L1 + other.L1,
+		LLC:          b.LLC + other.LLC,
+		Interconnect: b.Interconnect + other.Interconnect,
+		MemCtrl:      b.MemCtrl + other.MemCtrl,
+		DRAM:         b.DRAM + other.DRAM,
+	}
+}
+
+// Scale returns b with every component multiplied by k.
+func (b Breakdown) Scale(k float64) Breakdown {
+	return Breakdown{
+		CPU:          b.CPU * k,
+		PIM:          b.PIM * k,
+		L1:           b.L1 * k,
+		LLC:          b.LLC * k,
+		Interconnect: b.Interconnect * k,
+		MemCtrl:      b.MemCtrl * k,
+		DRAM:         b.DRAM * k,
+	}
+}

@@ -1,0 +1,96 @@
+package energy
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultParamsSane(t *testing.T) {
+	p := Default()
+	// The accelerator is 20x more efficient than the CPU (paper §3.1).
+	if got := p.CPUInstr / p.PIMAccOp; got < 19.9 || got > 20.1 {
+		t.Errorf("CPU/accelerator efficiency ratio = %.1f, want 20", got)
+	}
+	// The PIM core is cheaper per instruction than the OoO SoC core.
+	if p.PIMCoreInstr >= p.CPUInstr {
+		t.Error("PIM core must be cheaper per instruction than the SoC core")
+	}
+	// Moving a byte inside the stack must cost less than over the off-chip
+	// path (the paper's entire premise).
+	offChip := p.InterconnectByte + p.MemCtrlByte + p.DRAMByte
+	inStack := p.StackDRAMByte + p.StackLinkByte
+	if inStack >= offChip {
+		t.Errorf("in-stack byte (%.0f pJ) not cheaper than off-chip (%.0f pJ)", inStack, offChip)
+	}
+	if inStack*3 > offChip*2 {
+		t.Errorf("in-stack/off-chip ratio %.2f too close to 1 to reproduce the paper's savings", inStack/offChip)
+	}
+	// Cache access energies ordered by structure size.
+	if !(p.PIMBufRef < p.L1Ref && p.L1Ref < p.L2Access) {
+		t.Error("SRAM energies must order buffer < L1 < L2")
+	}
+}
+
+func TestBreakdownTotals(t *testing.T) {
+	b := Breakdown{CPU: 1, PIM: 2, L1: 3, LLC: 4, Interconnect: 5, MemCtrl: 6, DRAM: 7}
+	if b.Total() != 28 {
+		t.Errorf("Total = %v, want 28", b.Total())
+	}
+	if b.DataMovement() != 25 {
+		t.Errorf("DataMovement = %v, want 25 (everything except CPU+PIM)", b.DataMovement())
+	}
+	if got := b.DataMovementFraction(); got != 25.0/28 {
+		t.Errorf("DataMovementFraction = %v", got)
+	}
+	var zero Breakdown
+	if zero.DataMovementFraction() != 0 {
+		t.Error("zero breakdown fraction should be 0")
+	}
+}
+
+func TestBreakdownAddScale(t *testing.T) {
+	a := Breakdown{CPU: 1, L1: 2, DRAM: 3}
+	b := Breakdown{CPU: 10, LLC: 5}
+	sum := a.Add(b)
+	if sum.CPU != 11 || sum.L1 != 2 || sum.LLC != 5 || sum.DRAM != 3 {
+		t.Errorf("Add = %+v", sum)
+	}
+	s := a.Scale(2)
+	if s.CPU != 2 || s.L1 != 4 || s.DRAM != 6 {
+		t.Errorf("Scale = %+v", s)
+	}
+}
+
+// Property: Add is commutative and Total distributes over Add (energies
+// are non-negative and bounded in practice, so inputs are mapped into a
+// physical range).
+func TestQuickBreakdownAlgebra(t *testing.T) {
+	f := func(a, b [7]uint32) bool {
+		x := Breakdown{float64(a[0]), float64(a[1]), float64(a[2]), float64(a[3]), float64(a[4]), float64(a[5]), float64(a[6])}
+		y := Breakdown{float64(b[0]), float64(b[1]), float64(b[2]), float64(b[3]), float64(b[4]), float64(b[5]), float64(b[6])}
+		lhs := x.Add(y)
+		rhs := y.Add(x)
+		if lhs != rhs {
+			return false
+		}
+		return almostEqual(lhs.Total(), x.Total()+y.Total())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func almostEqual(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	scale := a
+	if scale < 0 {
+		scale = -scale
+	}
+	if scale < 1 {
+		scale = 1
+	}
+	return d <= 1e-9*scale
+}

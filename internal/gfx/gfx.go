@@ -1,0 +1,111 @@
+// Package gfx provides the raster types shared by the Chrome browser
+// kernels: 32-bit RGBA bitmaps, rectangles, and deterministic synthetic
+// content generators used in place of real web page pixels.
+package gfx
+
+import "fmt"
+
+// BytesPerPixel is the size of one RGBA pixel.
+const BytesPerPixel = 4
+
+// Color is a non-premultiplied RGBA color.
+type Color struct {
+	R, G, B, A uint8
+}
+
+// Bitmap is a linear, row-major 32-bit RGBA raster. Stride is in bytes and
+// is at least W*BytesPerPixel; Pix holds H*Stride bytes.
+type Bitmap struct {
+	W, H   int
+	Stride int
+	Pix    []byte
+}
+
+// NewBitmap allocates a tightly-packed bitmap.
+func NewBitmap(w, h int) *Bitmap {
+	if w < 0 || h < 0 {
+		panic(fmt.Sprintf("gfx: bad bitmap size %dx%d", w, h))
+	}
+	return &Bitmap{W: w, H: h, Stride: w * BytesPerPixel, Pix: make([]byte, w*h*BytesPerPixel)}
+}
+
+// FromPix wraps an existing pixel slice (e.g. simulated memory) as a
+// tightly-packed bitmap. len(pix) must be at least w*h*4.
+func FromPix(w, h int, pix []byte) *Bitmap {
+	need := w * h * BytesPerPixel
+	if len(pix) < need {
+		panic(fmt.Sprintf("gfx: pixel slice %d too small for %dx%d (%d)", len(pix), w, h, need))
+	}
+	return &Bitmap{W: w, H: h, Stride: w * BytesPerPixel, Pix: pix[:need]}
+}
+
+// At returns the pixel at (x, y).
+func (b *Bitmap) At(x, y int) Color {
+	i := y*b.Stride + x*BytesPerPixel
+	return Color{b.Pix[i], b.Pix[i+1], b.Pix[i+2], b.Pix[i+3]}
+}
+
+// Set writes the pixel at (x, y).
+func (b *Bitmap) Set(x, y int, c Color) {
+	i := y*b.Stride + x*BytesPerPixel
+	b.Pix[i], b.Pix[i+1], b.Pix[i+2], b.Pix[i+3] = c.R, c.G, c.B, c.A
+}
+
+// RowOffset returns the byte offset of the first pixel of row y.
+func (b *Bitmap) RowOffset(y int) int { return y * b.Stride }
+
+// Rect is an axis-aligned rectangle; Max is exclusive.
+type Rect struct {
+	MinX, MinY, MaxX, MaxY int
+}
+
+// Dx returns the width.
+func (r Rect) Dx() int { return r.MaxX - r.MinX }
+
+// Dy returns the height.
+func (r Rect) Dy() int { return r.MaxY - r.MinY }
+
+// Empty reports whether the rectangle contains no pixels.
+func (r Rect) Empty() bool { return r.MaxX <= r.MinX || r.MaxY <= r.MinY }
+
+// Clip returns r intersected with the bounds of b.
+func (r Rect) Clip(b *Bitmap) Rect {
+	if r.MinX < 0 {
+		r.MinX = 0
+	}
+	if r.MinY < 0 {
+		r.MinY = 0
+	}
+	if r.MaxX > b.W {
+		r.MaxX = b.W
+	}
+	if r.MaxY > b.H {
+		r.MaxY = b.H
+	}
+	return r
+}
+
+// FillPattern writes a deterministic position-dependent pattern into the
+// whole bitmap, so that data-movement tests can verify content survives
+// reorganization (tiling, blitting) bit-exactly.
+func (b *Bitmap) FillPattern(seed uint32) {
+	for y := 0; y < b.H; y++ {
+		row := b.Pix[y*b.Stride:]
+		for x := 0; x < b.W; x++ {
+			v := pixelHash(uint32(x), uint32(y), seed)
+			i := x * BytesPerPixel
+			row[i] = byte(v)
+			row[i+1] = byte(v >> 8)
+			row[i+2] = byte(v >> 16)
+			row[i+3] = 0xFF
+		}
+	}
+}
+
+func pixelHash(x, y, seed uint32) uint32 {
+	h := x*0x9E3779B1 ^ y*0x85EBCA77 ^ seed*0xC2B2AE3D
+	h ^= h >> 15
+	h *= 0x27D4EB2F
+	h ^= h >> 13
+	return h
+}

@@ -1,0 +1,88 @@
+package gfx
+
+import "testing"
+
+func TestBitmapSetAt(t *testing.T) {
+	b := NewBitmap(8, 4)
+	c := Color{R: 1, G: 2, B: 3, A: 4}
+	b.Set(7, 3, c)
+	if got := b.At(7, 3); got != c {
+		t.Errorf("At(7,3) = %+v, want %+v", got, c)
+	}
+	if got := b.At(0, 0); got != (Color{}) {
+		t.Errorf("At(0,0) = %+v, want zero", got)
+	}
+}
+
+func TestNewBitmapBadSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewBitmap(-1, 2) did not panic")
+		}
+	}()
+	NewBitmap(-1, 2)
+}
+
+func TestFromPix(t *testing.T) {
+	pix := make([]byte, 100*BytesPerPixel)
+	b := FromPix(10, 10, pix)
+	b.Set(5, 5, Color{R: 9})
+	if pix[5*b.Stride+5*BytesPerPixel] != 9 {
+		t.Error("FromPix does not share backing storage")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromPix with short slice did not panic")
+		}
+	}()
+	FromPix(10, 11, pix)
+}
+
+func TestRect(t *testing.T) {
+	r := Rect{MinX: 2, MinY: 3, MaxX: 10, MaxY: 7}
+	if r.Dx() != 8 || r.Dy() != 4 {
+		t.Errorf("Dx/Dy = %d/%d, want 8/4", r.Dx(), r.Dy())
+	}
+	if r.Empty() {
+		t.Error("non-empty rect reported empty")
+	}
+	if !(Rect{MinX: 5, MaxX: 5, MinY: 0, MaxY: 1}).Empty() {
+		t.Error("zero-width rect not empty")
+	}
+	b := NewBitmap(8, 8)
+	clipped := Rect{MinX: -4, MinY: -4, MaxX: 100, MaxY: 100}.Clip(b)
+	if clipped != (Rect{MinX: 0, MinY: 0, MaxX: 8, MaxY: 8}) {
+		t.Errorf("Clip = %+v", clipped)
+	}
+}
+
+func TestFillPatternDeterministic(t *testing.T) {
+	a := NewBitmap(16, 16)
+	b := NewBitmap(16, 16)
+	a.FillPattern(42)
+	b.FillPattern(42)
+	for i := range a.Pix {
+		if a.Pix[i] != b.Pix[i] {
+			t.Fatalf("pattern not deterministic at byte %d", i)
+		}
+	}
+	c := NewBitmap(16, 16)
+	c.FillPattern(43)
+	same := true
+	for i := range a.Pix {
+		if a.Pix[i] != c.Pix[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical patterns")
+	}
+}
+
+func TestRowOffset(t *testing.T) {
+	b := NewBitmap(10, 10)
+	if b.RowOffset(3) != 3*b.Stride {
+		t.Errorf("RowOffset(3) = %d, want %d", b.RowOffset(3), 3*b.Stride)
+	}
+}

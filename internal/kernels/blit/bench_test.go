@@ -1,0 +1,36 @@
+package blit
+
+import (
+	"testing"
+
+	"gopim/internal/gfx"
+)
+
+func BenchmarkFill(b *testing.B) {
+	dst := gfx.NewBitmap(1024, 1024)
+	r := gfx.Rect{MinX: 0, MinY: 0, MaxX: 1024, MaxY: 256}
+	b.SetBytes(int64(r.Dx() * r.Dy() * gfx.BytesPerPixel))
+	for i := 0; i < b.N; i++ {
+		Fill(dst, r, gfx.Color{R: byte(i), A: 0xFF})
+	}
+}
+
+func BenchmarkCopyRect(b *testing.B) {
+	dst := gfx.NewBitmap(1024, 1024)
+	src := gfx.NewBitmap(1024, 1024)
+	src.FillPattern(1)
+	b.SetBytes(int64(1024 * 256 * gfx.BytesPerPixel))
+	for i := 0; i < b.N; i++ {
+		CopyRect(dst, 0, 0, src, 0, 0, 1024, 256)
+	}
+}
+
+func BenchmarkBlendSrcOver(b *testing.B) {
+	dst := gfx.NewBitmap(1024, 1024)
+	src := gfx.NewBitmap(1024, 1024)
+	src.FillPattern(2)
+	b.SetBytes(int64(1024 * 256 * gfx.BytesPerPixel))
+	for i := 0; i < b.N; i++ {
+		BlendSrcOver(dst, 0, 0, src, 0, 0, 1024, 256)
+	}
+}

@@ -1,0 +1,175 @@
+// Package blit implements the color blitting PIM target (paper §4.2.2):
+// the Skia-style blitter invoked during rasterization. A blitter's primary
+// operation is copying blocks of pixels; the package provides solid fills
+// (memset-like), rectangle copies (memcopy-like, used for double
+// buffering), and source-over alpha blending (the core of alpha
+// compositing), plus an instrumented kernel mixing them the way
+// rasterization of a web page does.
+package blit
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gopim/internal/gfx"
+	"gopim/internal/mem"
+	"gopim/internal/profile"
+)
+
+// Fill writes the solid color c over r (clipped to dst).
+func Fill(dst *gfx.Bitmap, r gfx.Rect, c gfx.Color) {
+	r = r.Clip(dst)
+	if r.Empty() {
+		return
+	}
+	for y := r.MinY; y < r.MaxY; y++ {
+		row := dst.Pix[y*dst.Stride:]
+		for x := r.MinX; x < r.MaxX; x++ {
+			i := x * gfx.BytesPerPixel
+			row[i], row[i+1], row[i+2], row[i+3] = c.R, c.G, c.B, c.A
+		}
+	}
+}
+
+// CopyRect copies the w x h block at (sx, sy) in src to (dx, dy) in dst.
+// The block must lie fully inside both bitmaps.
+func CopyRect(dst *gfx.Bitmap, dx, dy int, src *gfx.Bitmap, sx, sy, w, h int) {
+	checkBlock(dst, dx, dy, w, h)
+	checkBlock(src, sx, sy, w, h)
+	for row := 0; row < h; row++ {
+		d := dst.Pix[(dy+row)*dst.Stride+dx*gfx.BytesPerPixel:]
+		s := src.Pix[(sy+row)*src.Stride+sx*gfx.BytesPerPixel:]
+		copy(d[:w*gfx.BytesPerPixel], s[:w*gfx.BytesPerPixel])
+	}
+}
+
+// BlendSrcOver composites the w x h block of src at (sx, sy) over dst at
+// (dx, dy) using non-premultiplied source-over blending:
+//
+//	out = src*alpha + dst*(1-alpha)
+func BlendSrcOver(dst *gfx.Bitmap, dx, dy int, src *gfx.Bitmap, sx, sy, w, h int) {
+	checkBlock(dst, dx, dy, w, h)
+	checkBlock(src, sx, sy, w, h)
+	for row := 0; row < h; row++ {
+		d := dst.Pix[(dy+row)*dst.Stride+dx*gfx.BytesPerPixel:]
+		s := src.Pix[(sy+row)*src.Stride+sx*gfx.BytesPerPixel:]
+		for x := 0; x < w; x++ {
+			i := x * gfx.BytesPerPixel
+			a := uint32(s[i+3])
+			na := 255 - a
+			d[i] = blendByte(s[i], d[i], a, na)
+			d[i+1] = blendByte(s[i+1], d[i+1], a, na)
+			d[i+2] = blendByte(s[i+2], d[i+2], a, na)
+			d[i+3] = satAdd8(s[i+3], mul255(d[i+3], byte(na)))
+		}
+	}
+}
+
+func blendByte(s, d byte, a, na uint32) byte {
+	return byte((uint32(s)*a + uint32(d)*na + 127) / 255)
+}
+
+func mul255(v, m byte) byte { return byte((uint32(v)*uint32(m) + 127) / 255) }
+
+func satAdd8(a, b byte) byte {
+	s := uint16(a) + uint16(b)
+	if s > 255 {
+		return 255
+	}
+	return byte(s)
+}
+
+func checkBlock(b *gfx.Bitmap, x, y, w, h int) {
+	if x < 0 || y < 0 || w < 0 || h < 0 || x+w > b.W || y+h > b.H {
+		panic(fmt.Sprintf("blit: block (%d,%d %dx%d) outside %dx%d bitmap", x, y, w, h, b.W, b.H))
+	}
+}
+
+// Kernel returns the instrumented color blitting kernel: rasterizing nOps
+// primitives into a size x size destination bitmap, with the mix of fills,
+// copies and alpha blends that drawing a web page's render objects
+// produces. Bitmaps live in simulated memory; sizes of 1024 and up exceed
+// the LLC, giving the streaming behaviour the paper reports.
+func Kernel(size, nOps int, seed int64) profile.Kernel {
+	return profile.KernelFunc{
+		KernelName: fmt.Sprintf("color blitting %dx%d", size, size),
+		Fn: func(ctx *profile.Ctx) {
+			run(ctx, size, nOps, seed)
+		},
+	}
+}
+
+func run(ctx *profile.Ctx, size, nOps int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	dstBuf := ctx.Alloc("destination bitmap", size*size*gfx.BytesPerPixel)
+	srcBuf := ctx.Alloc("source bitmap", size*size*gfx.BytesPerPixel)
+	dst := gfx.FromPix(size, size, dstBuf.Data)
+	src := gfx.FromPix(size, size, srcBuf.Data)
+	src.FillPattern(uint32(seed))
+
+	ctx.SetPhase("color blitting")
+	for op := 0; op < nOps; op++ {
+		w := 64 + rng.Intn(size-64)
+		h := 16 + rng.Intn(size/4)
+		x := rng.Intn(size - w)
+		y := rng.Intn(size - h)
+		r := gfx.Rect{MinX: x, MinY: y, MaxX: x + w, MaxY: y + h}
+		switch op % 3 {
+		case 0:
+			TraceFill(ctx, dstBuf, dst, r, gfx.Color{R: byte(op), G: byte(op >> 8), B: 0x80, A: 0xFF})
+		case 1:
+			TraceCopy(ctx, dstBuf, dst, srcBuf, src, r)
+		case 2:
+			TraceBlend(ctx, dstBuf, dst, srcBuf, src, r)
+		}
+	}
+}
+
+// TraceFill performs a solid fill (streaming stores) on a simulated-memory
+// bitmap, recording its accesses and arithmetic.
+func TraceFill(ctx *profile.Ctx, dstBuf *mem.Buffer, dst *gfx.Bitmap, r gfx.Rect, c gfx.Color) {
+	r = r.Clip(dst)
+	if r.Empty() {
+		return
+	}
+	Fill(dst, r, c)
+	rowB := r.Dx() * gfx.BytesPerPixel
+	for row := r.MinY; row < r.MaxY; row++ {
+		ctx.StoreV(dstBuf, row*dst.Stride+r.MinX*gfx.BytesPerPixel, rowB)
+	}
+	ctx.SIMD(r.Dx() * r.Dy() / 4)
+}
+
+// TraceCopy performs a rectangle copy (stream in, stream out).
+func TraceCopy(ctx *profile.Ctx, dstBuf *mem.Buffer, dst *gfx.Bitmap, srcBuf *mem.Buffer, src *gfx.Bitmap, r gfx.Rect) {
+	r = r.Clip(dst).Clip(src)
+	if r.Empty() {
+		return
+	}
+	CopyRect(dst, r.MinX, r.MinY, src, r.MinX, r.MinY, r.Dx(), r.Dy())
+	rowB := r.Dx() * gfx.BytesPerPixel
+	for row := r.MinY; row < r.MaxY; row++ {
+		off := row*dst.Stride + r.MinX*gfx.BytesPerPixel
+		ctx.LoadV(srcBuf, off, rowB)
+		ctx.StoreV(dstBuf, off, rowB)
+	}
+	ctx.SIMD(r.Dx() * r.Dy() / 8)
+}
+
+// TraceBlend performs a source-over alpha blend (read-modify-write plus
+// per-pixel arithmetic).
+func TraceBlend(ctx *profile.Ctx, dstBuf *mem.Buffer, dst *gfx.Bitmap, srcBuf *mem.Buffer, src *gfx.Bitmap, r gfx.Rect) {
+	r = r.Clip(dst).Clip(src)
+	if r.Empty() {
+		return
+	}
+	BlendSrcOver(dst, r.MinX, r.MinY, src, r.MinX, r.MinY, r.Dx(), r.Dy())
+	rowB := r.Dx() * gfx.BytesPerPixel
+	for row := r.MinY; row < r.MaxY; row++ {
+		off := row*dst.Stride + r.MinX*gfx.BytesPerPixel
+		ctx.LoadV(srcBuf, off, rowB)
+		ctx.LoadV(dstBuf, off, rowB)
+		ctx.StoreV(dstBuf, off, rowB)
+	}
+	ctx.SIMD(r.Dx() * r.Dy() * 5 / 2) // unpack, multiply, add, shift, repack
+}

@@ -1,0 +1,154 @@
+package blit
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gopim/internal/gfx"
+	"gopim/internal/profile"
+)
+
+func TestFill(t *testing.T) {
+	b := gfx.NewBitmap(8, 8)
+	c := gfx.Color{R: 10, G: 20, B: 30, A: 255}
+	Fill(b, gfx.Rect{MinX: 2, MinY: 2, MaxX: 5, MaxY: 4}, c)
+	if b.At(2, 2) != c || b.At(4, 3) != c {
+		t.Error("fill did not cover interior")
+	}
+	if b.At(5, 2) != (gfx.Color{}) || b.At(2, 4) != (gfx.Color{}) {
+		t.Error("fill leaked outside rect (Max is exclusive)")
+	}
+}
+
+func TestFillClips(t *testing.T) {
+	b := gfx.NewBitmap(4, 4)
+	Fill(b, gfx.Rect{MinX: -10, MinY: -10, MaxX: 100, MaxY: 100}, gfx.Color{R: 1})
+	if b.At(0, 0).R != 1 || b.At(3, 3).R != 1 {
+		t.Error("clipped fill missed corners")
+	}
+	// Fully outside: must be a no-op, not a panic.
+	Fill(b, gfx.Rect{MinX: 50, MinY: 50, MaxX: 60, MaxY: 60}, gfx.Color{R: 2})
+}
+
+func TestCopyRect(t *testing.T) {
+	src := gfx.NewBitmap(8, 8)
+	src.FillPattern(1)
+	dst := gfx.NewBitmap(8, 8)
+	CopyRect(dst, 1, 2, src, 3, 4, 4, 3)
+	for y := 0; y < 3; y++ {
+		for x := 0; x < 4; x++ {
+			if dst.At(1+x, 2+y) != src.At(3+x, 4+y) {
+				t.Fatalf("pixel (%d,%d) not copied", x, y)
+			}
+		}
+	}
+	if dst.At(0, 0) != (gfx.Color{}) {
+		t.Error("copy touched pixels outside the block")
+	}
+}
+
+func TestCopyRectOutOfBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-bounds CopyRect did not panic")
+		}
+	}()
+	CopyRect(gfx.NewBitmap(4, 4), 2, 2, gfx.NewBitmap(4, 4), 0, 0, 4, 4)
+}
+
+func TestBlendOpaqueReplaces(t *testing.T) {
+	src := gfx.NewBitmap(2, 2)
+	src.Set(0, 0, gfx.Color{R: 200, G: 100, B: 50, A: 255})
+	dst := gfx.NewBitmap(2, 2)
+	dst.Set(0, 0, gfx.Color{R: 1, G: 2, B: 3, A: 255})
+	BlendSrcOver(dst, 0, 0, src, 0, 0, 1, 1)
+	if got := dst.At(0, 0); got != (gfx.Color{R: 200, G: 100, B: 50, A: 255}) {
+		t.Errorf("opaque blend = %+v, want source color", got)
+	}
+}
+
+func TestBlendTransparentKeepsDst(t *testing.T) {
+	src := gfx.NewBitmap(1, 1) // alpha 0
+	dst := gfx.NewBitmap(1, 1)
+	want := gfx.Color{R: 7, G: 8, B: 9, A: 255}
+	dst.Set(0, 0, want)
+	BlendSrcOver(dst, 0, 0, src, 0, 0, 1, 1)
+	if got := dst.At(0, 0); got != want {
+		t.Errorf("transparent blend = %+v, want untouched %+v", got, want)
+	}
+}
+
+func TestBlendHalfAlpha(t *testing.T) {
+	src := gfx.NewBitmap(1, 1)
+	src.Set(0, 0, gfx.Color{R: 255, A: 128})
+	dst := gfx.NewBitmap(1, 1)
+	dst.Set(0, 0, gfx.Color{B: 255, A: 255})
+	BlendSrcOver(dst, 0, 0, src, 0, 0, 1, 1)
+	got := dst.At(0, 0)
+	if got.R < 126 || got.R > 130 {
+		t.Errorf("half-alpha red = %d, want ~128", got.R)
+	}
+	if got.B < 125 || got.B > 129 {
+		t.Errorf("half-alpha blue = %d, want ~127", got.B)
+	}
+	if got.A != 255 {
+		t.Errorf("alpha = %d, want 255 (opaque dst stays opaque)", got.A)
+	}
+}
+
+// Property: blending is bounded — output channels never exceed
+// max(src, dst) + 1 and never go below min(src, dst) - 1 per channel when
+// both are opaque-weighted endpoints of the lerp.
+func TestQuickBlendIsLerp(t *testing.T) {
+	f := func(s, d [4]byte) bool {
+		src := gfx.NewBitmap(1, 1)
+		src.Set(0, 0, gfx.Color{R: s[0], G: s[1], B: s[2], A: s[3]})
+		dst := gfx.NewBitmap(1, 1)
+		dst.Set(0, 0, gfx.Color{R: d[0], G: d[1], B: d[2], A: 255})
+		BlendSrcOver(dst, 0, 0, src, 0, 0, 1, 1)
+		got := dst.At(0, 0)
+		within := func(out, a, b byte) bool {
+			lo, hi := a, b
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			return out >= lo-min8(lo, 1) && out <= hi+min8(255-hi, 1)
+		}
+		return within(got.R, s[0], d[0]) && within(got.G, s[1], d[1]) && within(got.B, s[2], d[2])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func min8(a, b byte) byte {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestKernelProfile(t *testing.T) {
+	total, phases := profile.Run(profile.SoC(), Kernel(512, 30, 1))
+	p, ok := phases["color blitting"]
+	if !ok {
+		t.Fatal("no color blitting phase recorded")
+	}
+	if p.Mem.Total() == 0 {
+		t.Error("blitting produced no memory traffic")
+	}
+	if p.SIMDOps == 0 {
+		t.Error("blitting recorded no SIMD work")
+	}
+	if total.Instructions() == 0 {
+		t.Error("no instructions recorded")
+	}
+}
+
+func TestKernelDeterministic(t *testing.T) {
+	a, _ := profile.Run(profile.SoC(), Kernel(256, 12, 9))
+	b, _ := profile.Run(profile.SoC(), Kernel(256, 12, 9))
+	if a != b {
+		t.Errorf("same seed produced different profiles:\n%+v\n%+v", a, b)
+	}
+}

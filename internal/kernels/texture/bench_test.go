@@ -1,0 +1,27 @@
+package texture
+
+import (
+	"testing"
+
+	"gopim/internal/gfx"
+)
+
+func BenchmarkTile1024(b *testing.B) {
+	src := gfx.NewBitmap(1024, 1024)
+	src.FillPattern(1)
+	dst := make([]byte, TiledSize(1024, 1024))
+	b.SetBytes(int64(len(src.Pix)))
+	for i := 0; i < b.N; i++ {
+		TileInto(dst, src)
+	}
+}
+
+func BenchmarkUntile1024(b *testing.B) {
+	src := gfx.NewBitmap(1024, 1024)
+	src.FillPattern(2)
+	tiled := Tile(src)
+	b.SetBytes(int64(len(src.Pix)))
+	for i := 0; i < b.N; i++ {
+		Untile(tiled, 1024, 1024)
+	}
+}

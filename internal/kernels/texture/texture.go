@@ -1,0 +1,143 @@
+// Package texture implements the texture tiling PIM target (paper §4.2.2):
+// the graphics driver's conversion of a linear rasterized bitmap into 4 KiB
+// texture tiles ahead of GPU compositing, modelled after the Intel i965
+// driver's glTexImage2D path. Tiling is pure data reorganization — memcopy,
+// address arithmetic, and bitwise operations — over a bitmap that typically
+// exceeds the LLC, which is what makes it a PIM target.
+package texture
+
+import (
+	"fmt"
+
+	"gopim/internal/gfx"
+	"gopim/internal/profile"
+)
+
+// Tile geometry: a 4 KiB tile covers 32x32 RGBA pixels (32 px * 4 B = 128 B
+// per tile row, 32 rows), matching the driver's 4 KiB tile size quoted in
+// the paper.
+const (
+	TileW     = 32
+	TileH     = 32
+	TileRowB  = TileW * gfx.BytesPerPixel
+	TileBytes = TileRowB * TileH
+)
+
+// TilesFor returns how many tiles cover a w x h bitmap.
+func TilesFor(w, h int) (tx, ty int) {
+	return (w + TileW - 1) / TileW, (h + TileH - 1) / TileH
+}
+
+// TiledSize returns the byte size of the tiled representation of a w x h
+// bitmap (edges are padded to whole tiles, as the driver does).
+func TiledSize(w, h int) int {
+	tx, ty := TilesFor(w, h)
+	return tx * ty * TileBytes
+}
+
+// Tile converts a linear bitmap into the tiled layout. The returned slice
+// has TiledSize(src.W, src.H) bytes; tiles are stored row-major, each tile's
+// 32 rows contiguous.
+func Tile(src *gfx.Bitmap) []byte {
+	dst := make([]byte, TiledSize(src.W, src.H))
+	TileInto(dst, src)
+	return dst
+}
+
+// TileInto is Tile into a caller-provided destination (e.g. simulated
+// memory). It panics if dst is too small.
+func TileInto(dst []byte, src *gfx.Bitmap) {
+	need := TiledSize(src.W, src.H)
+	if len(dst) < need {
+		panic(fmt.Sprintf("texture: dst %d bytes, need %d", len(dst), need))
+	}
+	tx, _ := TilesFor(src.W, src.H)
+	forEachTileRow(src.W, src.H, func(tileX, tileY, row, srcOff, n int) {
+		tileIdx := tileY*tx + tileX
+		dstOff := tileIdx*TileBytes + row*TileRowB
+		srcY := tileY*TileH + row
+		from := src.Pix[srcY*src.Stride+tileX*TileRowB:]
+		copy(dst[dstOff:dstOff+n], from[:n])
+	})
+}
+
+// Untile converts a tiled buffer back into a linear bitmap of size w x h.
+func Untile(tiled []byte, w, h int) *gfx.Bitmap {
+	dst := gfx.NewBitmap(w, h)
+	tx, _ := TilesFor(w, h)
+	forEachTileRow(w, h, func(tileX, tileY, row, srcOff, n int) {
+		tileIdx := tileY*tx + tileX
+		srcY := tileY*TileH + row
+		from := tiled[tileIdx*TileBytes+row*TileRowB:]
+		to := dst.Pix[srcY*dst.Stride+tileX*TileRowB:]
+		copy(to[:n], from[:n])
+	})
+	return dst
+}
+
+// forEachTileRow visits every (tile, in-tile row) pair that holds real
+// pixels, giving the linear source offset and valid byte count of that row
+// segment.
+func forEachTileRow(w, h int, fn func(tileX, tileY, row, srcOff, n int)) {
+	tx, ty := TilesFor(w, h)
+	stride := w * gfx.BytesPerPixel
+	for tileY := 0; tileY < ty; tileY++ {
+		for tileX := 0; tileX < tx; tileX++ {
+			for row := 0; row < TileH; row++ {
+				srcY := tileY*TileH + row
+				if srcY >= h {
+					break
+				}
+				srcX := tileX * TileW
+				n := TileRowB
+				if srcX+TileW > w {
+					n = (w - srcX) * gfx.BytesPerPixel
+				}
+				fn(tileX, tileY, row, srcY*stride+srcX*gfx.BytesPerPixel, n)
+			}
+		}
+	}
+}
+
+// Kernel returns the instrumented texture tiling kernel: it rasterizes a
+// deterministic bitmap of the given size into simulated memory, then tiles
+// it, tracing the driver's read/convert/write data movement (Figure 3's
+// steps 2 and 3). repeat controls how many textures are tiled.
+func Kernel(w, h, repeat int) profile.Kernel {
+	return profile.KernelFunc{
+		KernelName: fmt.Sprintf("texture tiling %dx%d", w, h),
+		Fn: func(ctx *profile.Ctx) {
+			for r := 0; r < repeat; r++ {
+				runOnce(ctx, w, h, uint32(r+1))
+			}
+		},
+	}
+}
+
+func runOnce(ctx *profile.Ctx, w, h int, seed uint32) {
+	linear := ctx.Alloc("linear bitmap", w*h*gfx.BytesPerPixel)
+	tiled := ctx.Alloc("texture tiles", TiledSize(w, h))
+	src := gfx.FromPix(w, h, linear.Data)
+
+	// Rasterization wrote the linear bitmap (step 1 in Figure 3); that
+	// movement belongs to the rasterizer, so it is a separate phase here.
+	ctx.SetPhase("rasterize")
+	src.FillPattern(seed)
+	for y := 0; y < h; y++ {
+		ctx.StoreV(linear, src.RowOffset(y), w*gfx.BytesPerPixel)
+	}
+	ctx.SIMD(w * h / 4) // pattern generation, 4 px per vector op
+
+	// The tiling pass itself: read each 128-byte row segment of a tile from
+	// the linear bitmap (strided) and write it into the tile (sequential).
+	ctx.SetPhase("texture tiling")
+	tx, _ := TilesFor(w, h)
+	forEachTileRow(w, h, func(tileX, tileY, row, srcOff, n int) {
+		tileIdx := tileY*tx + tileX
+		dstOff := tileIdx*TileBytes + row*TileRowB
+		ctx.LoadV(linear, srcOff, n)
+		ctx.StoreV(tiled, dstOff, n)
+		ctx.Ops(4) // tile address computation: shifts, masks, adds
+		copy(tiled.Data[dstOff:dstOff+n], linear.Data[srcOff:srcOff+n])
+	})
+}

@@ -1,0 +1,109 @@
+package texture
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"gopim/internal/gfx"
+	"gopim/internal/profile"
+)
+
+func TestTileUntileBijection(t *testing.T) {
+	sizes := [][2]int{{32, 32}, {64, 64}, {128, 96}, {100, 50}, {33, 31}, {1, 1}, {512, 512}}
+	for _, s := range sizes {
+		w, h := s[0], s[1]
+		src := gfx.NewBitmap(w, h)
+		src.FillPattern(uint32(w*1000 + h))
+		tiled := Tile(src)
+		back := Untile(tiled, w, h)
+		if !bytes.Equal(back.Pix, src.Pix) {
+			t.Errorf("%dx%d: Untile(Tile(x)) != x", w, h)
+		}
+	}
+}
+
+func TestTiledSize(t *testing.T) {
+	if got := TiledSize(32, 32); got != TileBytes {
+		t.Errorf("TiledSize(32,32) = %d, want %d", got, TileBytes)
+	}
+	if got := TiledSize(33, 32); got != 2*TileBytes {
+		t.Errorf("TiledSize(33,32) = %d, want %d", got, 2*TileBytes)
+	}
+	if got := TiledSize(1024, 1024); got != 32*32*TileBytes {
+		t.Errorf("TiledSize(1024,1024) = %d, want %d", got, 32*32*TileBytes)
+	}
+}
+
+func TestTileLayoutContiguity(t *testing.T) {
+	// Pixel (x,y) inside tile (tx,ty) must land at a predictable offset.
+	src := gfx.NewBitmap(64, 64)
+	src.Set(33, 2, gfx.Color{R: 0xAB}) // tile (1,0), row 2, in-tile x=1
+	tiled := Tile(src)
+	off := 1*TileBytes + 2*TileRowB + 1*gfx.BytesPerPixel
+	if tiled[off] != 0xAB {
+		t.Errorf("pixel (33,2) not at expected tiled offset %d", off)
+	}
+}
+
+func TestTileIntoTooSmallPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TileInto with short dst did not panic")
+		}
+	}()
+	TileInto(make([]byte, 10), gfx.NewBitmap(64, 64))
+}
+
+// Property: tiling is a bijection for arbitrary small sizes.
+func TestQuickBijection(t *testing.T) {
+	f := func(w8, h8 uint8, seed uint32) bool {
+		w := int(w8)%97 + 1
+		h := int(h8)%97 + 1
+		src := gfx.NewBitmap(w, h)
+		src.FillPattern(seed)
+		back := Untile(Tile(src), w, h)
+		return bytes.Equal(back.Pix, src.Pix)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKernelProfile(t *testing.T) {
+	total, phases := profile.Run(profile.SoC(), Kernel(512, 512, 1))
+	tiling, ok := phases["texture tiling"]
+	if !ok {
+		t.Fatalf("no texture tiling phase; got %v", keys(phases))
+	}
+	bitmapBytes := uint64(512 * 512 * gfx.BytesPerPixel)
+	// Tiling reads the bitmap and writes the tiles: at least 2x the bitmap
+	// in memory traffic (the 1 MiB bitmap misses the 64 KiB L1 on the
+	// strided read and the tiles stream out through writebacks).
+	if tiling.Mem.Total() < bitmapBytes {
+		t.Errorf("tiling moved %d bytes to memory; expected at least the bitmap size %d", tiling.Mem.Total(), bitmapBytes)
+	}
+	if total.Instructions() == 0 {
+		t.Error("no instructions recorded")
+	}
+	// The paper's criterion: tiling is memory-intensive (MPKI > 10).
+	if mpki := tiling.LLCMPKI(); mpki < 10 {
+		t.Errorf("texture tiling LLC MPKI = %.1f, want > 10 (PIM target criterion)", mpki)
+	}
+}
+
+func TestKernelRepeatScales(t *testing.T) {
+	one, _ := profile.Run(profile.SoC(), Kernel(128, 128, 1))
+	three, _ := profile.Run(profile.SoC(), Kernel(128, 128, 3))
+	if three.Instructions() <= 2*one.Instructions() {
+		t.Errorf("3 repeats executed %d instructions vs %d for 1; expected ~3x", three.Instructions(), one.Instructions())
+	}
+}
+
+func keys(m map[string]profile.Profile) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

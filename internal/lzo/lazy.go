@@ -1,0 +1,102 @@
+package lzo
+
+import "encoding/binary"
+
+// CompressLevel selects a speed/ratio tradeoff, like LZO's 1x/999 variants.
+type CompressLevel int
+
+// Compression levels.
+const (
+	// Fast is the greedy single-probe parser used by ZRAM (the default
+	// Compress).
+	Fast CompressLevel = iota
+	// Best adds lazy matching with chained probes: noticeably better
+	// ratios at a few times the cost, like LZO1X-999. Output remains
+	// decodable by the same Decompress.
+	Best
+)
+
+// CompressWithLevel compresses src at the chosen level. Both levels emit
+// the same format.
+func CompressWithLevel(src []byte, level CompressLevel) []byte {
+	if level == Fast {
+		return Compress(src)
+	}
+	return compressLazy(src)
+}
+
+// compressLazy is a lazy-match parser: at each position it finds the best
+// match among a small chain of hash candidates, then checks whether
+// deferring by one byte yields a strictly longer match before committing.
+func compressLazy(src []byte) []byte {
+	var st Stats
+	dst := make([]byte, 0, len(src)/2+16)
+	if len(src) == 0 {
+		return dst
+	}
+
+	const chainLen = 8
+	// chained hash table: head per bucket + prev links.
+	var table [hashSize]int32
+	prev := make([]int32, len(src))
+
+	insert := func(i int) {
+		if i+4 > len(src) {
+			return
+		}
+		h := hash4(binary.LittleEndian.Uint32(src[i:]))
+		prev[i] = table[h] - 1
+		table[h] = int32(i) + 1
+	}
+
+	bestMatch := func(i int) (length, offset int) {
+		if i+4 > len(src) {
+			return 0, 0
+		}
+		h := hash4(binary.LittleEndian.Uint32(src[i:]))
+		cand := int(table[h]) - 1
+		for probe := 0; probe < chainLen && cand >= 0 && i-cand <= MaxOffset; probe++ {
+			if match4(src, cand, i) {
+				l := 4
+				for i+l < len(src) && src[cand+l] == src[i+l] {
+					l++
+				}
+				if l > length {
+					length, offset = l, i-cand
+				}
+			}
+			cand = int(prev[cand]) - 1
+		}
+		return length, offset
+	}
+
+	litStart := 0
+	i := 0
+	for i+4 <= len(src) {
+		length, offset := bestMatch(i)
+		if length < MinMatch+1 { // lazy parser skips marginal matches
+			insert(i)
+			i++
+			continue
+		}
+		// Lazy evaluation: would starting one byte later be better?
+		insert(i)
+		if i+5 <= len(src) {
+			nextLen, _ := bestMatch(i + 1)
+			if nextLen > length+1 {
+				i++
+				continue // emit this byte as a literal, match at i+1
+			}
+		}
+		dst = emitLiterals(dst, src[litStart:i], &st)
+		dst = emitMatch(dst, length, offset, &st)
+		end := i + length
+		step := length/8 + 1
+		for j := i + 1; j < end && j+4 <= len(src); j += step {
+			insert(j)
+		}
+		i = end
+		litStart = i
+	}
+	return emitLiterals(dst, src[litStart:], &st)
+}

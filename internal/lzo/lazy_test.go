@@ -1,0 +1,90 @@
+package lzo
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLazyRoundTrip(t *testing.T) {
+	inputs := [][]byte{
+		nil,
+		[]byte("a"),
+		[]byte(strings.Repeat("the quick brown fox ", 300)),
+		bytes.Repeat([]byte{0}, 10000),
+		bytes.Repeat([]byte("abcde"), 4000),
+	}
+	rng := rand.New(rand.NewSource(9))
+	noise := make([]byte, 8000)
+	rng.Read(noise)
+	inputs = append(inputs, noise)
+
+	for i, src := range inputs {
+		comp := CompressWithLevel(src, Best)
+		out, err := Decompress(comp, len(src))
+		if err != nil {
+			t.Fatalf("input %d: %v", i, err)
+		}
+		if !bytes.Equal(out, src) {
+			t.Fatalf("input %d: lazy round trip mismatch", i)
+		}
+	}
+}
+
+func TestLazyNeverWorseMuch(t *testing.T) {
+	// On structured data, the lazy parser should compress at least as well
+	// as the greedy one (allowing a tiny slack for parse-order effects).
+	corpus := [][]byte{
+		[]byte(strings.Repeat(`{"key":"value","list":[1,2,3]},`, 400)),
+		bytes.Repeat([]byte("abcabcabdabc"), 800),
+	}
+	for i, src := range corpus {
+		fast := len(Compress(src))
+		best := len(CompressWithLevel(src, Best))
+		// Allow small absolute slack: the lazy parser's higher minimum
+		// match length can cost a few bytes on tiny outputs.
+		if best > fast+fast/10+4 {
+			t.Errorf("input %d: Best (%d) much worse than Fast (%d)", i, best, fast)
+		}
+	}
+}
+
+func TestLazyBeatsGreedyOnAdversarialInput(t *testing.T) {
+	// Pattern engineered so the greedy parser takes a short match that a
+	// lazy parser defers: the classic case is a short match hiding a longer
+	// one starting one byte later.
+	var src []byte
+	long := []byte("0123456789ABCDEFGHIJKLMNOP")
+	shortPrefix := []byte("xx01")
+	for i := 0; i < 200; i++ {
+		src = append(src, shortPrefix...)
+		src = append(src, long...)
+		src = append(src, byte('a'+i%3))
+	}
+	fast := len(Compress(src))
+	best := len(CompressWithLevel(src, Best))
+	if best > fast {
+		t.Errorf("lazy (%d bytes) should not lose to greedy (%d) on deferral-friendly input", best, fast)
+	}
+}
+
+func TestLevelFastMatchesCompress(t *testing.T) {
+	src := []byte(strings.Repeat("same bytes ", 100))
+	if !bytes.Equal(CompressWithLevel(src, Fast), Compress(src)) {
+		t.Error("Fast level must be identical to Compress")
+	}
+}
+
+// Property: lazy output always decodes back to the input.
+func TestQuickLazyRoundTrip(t *testing.T) {
+	f := func(src []byte) bool {
+		comp := CompressWithLevel(src, Best)
+		out, err := Decompress(comp, len(src))
+		return err == nil && bytes.Equal(out, src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

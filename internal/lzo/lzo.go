@@ -1,0 +1,244 @@
+// Package lzo implements a fast byte-oriented LZ77 compressor in the style
+// of LZO1X, the algorithm Chrome's ZRAM swap uses for tab compression
+// (paper §4.3). Like LZO, it favours speed over ratio: greedy parsing, a
+// small hash table of 4-byte sequences, byte-aligned output, and a
+// copy-dominated decompressor. The on-wire format is this package's own
+// (bitstream compatibility with LZO is not required by the paper's
+// analysis; the data movement behaviour — sequential input/output streams,
+// random hash-table probes, and backward match copies — is what matters).
+//
+// Format:
+//
+//	token 0x00..0x1F: literal run of token+1 bytes follows; a token of 0x1F
+//	                  is followed by a length extension (see below) adding
+//	                  to the run length.
+//	token 0x20..0xFF: match; length = (token-0x20) + MinMatch, with token
+//	                  0xFF followed by a length extension; then a 2-byte
+//	                  little-endian offset (1..MaxOffset) pointing backward.
+//
+//	length extension: zero or more 0xFF bytes, each adding 255, terminated
+//	                  by one byte < 0xFF adding its value.
+package lzo
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+const (
+	// MinMatch is the shortest encodable match.
+	MinMatch = 3
+	// MaxOffset is the farthest backward reference.
+	MaxOffset = 1 << 16
+
+	maxLiteralToken = 0x1F // literal runs of 1..31 fit in the token
+	matchTokenBase  = 0x20
+	maxMatchToken   = 0xFF
+
+	hashBits = 15
+	hashSize = 1 << hashBits
+)
+
+// Stats summarizes the work a compression or decompression performed, for
+// driving the instrumented ZRAM kernel.
+type Stats struct {
+	LiteralRuns  uint64
+	LiteralBytes uint64
+	Matches      uint64
+	MatchBytes   uint64
+	HashProbes   uint64
+}
+
+// Compress returns src compressed. The result is never nil; incompressible
+// input expands by the literal-run framing overhead.
+func Compress(src []byte) []byte {
+	out, _ := CompressWithStats(src)
+	return out
+}
+
+// CompressWithStats is Compress plus work statistics.
+func CompressWithStats(src []byte) ([]byte, Stats) {
+	var st Stats
+	dst := make([]byte, 0, len(src)+len(src)/16+16)
+	if len(src) == 0 {
+		return dst, st
+	}
+
+	var table [hashSize]int32 // position+1 of the last occurrence; 0 = empty
+
+	litStart := 0
+	i := 0
+	for i+4 <= len(src) {
+		h := hash4(binary.LittleEndian.Uint32(src[i:]))
+		cand := int(table[h]) - 1
+		table[h] = int32(i) + 1
+		st.HashProbes++
+		if cand >= 0 && i-cand <= MaxOffset && match4(src, cand, i) {
+			// Extend the match forward.
+			length := 4
+			for i+length < len(src) && src[cand+length] == src[i+length] {
+				length++
+			}
+			dst = emitLiterals(dst, src[litStart:i], &st)
+			dst = emitMatch(dst, length, i-cand, &st)
+			// Index a couple of positions inside the match so later data
+			// can still find it, then skip past it.
+			end := i + length
+			for j := i + 1; j < end && j+4 <= len(src); j += length/4 + 1 {
+				table[hash4(binary.LittleEndian.Uint32(src[j:]))] = int32(j) + 1
+			}
+			i = end
+			litStart = i
+			continue
+		}
+		i++
+	}
+	dst = emitLiterals(dst, src[litStart:], &st)
+	return dst, st
+}
+
+func hash4(u uint32) uint32 {
+	return (u * 2654435761) >> (32 - hashBits)
+}
+
+func match4(src []byte, a, b int) bool {
+	return src[a] == src[b] && src[a+1] == src[b+1] && src[a+2] == src[b+2] && src[a+3] == src[b+3]
+}
+
+func emitLiterals(dst, lit []byte, st *Stats) []byte {
+	for len(lit) > 0 {
+		st.LiteralRuns++
+		run := len(lit)
+		if run <= maxLiteralToken { // 1..31 in-token
+			dst = append(dst, byte(run-1))
+			dst = append(dst, lit[:run]...)
+			st.LiteralBytes += uint64(run)
+			return dst
+		}
+		dst = append(dst, maxLiteralToken)
+		extra := run - 1 - maxLiteralToken
+		dst = appendExtension(dst, extra)
+		dst = append(dst, lit...)
+		st.LiteralBytes += uint64(run)
+		return dst
+	}
+	return dst
+}
+
+func emitMatch(dst []byte, length, offset int, st *Stats) []byte {
+	st.Matches++
+	st.MatchBytes += uint64(length)
+	code := length - MinMatch
+	if code < maxMatchToken-matchTokenBase {
+		dst = append(dst, byte(matchTokenBase+code))
+	} else {
+		dst = append(dst, maxMatchToken)
+		dst = appendExtension(dst, code-(maxMatchToken-matchTokenBase))
+	}
+	return append(dst, byte(offset-1), byte((offset-1)>>8))
+}
+
+func appendExtension(dst []byte, v int) []byte {
+	for v >= 0xFF {
+		dst = append(dst, 0xFF)
+		v -= 0xFF
+	}
+	return append(dst, byte(v))
+}
+
+// Errors returned by Decompress.
+var (
+	ErrCorrupt  = errors.New("lzo: corrupt input")
+	ErrTooLarge = errors.New("lzo: output exceeds declared size")
+)
+
+// Decompress expands a block produced by Compress. maxLen bounds the output
+// size (a real swap system knows the page size).
+func Decompress(src []byte, maxLen int) ([]byte, error) {
+	out, _, err := DecompressWithStats(src, maxLen)
+	return out, err
+}
+
+// DecompressWithStats is Decompress plus work statistics.
+func DecompressWithStats(src []byte, maxLen int) ([]byte, Stats, error) {
+	var st Stats
+	dst := make([]byte, 0, maxLen)
+	i := 0
+	for i < len(src) {
+		tok := src[i]
+		i++
+		if tok <= maxLiteralToken {
+			run := int(tok) + 1
+			if tok == maxLiteralToken {
+				ext, n, err := readExtension(src[i:])
+				if err != nil {
+					return nil, st, err
+				}
+				i += n
+				run += ext
+			}
+			if i+run > len(src) {
+				return nil, st, fmt.Errorf("%w: literal run of %d exceeds input", ErrCorrupt, run)
+			}
+			if len(dst)+run > maxLen {
+				return nil, st, ErrTooLarge
+			}
+			dst = append(dst, src[i:i+run]...)
+			i += run
+			st.LiteralRuns++
+			st.LiteralBytes += uint64(run)
+			continue
+		}
+		length := int(tok-matchTokenBase) + MinMatch
+		if tok == maxMatchToken {
+			ext, n, err := readExtension(src[i:])
+			if err != nil {
+				return nil, st, err
+			}
+			i += n
+			length += ext
+		}
+		if i+2 > len(src) {
+			return nil, st, fmt.Errorf("%w: truncated match offset", ErrCorrupt)
+		}
+		offset := int(src[i]) | int(src[i+1])<<8
+		offset++
+		i += 2
+		if offset > len(dst) {
+			return nil, st, fmt.Errorf("%w: match offset %d beyond output (%d)", ErrCorrupt, offset, len(dst))
+		}
+		if len(dst)+length > maxLen {
+			return nil, st, ErrTooLarge
+		}
+		// Byte-wise copy: matches may overlap themselves (RLE-style).
+		pos := len(dst) - offset
+		for k := 0; k < length; k++ {
+			dst = append(dst, dst[pos+k])
+		}
+		st.Matches++
+		st.MatchBytes += uint64(length)
+	}
+	return dst, st, nil
+}
+
+func readExtension(src []byte) (value, n int, err error) {
+	for n < len(src) {
+		b := src[n]
+		n++
+		value += int(b)
+		if b != 0xFF {
+			return value, n, nil
+		}
+	}
+	return 0, n, fmt.Errorf("%w: unterminated length extension", ErrCorrupt)
+}
+
+// Ratio returns compressed/original size (lower is better), or 1 for empty
+// input.
+func Ratio(original, compressed int) float64 {
+	if original == 0 {
+		return 1
+	}
+	return float64(compressed) / float64(original)
+}

@@ -1,0 +1,213 @@
+package lzo
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, src []byte) []byte {
+	t.Helper()
+	comp := Compress(src)
+	out, err := Decompress(comp, len(src))
+	if err != nil {
+		t.Fatalf("Decompress: %v", err)
+	}
+	if !bytes.Equal(out, src) {
+		t.Fatalf("round trip mismatch: in %d bytes, out %d bytes", len(src), len(out))
+	}
+	return comp
+}
+
+func TestRoundTripEmpty(t *testing.T) {
+	comp := roundTrip(t, nil)
+	if len(comp) != 0 {
+		t.Errorf("empty input compressed to %d bytes, want 0", len(comp))
+	}
+}
+
+func TestRoundTripShort(t *testing.T) {
+	for n := 1; n < 40; n++ {
+		src := bytes.Repeat([]byte{'x'}, n)
+		roundTrip(t, src)
+	}
+}
+
+func TestRoundTripText(t *testing.T) {
+	src := []byte(strings.Repeat("the quick brown fox jumps over the lazy dog. ", 200))
+	comp := roundTrip(t, src)
+	if len(comp) >= len(src)/4 {
+		t.Errorf("repetitive text compressed to %d/%d bytes; expected at least 4x", len(comp), len(src))
+	}
+}
+
+func TestRoundTripAllZero(t *testing.T) {
+	src := make([]byte, 64<<10)
+	comp := roundTrip(t, src)
+	if len(comp) > 600 {
+		t.Errorf("64 KiB of zeros compressed to %d bytes; expected RLE-like behaviour", len(comp))
+	}
+}
+
+func TestRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	src := make([]byte, 32<<10)
+	rng.Read(src)
+	comp := roundTrip(t, src)
+	if len(comp) > len(src)+len(src)/8 {
+		t.Errorf("random data expanded to %d/%d; framing overhead too large", len(comp), len(src))
+	}
+}
+
+func TestRoundTripMixed(t *testing.T) {
+	// Page-like content: runs of zeros, text, pointer-ish values.
+	rng := rand.New(rand.NewSource(11))
+	var src []byte
+	for i := 0; i < 100; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			src = append(src, make([]byte, rng.Intn(500))...)
+		case 1:
+			src = append(src, []byte(strings.Repeat("field:value;", rng.Intn(20)+1))...)
+		case 2:
+			chunk := make([]byte, rng.Intn(200))
+			rng.Read(chunk)
+			src = append(src, chunk...)
+		}
+	}
+	roundTrip(t, src)
+}
+
+func TestLongMatchExtension(t *testing.T) {
+	// A single very long match exercises the 0xFF length extension path.
+	src := bytes.Repeat([]byte("ab"), 50000)
+	roundTrip(t, src)
+}
+
+func TestLongLiteralExtension(t *testing.T) {
+	// Incompressible run longer than 31 bytes exercises literal extension.
+	rng := rand.New(rand.NewSource(3))
+	src := make([]byte, 5000)
+	rng.Read(src)
+	roundTrip(t, src)
+}
+
+func TestMatchAtMaxOffset(t *testing.T) {
+	var src []byte
+	src = append(src, []byte("UNIQUEPREFIX0123456789")...)
+	filler := make([]byte, MaxOffset-len(src))
+	rng := rand.New(rand.NewSource(5))
+	rng.Read(filler)
+	src = append(src, filler...)
+	src = append(src, []byte("UNIQUEPREFIX0123456789")...)
+	roundTrip(t, src)
+}
+
+func TestDecompressCorruptInputs(t *testing.T) {
+	cases := map[string][]byte{
+		"truncated literal run":   {0x05, 'a'},
+		"truncated match offset":  {matchTokenBase, 0x01},
+		"offset beyond output":    {0x00, 'a', matchTokenBase, 0xFF, 0xFF},
+		"unterminated extension":  {maxLiteralToken, 0xFF, 0xFF},
+		"match with empty output": {matchTokenBase, 0x00, 0x00},
+	}
+	for name, in := range cases {
+		if _, err := Decompress(in, 1<<20); err == nil {
+			t.Errorf("%s: Decompress accepted corrupt input", name)
+		}
+	}
+}
+
+func TestDecompressRespectsMaxLen(t *testing.T) {
+	src := bytes.Repeat([]byte{'z'}, 4096)
+	comp := Compress(src)
+	if _, err := Decompress(comp, 100); err != ErrTooLarge {
+		t.Errorf("Decompress with small maxLen: err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	src := []byte(strings.Repeat("abcabcabc", 100))
+	comp, cst := CompressWithStats(src)
+	if cst.Matches == 0 {
+		t.Error("no matches found in highly repetitive input")
+	}
+	if cst.LiteralBytes+cst.MatchBytes != uint64(len(src)) {
+		t.Errorf("literal(%d)+match(%d) bytes != input %d", cst.LiteralBytes, cst.MatchBytes, len(src))
+	}
+	out, dst, err := DecompressWithStats(comp, len(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(src) {
+		t.Fatalf("decompressed %d bytes, want %d", len(out), len(src))
+	}
+	if dst.LiteralBytes+dst.MatchBytes != uint64(len(src)) {
+		t.Errorf("decoder literal(%d)+match(%d) != %d", dst.LiteralBytes, dst.MatchBytes, len(src))
+	}
+}
+
+func TestRatioHelper(t *testing.T) {
+	if Ratio(0, 10) != 1 {
+		t.Error("Ratio with zero original should be 1")
+	}
+	if got := Ratio(100, 25); got != 0.25 {
+		t.Errorf("Ratio = %v, want 0.25", got)
+	}
+}
+
+// Property: Decompress(Compress(x)) == x for arbitrary inputs.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(src []byte) bool {
+		comp := Compress(src)
+		out, err := Decompress(comp, len(src))
+		return err == nil && bytes.Equal(out, src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: compression never expands by more than the framing bound.
+func TestQuickExpansionBound(t *testing.T) {
+	f := func(src []byte) bool {
+		comp := Compress(src)
+		return len(comp) <= len(src)+len(src)/16+8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: decompressor never panics on arbitrary (usually corrupt) input.
+func TestQuickDecompressRobust(t *testing.T) {
+	f := func(junk []byte) bool {
+		_, err := Decompress(junk, 1<<16)
+		_ = err // any error (or none) is fine; no panic is the property
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkCompressText(b *testing.B) {
+	src := []byte(strings.Repeat("consumer devices move too much data around. ", 2000))
+	b.SetBytes(int64(len(src)))
+	for i := 0; i < b.N; i++ {
+		Compress(src)
+	}
+}
+
+func BenchmarkDecompressText(b *testing.B) {
+	src := []byte(strings.Repeat("consumer devices move too much data around. ", 2000))
+	comp := Compress(src)
+	b.SetBytes(int64(len(src)))
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompress(comp, len(src)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+// Package mem provides the simulated physical address space used by the
+// workload characterization pipeline.
+//
+// Workload kernels operate on real host memory (the Data slice of a Buffer)
+// while reporting the addresses they touch to a Tracer. Addresses live in a
+// flat simulated physical address space managed by a Space, so that the cache
+// and DRAM models see realistic conflict and locality behaviour (distinct
+// buffers never alias, allocations are page aligned, and large buffers span
+// many cache sets and DRAM rows).
+package mem
+
+import "fmt"
+
+// LineSize is the cache line size, in bytes, used throughout the system
+// model. The paper's platform (Intel Celeron N3060 SoC) uses 64-byte lines.
+const LineSize = 64
+
+// PageSize is the allocation granularity of a Space. 4 KiB matches both the
+// OS page size and the texture tile size used by the graphics driver.
+const PageSize = 4096
+
+// Tracer receives memory accesses performed by an instrumented kernel.
+// Implementations must tolerate spans that cross cache-line boundaries;
+// splitting into line-sized events is the tracer's job.
+type Tracer interface {
+	// Load records a read of n bytes starting at addr.
+	Load(addr uint64, n int)
+	// Store records a write of n bytes starting at addr.
+	Store(addr uint64, n int)
+}
+
+// NopTracer discards all accesses. It is useful for running a kernel purely
+// for its functional result.
+type NopTracer struct{}
+
+// Load implements Tracer.
+func (NopTracer) Load(addr uint64, n int) {}
+
+// Store implements Tracer.
+func (NopTracer) Store(addr uint64, n int) {}
+
+// Space is a simulated physical address space. The zero value is not usable;
+// call NewSpace. Space is not safe for concurrent use.
+type Space struct {
+	next    uint64
+	buffers []*Buffer
+}
+
+// NewSpace returns an empty address space. The first allocation is placed
+// above address zero so that a zero address can be treated as invalid.
+func NewSpace() *Space {
+	return &Space{next: PageSize}
+}
+
+// Alloc reserves size bytes of page-aligned simulated memory backed by a
+// fresh host slice. The name is used only for diagnostics.
+func (s *Space) Alloc(name string, size int) *Buffer {
+	if size < 0 {
+		panic(fmt.Sprintf("mem: negative allocation %q (%d bytes)", name, size))
+	}
+	b := &Buffer{
+		Name: name,
+		Base: s.next,
+		Data: make([]byte, size),
+	}
+	pages := (uint64(size) + PageSize - 1) / PageSize
+	if pages == 0 {
+		pages = 1
+	}
+	s.next += pages * PageSize
+	s.buffers = append(s.buffers, b)
+	return b
+}
+
+// Footprint returns the total number of simulated bytes allocated so far.
+func (s *Space) Footprint() uint64 {
+	var total uint64
+	for _, b := range s.buffers {
+		total += uint64(len(b.Data))
+	}
+	return total
+}
+
+// Buffers returns the allocations made so far, in allocation order. The
+// returned slice is shared; callers must not modify it.
+func (s *Space) Buffers() []*Buffer { return s.buffers }
+
+// Buffer is a named, page-aligned region of simulated memory backed by host
+// memory. Kernels compute on Data and report accesses via the owning
+// machine's Tracer using Addr to translate offsets.
+type Buffer struct {
+	Name string
+	Base uint64
+	Data []byte
+}
+
+// Addr returns the simulated address of byte offset off within the buffer.
+func (b *Buffer) Addr(off int) uint64 {
+	return b.Base + uint64(off)
+}
+
+// Len returns the buffer length in bytes.
+func (b *Buffer) Len() int { return len(b.Data) }
+
+// Lines returns the number of cache lines a span of n bytes starting at addr
+// touches.
+func Lines(addr uint64, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	first := addr / LineSize
+	last := (addr + uint64(n) - 1) / LineSize
+	return int(last - first + 1)
+}
+
+// LineAddr returns the address of the cache line containing addr.
+func LineAddr(addr uint64) uint64 { return addr &^ (LineSize - 1) }

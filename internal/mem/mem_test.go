@@ -1,0 +1,134 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocAlignmentAndDisjointness(t *testing.T) {
+	s := NewSpace()
+	a := s.Alloc("a", 100)
+	b := s.Alloc("b", PageSize+1)
+	c := s.Alloc("c", 0)
+
+	for _, buf := range []*Buffer{a, b, c} {
+		if buf.Base%PageSize != 0 {
+			t.Errorf("%s base %#x not page aligned", buf.Name, buf.Base)
+		}
+	}
+	if a.Base == 0 {
+		t.Error("first allocation at address zero")
+	}
+	if a.Base+uint64(len(a.Data)) > b.Base {
+		t.Errorf("a [%#x,+%d) overlaps b at %#x", a.Base, len(a.Data), b.Base)
+	}
+	if b.Base+uint64(len(b.Data)) > c.Base {
+		t.Errorf("b [%#x,+%d) overlaps c at %#x", b.Base, len(b.Data), c.Base)
+	}
+	if got := s.Footprint(); got != uint64(100+PageSize+1) {
+		t.Errorf("Footprint = %d, want %d", got, 100+PageSize+1)
+	}
+	if len(s.Buffers()) != 3 {
+		t.Errorf("Buffers() returned %d entries, want 3", len(s.Buffers()))
+	}
+}
+
+func TestAllocNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Alloc(-1) did not panic")
+		}
+	}()
+	NewSpace().Alloc("bad", -1)
+}
+
+func TestBufferAddr(t *testing.T) {
+	s := NewSpace()
+	b := s.Alloc("b", 128)
+	if b.Addr(0) != b.Base {
+		t.Errorf("Addr(0) = %#x, want %#x", b.Addr(0), b.Base)
+	}
+	if b.Addr(100) != b.Base+100 {
+		t.Errorf("Addr(100) = %#x, want %#x", b.Addr(100), b.Base+100)
+	}
+	if b.Len() != 128 {
+		t.Errorf("Len = %d, want 128", b.Len())
+	}
+}
+
+func TestLines(t *testing.T) {
+	cases := []struct {
+		addr uint64
+		n    int
+		want int
+	}{
+		{0, 0, 0},
+		{0, -5, 0},
+		{0, 1, 1},
+		{0, 64, 1},
+		{0, 65, 2},
+		{63, 2, 2},
+		{64, 64, 1},
+		{10, 128, 3},
+	}
+	for _, c := range cases {
+		if got := Lines(c.addr, c.n); got != c.want {
+			t.Errorf("Lines(%d, %d) = %d, want %d", c.addr, c.n, got, c.want)
+		}
+	}
+}
+
+func TestLineAddr(t *testing.T) {
+	if got := LineAddr(0); got != 0 {
+		t.Errorf("LineAddr(0) = %d", got)
+	}
+	if got := LineAddr(63); got != 0 {
+		t.Errorf("LineAddr(63) = %d, want 0", got)
+	}
+	if got := LineAddr(64); got != 64 {
+		t.Errorf("LineAddr(64) = %d, want 64", got)
+	}
+	if got := LineAddr(130); got != 128 {
+		t.Errorf("LineAddr(130) = %d, want 128", got)
+	}
+}
+
+// Property: Lines always matches a direct enumeration of line addresses.
+func TestLinesMatchesEnumeration(t *testing.T) {
+	f := func(addr uint32, n uint16) bool {
+		a := uint64(addr)
+		count := 0
+		for off := 0; off < int(n); off++ {
+			if (a+uint64(off))%LineSize == 0 || off == 0 {
+				count++
+			}
+		}
+		return Lines(a, int(n)) == count
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: allocations never overlap, for arbitrary size sequences.
+func TestAllocNeverOverlaps(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		s := NewSpace()
+		var prevEnd uint64
+		for i, sz := range sizes {
+			b := s.Alloc("buf", int(sz))
+			if b.Base < prevEnd {
+				return false
+			}
+			if b.Base%PageSize != 0 {
+				return false
+			}
+			prevEnd = b.Base + uint64(len(b.Data))
+			_ = i
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

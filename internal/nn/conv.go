@@ -1,0 +1,93 @@
+package nn
+
+import (
+	"fmt"
+
+	"gopim/internal/qgemm"
+)
+
+// Im2col lowers an NHWC uint8 feature map (h x w x c) into the GEMM LHS
+// matrix for an f x f convolution with the given stride and SAME zero
+// padding: each output position becomes a row of f*f*c patch values.
+// padValue is the quantized level representing real zero.
+func Im2col(input []uint8, h, w, c, f, stride int, padValue uint8) qgemm.Matrix {
+	if len(input) < h*w*c {
+		panic(fmt.Sprintf("nn: input %d too small for %dx%dx%d", len(input), h, w, c))
+	}
+	outH := (h + stride - 1) / stride
+	outW := (w + stride - 1) / stride
+	pad := f / 2
+	m := qgemm.NewMatrix(outH*outW, f*f*c)
+	row := 0
+	for oy := 0; oy < outH; oy++ {
+		for ox := 0; ox < outW; ox++ {
+			base := row * m.Cols
+			col := 0
+			for ky := 0; ky < f; ky++ {
+				iy := oy*stride + ky - pad
+				for kx := 0; kx < f; kx++ {
+					ix := ox*stride + kx - pad
+					if iy < 0 || iy >= h || ix < 0 || ix >= w {
+						for ch := 0; ch < c; ch++ {
+							m.Data[base+col] = padValue
+							col++
+						}
+						continue
+					}
+					src := (iy*w + ix) * c
+					copy(m.Data[base+col:base+col+c], input[src:src+c])
+					col += c
+				}
+			}
+			row++
+		}
+	}
+	return m
+}
+
+// Conv2D performs a quantized 2-D convolution by lowering the input with
+// Im2col and multiplying against the weight matrix (f*f*c rows x outC
+// columns, i.e. HWIO flattened). It returns the int32 accumulator map of
+// outH*outW rows x outC columns.
+func Conv2D(input []uint8, h, w, c int, weights qgemm.Matrix, f, stride int, inZero, wZero int32) []int32 {
+	if weights.Rows != f*f*c {
+		panic(fmt.Sprintf("nn: weights %dx%d incompatible with %dx%dx%d filter %d", weights.Rows, weights.Cols, h, w, c, f))
+	}
+	lowered := Im2col(input, h, w, c, f, stride, uint8(inZero))
+	return qgemm.GEMM(qgemm.PackLHS(lowered), qgemm.PackRHS(weights), inZero, wZero)
+}
+
+// Conv2DReference computes the same convolution directly (no lowering),
+// for correctness tests.
+func Conv2DReference(input []uint8, h, w, c int, weights qgemm.Matrix, f, stride int, inZero, wZero int32) []int32 {
+	outH := (h + stride - 1) / stride
+	outW := (w + stride - 1) / stride
+	pad := f / 2
+	outC := weights.Cols
+	out := make([]int32, outH*outW*outC)
+	for oy := 0; oy < outH; oy++ {
+		for ox := 0; ox < outW; ox++ {
+			for oc := 0; oc < outC; oc++ {
+				var acc int32
+				for ky := 0; ky < f; ky++ {
+					iy := oy*stride + ky - pad
+					for kx := 0; kx < f; kx++ {
+						ix := ox*stride + kx - pad
+						for ch := 0; ch < c; ch++ {
+							var in int32
+							if iy >= 0 && iy < h && ix >= 0 && ix < w {
+								in = int32(input[(iy*w+ix)*c+ch])
+							} else {
+								in = inZero
+							}
+							wv := int32(weights.At((ky*f+kx)*c+ch, oc))
+							acc += (in - inZero) * (wv - wZero)
+						}
+					}
+				}
+				out[(oy*outW+ox)*outC+oc] = acc
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,177 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gopim/internal/profile"
+	"gopim/internal/qgemm"
+)
+
+// Phase labels matching the paper's Figure 6/7 breakdown.
+const (
+	PhasePacking  = "Packing"
+	PhaseQuant    = "Quantization"
+	PhaseGEMM     = "Conv2D + MatMul"
+	PhaseOther    = "Other"
+	phaseGenerate = "generate"
+)
+
+// Phases lists the presentation order of the inference breakdown.
+var Phases = []string{PhasePacking, PhaseQuant, PhaseGEMM, PhaseOther}
+
+// quantInvocationOps is the fixed per-invocation cost of each quantization
+// pass (parameter recomputation, multiplier rescaling, dispatch).
+const quantInvocationOps = 40000
+
+// LayerKernel returns an instrumented kernel running one invocation of the
+// layer through the full TensorFlow Mobile pipeline: quantize the float
+// input, pack both operands, run the quantized GEMM, unpack the result, and
+// re-quantize it; activation work lands in the Other phase.
+func LayerKernel(l Layer, scale int) profile.Kernel {
+	m, k, n := l.GEMMShape(scale)
+	return profile.KernelFunc{
+		KernelName: fmt.Sprintf("%s (%dx%dx%d)", l.Name, m, k, n),
+		Fn:         func(ctx *profile.Ctx) { runLayer(ctx, m, k, n) },
+	}
+}
+
+func runLayer(ctx *profile.Ctx, m, k, n int) {
+	rng := rand.New(rand.NewSource(int64(m*31 + k*7 + n)))
+
+	inF := ctx.Alloc("input f32", m*k*4)
+	inQ := ctx.Alloc("input u8", m*k)
+	weights := ctx.Alloc("weights u8", k*n)
+	lhsPacked := ctx.Alloc("lhs packed", qgemm.PackedLHSSize(m, k))
+	rhsPacked := ctx.Alloc("rhs packed", qgemm.PackedRHSSize(k, n))
+	rowPanels := (m + qgemm.MR - 1) / qgemm.MR
+	colPanels := (n + qgemm.NR - 1) / qgemm.NR
+	resPanels := ctx.Alloc("result panels", rowPanels*colPanels*qgemm.MR*qgemm.NR*4)
+	resFlat := ctx.Alloc("result i32", m*n*4)
+	resQ := ctx.Alloc("result u8", m*n)
+
+	// Input arrives from the previous layer; generating it is not part of
+	// the inference breakdown.
+	ctx.SetPhase(phaseGenerate)
+	src := make([]float32, m*k)
+	for i := range src {
+		src[i] = rng.Float32()*8 - 4
+	}
+	rng.Read(weights.Data)
+	ctx.StoreV(inF, 0, m*k*4)
+
+	// Quantize the input matrix (Figure 8 steps 1-2). Every Conv2D
+	// invocation also pays a fixed quantization overhead — recomputing
+	// quantization parameters, rescaling the requantization multipliers,
+	// and dispatching the two scan passes — which is why networks with
+	// many Conv2D invocations (ResNet: 156) spend more energy here than
+	// shallow-but-wide ones (VGG: 19), per §5.3.
+	ctx.SetPhase(PhaseQuant)
+	ctx.Ops(quantInvocationOps)
+	qgemm.TraceQuantScans(ctx, inF, inQ, m*k, 4)
+	qgemm.QuantizeInto(inQ.Data, src)
+
+	// Pack both operands into panel layout.
+	ctx.SetPhase(PhasePacking)
+	lhs := qgemm.Matrix{Rows: m, Cols: k, Data: inQ.Data}
+	qgemm.PackLHSInto(lhsPacked.Data, lhs)
+	for panel := 0; panel < rowPanels; panel++ {
+		for r := 0; r < qgemm.MR; r++ {
+			if panel*qgemm.MR+r < m {
+				ctx.LoadV(inQ, (panel*qgemm.MR+r)*k, k)
+			}
+		}
+		ctx.StoreV(lhsPacked, panel*k*qgemm.MR, k*qgemm.MR)
+		ctx.Ops(k)
+	}
+	rhs := qgemm.Matrix{Rows: k, Cols: n, Data: weights.Data}
+	qgemm.PackRHSInto(rhsPacked.Data, rhs)
+	qgemm.TraceRHSPack(ctx, weights, rhsPacked, k, n)
+
+	// The quantized GEMM itself. DRAM-visible traffic is each packed
+	// operand streamed once (gemmlowp blocks chunks into the LLC); the
+	// per-panel re-reads inside the blocked loop stay cache-resident and
+	// are accounted as L1 references.
+	ctx.SetPhase(PhaseGEMM)
+	packedL := qgemm.PackedLHS{Rows: m, Depth: k, Panels: rowPanels, Data: lhsPacked.Data}
+	packedR := qgemm.PackedRHS{Depth: k, Cols: n, Panels: colPanels, Data: rhsPacked.Data}
+	panelled := qgemm.GEMMPanels(packedL, packedR, 12, 9)
+	ctx.LoadV(lhsPacked, 0, len(lhsPacked.Data))
+	ctx.LoadV(rhsPacked, 0, len(rhsPacked.Data))
+	ctx.StoreV(resPanels, 0, len(resPanels.Data))
+	pairs := rowPanels * colPanels
+	ctx.Refs(pairs * k / 4) // cache-resident operand re-reads
+	ctx.SIMD(m * n * k / 4) // 4-lane MACs
+	ctx.Ops(pairs * 8)      // loop control per panel pair
+	copyInt32(resPanels.Data, panelled)
+
+	// Unpack the result to row-major order.
+	ctx.SetPhase(PhasePacking)
+	flat := make([]int32, m*n)
+	qgemm.UnpackResultInto(flat, panelled, m, n)
+	for rp := 0; rp < rowPanels; rp++ {
+		for cp := 0; cp < colPanels; cp++ {
+			ctx.LoadV(resPanels, (rp*colPanels+cp)*qgemm.MR*qgemm.NR*4, qgemm.MR*qgemm.NR*4)
+			for r := 0; r < qgemm.MR && rp*qgemm.MR+r < m; r++ {
+				ctx.Store(resFlat, ((rp*qgemm.MR+r)*n+cp*qgemm.NR)*4, qgemm.NR*4)
+			}
+			ctx.Ops(qgemm.MR)
+		}
+	}
+	copyInt32(resFlat.Data, flat)
+
+	// Re-quantize the result matrix (Figure 8 steps 3-4).
+	ctx.SetPhase(PhaseQuant)
+	ctx.Ops(quantInvocationOps)
+	qgemm.TraceQuantScans(ctx, resFlat, resQ, m*n, 4)
+	qgemm.RequantizeInto(resQ.Data, flat)
+
+	// Activation (ReLU-like pass over the quantized result).
+	ctx.SetPhase(PhaseOther)
+	ctx.LoadV(resQ, 0, m*n)
+	ctx.StoreV(resQ, 0, m*n)
+	ctx.SIMD(m * n / 4)
+	zero := resQ.Data[0]
+	for i, v := range resQ.Data {
+		if v < zero {
+			resQ.Data[i] = zero
+		}
+	}
+}
+
+func copyInt32(dst []byte, src []int32) {
+	n := len(dst) / 4
+	if len(src) < n {
+		n = len(src)
+	}
+	for i := 0; i < n; i++ {
+		v := src[i]
+		dst[i*4] = byte(v)
+		dst[i*4+1] = byte(v >> 8)
+		dst[i*4+2] = byte(v >> 16)
+		dst[i*4+3] = byte(v >> 24)
+	}
+}
+
+// NetworkProfile profiles one inference of net on hw at the given spatial
+// scale divisor, returning the total and the per-phase breakdown. Each
+// unique layer shape is profiled once and scaled by its repeat count.
+func NetworkProfile(net Network, hw profile.Hardware, scale int) (profile.Profile, map[string]profile.Profile) {
+	if scale < 1 {
+		scale = 1
+	}
+	phases := map[string]profile.Profile{}
+	var total profile.Profile
+	for _, l := range net.Layers {
+		_, layerPhases := profile.Run(hw, LayerKernel(l, scale))
+		for name, p := range layerPhases {
+			if name == phaseGenerate {
+				continue
+			}
+			scaled := p.ScaleInt(uint64(l.Repeat))
+			phases[name] = phases[name].Add(scaled)
+			total = total.Add(scaled)
+		}
+	}
+	return total, phases
+}

@@ -1,0 +1,120 @@
+package nn
+
+// VGG19 returns the VGG-19 architecture (Simonyan & Zisserman): 16
+// convolutions in five blocks plus three fully-connected layers. The paper
+// notes VGG needs only 19 Conv2D/MatMul operations, so its quantization
+// overhead is small.
+func VGG19() Network {
+	return Network{
+		Name: "VGG-19",
+		Layers: []Layer{
+			conv("conv1_1", 224, 224, 3, 64, 3, 1, 1),
+			conv("conv1_2", 224, 224, 64, 64, 3, 1, 1),
+			conv("conv2_1", 112, 112, 64, 128, 3, 1, 1),
+			conv("conv2_2", 112, 112, 128, 128, 3, 1, 1),
+			conv("conv3_1", 56, 56, 128, 256, 3, 1, 1),
+			conv("conv3_x", 56, 56, 256, 256, 3, 1, 3),
+			conv("conv4_1", 28, 28, 256, 512, 3, 1, 1),
+			conv("conv4_x", 28, 28, 512, 512, 3, 1, 3),
+			conv("conv5_x", 14, 14, 512, 512, 3, 1, 4),
+			matmul("fc6", 1, 25088, 4096, 1),
+			matmul("fc7", 1, 4096, 4096, 1),
+			matmul("fc8", 1, 4096, 1000, 1),
+		},
+	}
+}
+
+// ResNetV2152 returns ResNet-v2-152 (He et al.): a 7x7 stem plus bottleneck
+// stages of [3, 8, 36, 3] blocks (each 1x1 → 3x3 → 1x1). The paper notes
+// ResNet's 156 Conv2D operations make quantization 16.1% of system energy.
+func ResNetV2152() Network {
+	var layers []Layer
+	layers = append(layers, conv("stem 7x7", 224, 224, 3, 64, 7, 2, 1))
+	stage := func(name string, h, w, in, width, blocks int) {
+		// Projection shortcut for the first block of the stage.
+		layers = append(layers,
+			conv(name+" proj 1x1", h, w, in, width*4, 1, 1, 1),
+			conv(name+" a 1x1", h, w, in, width, 1, 1, 1),
+			conv(name+" b 3x3", h, w, width, width, 3, 1, blocks),
+			conv(name+" c 1x1", h, w, width, width*4, 1, 1, blocks),
+		)
+		if blocks > 1 {
+			layers = append(layers, conv(name+" a' 1x1", h, w, width*4, width, 1, 1, blocks-1))
+		}
+	}
+	stage("stage2", 56, 56, 64, 64, 3)
+	stage("stage3", 28, 28, 256, 128, 8)
+	stage("stage4", 14, 14, 512, 256, 36)
+	stage("stage5", 7, 7, 1024, 512, 3)
+	layers = append(layers, matmul("fc", 1, 2048, 1001, 1))
+	return Network{Name: "ResNet-V2-152", Layers: layers}
+}
+
+// InceptionResNetV2 returns a representative Inception-ResNet-v2 (Szegedy
+// et al.): stem convolutions plus 10 A blocks (35x35), 20 B blocks (17x17)
+// and 10 C blocks (8x8) with reductions between. Asymmetric 1x7/7x1
+// convolutions are folded into equivalent-MAC square shapes; DESIGN.md
+// records the approximation.
+func InceptionResNetV2() Network {
+	var layers []Layer
+	layers = append(layers,
+		conv("stem 3x3/2", 299, 299, 3, 32, 3, 2, 1),
+		conv("stem 3x3", 149, 149, 32, 32, 3, 1, 1),
+		conv("stem 3x3b", 147, 147, 32, 64, 3, 1, 1),
+		conv("stem 1x1", 73, 73, 64, 80, 1, 1, 1),
+		conv("stem 3x3c", 73, 73, 80, 192, 3, 1, 1),
+		conv("stem mixed", 35, 35, 192, 320, 3, 1, 1),
+	)
+	// 10x block A: three branches (1x1x32; 1x1+3x3x32; 1x1+3x3+3x3x48/64)
+	// plus the 1x1 residual projection back to 320 channels.
+	layers = append(layers,
+		conv("A 1x1", 35, 35, 320, 32, 1, 1, 30),
+		conv("A 3x3", 35, 35, 32, 48, 3, 1, 20),
+		conv("A proj", 35, 35, 128, 320, 1, 1, 10),
+	)
+	layers = append(layers, conv("reduction A", 35, 35, 320, 1088, 3, 2, 1))
+	// 20x block B: 1x1x192 branches and a folded 1x7+7x1 pair, plus proj.
+	layers = append(layers,
+		conv("B 1x1", 17, 17, 1088, 192, 1, 1, 40),
+		conv("B 7tap", 17, 17, 160, 192, 3, 1, 40), // 1x7 and 7x1 folded
+		conv("B proj", 17, 17, 384, 1088, 1, 1, 20),
+	)
+	layers = append(layers, conv("reduction B", 17, 17, 1088, 2080, 3, 2, 1))
+	// 10x block C: 1x1x192 and folded 1x3/3x1, plus proj.
+	layers = append(layers,
+		conv("C 1x1", 8, 8, 2080, 192, 1, 1, 30),
+		conv("C 3tap", 8, 8, 192, 256, 3, 1, 20),
+		conv("C proj", 8, 8, 448, 2080, 1, 1, 10),
+	)
+	layers = append(layers, matmul("fc", 1, 1536, 1001, 1))
+	return Network{Name: "Inception-ResNet", Layers: layers}
+}
+
+// ResidualGRU returns the Residual-GRU image compression network (Toderici
+// et al.): a convolutional encoder, three stacked GRU layers whose cells
+// are matrix multiplies over [input, hidden] at each spatial position, and
+// a decoder, unrolled for 8 residual iterations on a 64x64 patch grid.
+func ResidualGRU() Network {
+	const iters = 8
+	return Network{
+		Name: "Residual-GRU",
+		Layers: []Layer{
+			conv("encoder conv", 64, 64, 3, 64, 3, 2, iters),
+			conv("encoder conv2", 32, 32, 64, 256, 3, 2, iters),
+			conv("encoder conv3", 16, 16, 256, 512, 3, 2, iters),
+			// GRU cell: gates (update, reset, candidate) over concatenated
+			// input+hidden, at each of 8x8 positions.
+			matmul("gru1 gates", 64, 1024, 1536, iters),
+			matmul("gru2 gates", 64, 1024, 1536, iters),
+			matmul("gru3 gates", 64, 1024, 1536, iters),
+			conv("decoder conv", 16, 16, 512, 256, 3, 1, iters),
+			conv("decoder conv2", 32, 32, 128, 64, 3, 1, iters),
+			conv("decoder out", 64, 64, 32, 3, 3, 1, iters),
+		},
+	}
+}
+
+// Evaluated returns the paper's four-network evaluation set.
+func Evaluated() []Network {
+	return []Network{ResNetV2152(), VGG19(), ResidualGRU(), InceptionResNetV2()}
+}

@@ -1,0 +1,145 @@
+// Package nn models TensorFlow Mobile inference (paper §5): neural networks
+// described as tables of quantized GEMM shapes (2-D convolutions lowered via
+// im2col, and fully-connected/recurrent layers as direct matrix multiplies),
+// executed through the qgemm pipeline — quantize, pack, GEMM, re-quantize,
+// unpack — with every stage's data movement profiled.
+//
+// The four networks match the paper's evaluation set: VGG-19,
+// ResNet-v2-152, Inception-ResNet-v2, and Residual-GRU. Layer shapes follow
+// the published architectures; weights are random (breakdowns depend on
+// shapes and invocation counts, not weight values), and spatial resolution
+// is divided by a configurable scale so inference fits a laptop-class test
+// run — DESIGN.md records this substitution.
+package nn
+
+import "fmt"
+
+// Kind distinguishes how a layer maps onto GEMM.
+type Kind int
+
+// Layer kinds.
+const (
+	KindConv   Kind = iota // convolution lowered with im2col
+	KindMatMul             // fully-connected or recurrent-cell matrix multiply
+)
+
+// Layer is one GEMM-shaped unit of inference work.
+type Layer struct {
+	Name   string
+	Kind   Kind
+	Repeat int // times this exact shape runs in one inference
+
+	// Convolution geometry (Conv2D only), at full resolution.
+	H, W, InC, OutC, Filter, Stride int
+
+	// Direct GEMM shape (MatMul only).
+	M, K, N int
+}
+
+// GEMMShape returns the (M, K, N) of the layer's quantized GEMM at the
+// given reduction scale (scale >= 1; 1 is the published architecture).
+//
+// Scaling down only the spatial resolution would leave deep layers with
+// M=1 GEMMs whose energy is all weight streaming, distorting the
+// packing/quantization/GEMM ratios the experiments reproduce. The scale
+// factor is therefore split between the spatial dimensions and the channel
+// widths (channels shrink by up to 4x), which shrinks M, K and N together
+// and preserves the ratios (DESIGN.md records this substitution).
+func (l Layer) GEMMShape(scale int) (m, k, n int) {
+	if scale < 1 {
+		scale = 1
+	}
+	chanDiv := 1
+	if scale >= 16 {
+		chanDiv = 4
+	} else if scale >= 4 {
+		chanDiv = 2
+	}
+	spatial := scale / chanDiv
+	switch l.Kind {
+	case KindConv:
+		// Deep layers are small already; never scale a feature map below
+		// ~7x7 or the network's MAC mass shifts to its early layers.
+		if spatial > 1 && l.H/spatial < 7 {
+			spatial = max1(l.H / 7)
+		}
+		h := max1(l.H / spatial)
+		w := max1(l.W / spatial)
+		outH := max1(h / l.Stride)
+		outW := max1(w / l.Stride)
+		// Channels never shrink below 8 (or their original width): halving
+		// a 3-channel stem would distort the K/N ratios the breakdowns
+		// depend on.
+		in := l.InC / chanDiv
+		if floor := minInt(l.InC, 8); in < floor {
+			in = floor
+		}
+		out := l.OutC / chanDiv
+		if floor := minInt(l.OutC, 8); out < floor {
+			out = floor
+		}
+		return outH * outW, l.Filter * l.Filter * in, out
+	case KindMatMul:
+		// Fully-connected inputs shrink with the feature map they flatten.
+		return l.M, max1(l.K / scale), max1(l.N / scale)
+	default:
+		panic(fmt.Sprintf("nn: unknown layer kind %d", l.Kind))
+	}
+}
+
+// MACs returns the multiply-accumulate count of the layer at the given
+// scale, including repeats.
+func (l Layer) MACs(scale int) uint64 {
+	m, k, n := l.GEMMShape(scale)
+	return uint64(m) * uint64(k) * uint64(n) * uint64(l.Repeat)
+}
+
+func max1(v int) int {
+	if v < 1 {
+		return 1
+	}
+	return v
+}
+
+// Network is a named stack of layers.
+type Network struct {
+	Name   string
+	Layers []Layer
+}
+
+// Convs returns the total number of Conv2D invocations (the paper ties
+// quantization overhead to this count: VGG has 19, ResNet 156).
+func (n Network) Convs() int {
+	total := 0
+	for _, l := range n.Layers {
+		if l.Kind == KindConv {
+			total += l.Repeat
+		}
+	}
+	return total
+}
+
+// MACs returns the network's total multiply-accumulates at the given scale.
+func (n Network) MACs(scale int) uint64 {
+	var total uint64
+	for _, l := range n.Layers {
+		total += l.MACs(scale)
+	}
+	return total
+}
+
+func conv(name string, h, w, inC, outC, filter, stride, repeat int) Layer {
+	return Layer{Name: name, Kind: KindConv, Repeat: repeat,
+		H: h, W: w, InC: inC, OutC: outC, Filter: filter, Stride: stride}
+}
+
+func matmul(name string, m, k, n, repeat int) Layer {
+	return Layer{Name: name, Kind: KindMatMul, Repeat: repeat, M: m, K: k, N: n}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,200 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gopim/internal/profile"
+	"gopim/internal/qgemm"
+)
+
+func TestGEMMShapeConv(t *testing.T) {
+	l := conv("c", 224, 224, 3, 64, 3, 1, 1)
+	m, k, n := l.GEMMShape(1)
+	if m != 224*224 || k != 27 || n != 64 {
+		t.Errorf("shape = %d,%d,%d, want 50176,27,64", m, k, n)
+	}
+	// Scale 4 splits into spatial/2 and channels/2; the 3-channel stem
+	// input floors at its original width.
+	m, k, n = l.GEMMShape(4)
+	if m != 112*112 || k != 27 || n != 32 {
+		t.Errorf("scaled shape = %d,%d,%d, want 12544,27,32", m, k, n)
+	}
+}
+
+func TestGEMMShapeStride(t *testing.T) {
+	l := conv("c", 224, 224, 3, 64, 7, 2, 1)
+	m, _, _ := l.GEMMShape(1)
+	if m != 112*112 {
+		t.Errorf("stride-2 M = %d, want 12544", m)
+	}
+}
+
+func TestGEMMShapeMatMul(t *testing.T) {
+	l := matmul("fc", 1, 4096, 1000, 1)
+	m, k, n := l.GEMMShape(1)
+	if m != 1 || k != 4096 || n != 1000 {
+		t.Errorf("matmul shape = %d,%d,%d", m, k, n)
+	}
+	m, k, n = l.GEMMShape(8) // depth scales with the flattened feature map
+	if m != 1 || k != 512 || n != 125 {
+		t.Errorf("scaled matmul shape = %d,%d,%d, want 1,512,125", m, k, n)
+	}
+}
+
+func TestNetworkTables(t *testing.T) {
+	nets := Evaluated()
+	if len(nets) != 4 {
+		t.Fatalf("expected 4 evaluated networks, got %d", len(nets))
+	}
+	// Paper §5.3: VGG needs only 19 Conv2D operations, ResNet 156.
+	if got := VGG19().Convs(); got != 16 {
+		t.Errorf("VGG-19 conv count = %d, want 16 (19 including the 3 FC layers)", got)
+	}
+	if got := ResNetV2152().Convs(); got < 140 || got > 170 {
+		t.Errorf("ResNet-152 conv count = %d, want ~156", got)
+	}
+	// VGG is by far the heaviest network per inference.
+	if VGG19().MACs(1) < ResNetV2152().MACs(1) {
+		t.Error("VGG-19 should have more MACs than ResNet-152")
+	}
+	// Full-resolution MAC counts should be in the published ballpark:
+	// VGG-19 ~19.6G, ResNet-152 ~11G.
+	if g := VGG19().MACs(1); g < 15e9 || g > 25e9 {
+		t.Errorf("VGG-19 MACs = %.1fG, want ~19.6G", float64(g)/1e9)
+	}
+	if g := ResNetV2152().MACs(1); g < 7e9 || g > 16e9 {
+		t.Errorf("ResNet-152 MACs = %.1fG, want ~11G", float64(g)/1e9)
+	}
+}
+
+func TestConv2DMatchesReference(t *testing.T) {
+	cases := []struct{ h, w, c, f, s, outC int }{
+		{8, 8, 3, 3, 1, 4},
+		{7, 9, 2, 3, 2, 3},
+		{6, 6, 1, 1, 1, 5},
+		{10, 10, 4, 5, 2, 2},
+	}
+	for _, tc := range cases {
+		rng := rand.New(rand.NewSource(int64(tc.h * tc.w)))
+		input := make([]uint8, tc.h*tc.w*tc.c)
+		rng.Read(input)
+		weights := qgemm.NewMatrix(tc.f*tc.f*tc.c, tc.outC)
+		rng.Read(weights.Data)
+		got := Conv2D(input, tc.h, tc.w, tc.c, weights, tc.f, tc.s, 10, 7)
+		want := Conv2DReference(input, tc.h, tc.w, tc.c, weights, tc.f, tc.s, 10, 7)
+		if len(got) != len(want) {
+			t.Fatalf("%+v: length %d vs %d", tc, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%+v: element %d = %d, want %d", tc, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// Property: im2col rows contain exactly the patch bytes of the input.
+func TestQuickIm2colPatch(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h, w, c := 5+rng.Intn(6), 5+rng.Intn(6), 1+rng.Intn(3)
+		input := make([]uint8, h*w*c)
+		rng.Read(input)
+		m := Im2col(input, h, w, c, 3, 1, 0)
+		// Check a center output position: row oy*w+ox should hold the 3x3
+		// neighborhood around (oy, ox).
+		oy, ox := h/2, w/2
+		row := oy*w + ox
+		for ky := 0; ky < 3; ky++ {
+			for kx := 0; kx < 3; kx++ {
+				for ch := 0; ch < c; ch++ {
+					want := input[((oy+ky-1)*w+(ox+kx-1))*c+ch]
+					got := m.Data[row*m.Cols+((ky*3+kx)*c+ch)]
+					if got != want {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLayerKernelPhases(t *testing.T) {
+	l := conv("test", 64, 64, 32, 64, 3, 1, 1)
+	_, phases := profile.Run(profile.SoC(), LayerKernel(l, 1))
+	for _, want := range Phases {
+		if _, ok := phases[want]; !ok {
+			t.Errorf("missing phase %q; got %v", want, names(phases))
+		}
+	}
+	if phases[PhaseGEMM].SIMDOps == 0 {
+		t.Error("GEMM phase recorded no SIMD MACs")
+	}
+	if phases[PhasePacking].Mem.Total() == 0 {
+		t.Error("packing phase moved no memory")
+	}
+}
+
+func TestNetworkProfileBreakdownShape(t *testing.T) {
+	// At scale 16 the test runs quickly; the shape claims still hold:
+	// packing+quantization are a significant minority of inference energy.
+	total, phases := NetworkProfile(VGG19(), profile.SoC(), 16)
+	if total.Instructions() == 0 {
+		t.Fatal("empty network profile")
+	}
+	var sum profile.Profile
+	for _, name := range Phases {
+		sum = sum.Add(phases[name])
+	}
+	if sum != total {
+		t.Error("phase sum != total")
+	}
+	if phases[PhaseGEMM].SIMDOps < phases[PhasePacking].SIMDOps {
+		t.Error("GEMM should dominate SIMD work")
+	}
+}
+
+func TestResNetQuantizationScalesWithConvCount(t *testing.T) {
+	// Paper §5.3: more Conv2D invocations -> more quantization overhead.
+	// ResNet (156 convs) must spend relatively more traffic on quantization
+	// than VGG (16 convs).
+	_, vggPhases := NetworkProfile(VGG19(), profile.SoC(), 16)
+	_, resPhases := NetworkProfile(ResNetV2152(), profile.SoC(), 16)
+	// Normalize quantization work by GEMM compute (proportional to MAC
+	// count): ResNet pays more quantization per unit of useful work.
+	vggFrac := ratio(vggPhases[PhaseQuant].Instructions(), vggPhases[PhaseGEMM].SIMDOps)
+	resFrac := ratio(resPhases[PhaseQuant].Instructions(), resPhases[PhaseGEMM].SIMDOps)
+	if resFrac <= vggFrac {
+		t.Errorf("quant instructions per MAC: ResNet %.3f <= VGG %.3f; expected ResNet higher", resFrac, vggFrac)
+	}
+}
+
+func ratio(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+func names(m map[string]profile.Profile) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func TestIm2colTooSmallPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short input did not panic")
+		}
+	}()
+	Im2col(make([]uint8, 5), 4, 4, 1, 3, 1, 0)
+}

@@ -1,0 +1,146 @@
+package profile
+
+import (
+	"testing"
+
+	"gopim/internal/mem"
+)
+
+func TestCountersAndPhases(t *testing.T) {
+	k := KernelFunc{KernelName: "k", Fn: func(ctx *Ctx) {
+		buf := ctx.Alloc("buf", 4096)
+		ctx.SetPhase("read")
+		ctx.Load(buf, 0, 1024) // 128 scalar refs, 16 lines
+		ctx.Ops(100)
+		ctx.SetPhase("write")
+		ctx.StoreV(buf, 0, 1024) // 64 vector refs
+		ctx.SIMD(10)
+	}}
+	total, phases := Run(SoC(), k)
+
+	if got := total.MemRefs; got != 128+64 {
+		t.Errorf("MemRefs = %d, want 192", got)
+	}
+	if total.Ops != 100 || total.SIMDOps != 10 {
+		t.Errorf("Ops/SIMD = %d/%d, want 100/10", total.Ops, total.SIMDOps)
+	}
+	if got := total.Instructions(); got != 100+10+192 {
+		t.Errorf("Instructions = %d, want 302", got)
+	}
+	if len(phases) != 2 {
+		t.Fatalf("got %d phases, want 2: %v", len(phases), phases)
+	}
+	r := phases["read"]
+	w := phases["write"]
+	if r.Ops != 100 || w.SIMDOps != 10 {
+		t.Errorf("phase attribution wrong: read=%+v write=%+v", r, w)
+	}
+	if r.L1.Misses == 0 {
+		t.Error("cold reads produced no L1 misses")
+	}
+	if w.L1.Misses != 0 {
+		t.Errorf("writes to just-read lines missed L1 %d times", w.L1.Misses)
+	}
+	// Totals must equal the sum of phases.
+	sum := Profile{}
+	for _, p := range phases {
+		sum = sum.Add(p)
+	}
+	if sum != total {
+		t.Errorf("phase sum %+v != total %+v", sum, total)
+	}
+}
+
+func TestPhaseRevisitAccumulates(t *testing.T) {
+	k := KernelFunc{KernelName: "k", Fn: func(ctx *Ctx) {
+		ctx.SetPhase("a")
+		ctx.Ops(1)
+		ctx.SetPhase("b")
+		ctx.Ops(10)
+		ctx.SetPhase("a")
+		ctx.Ops(2)
+	}}
+	total, phases := Run(SoC(), k)
+	if phases["a"].Ops != 3 {
+		t.Errorf(`phase "a" ops = %d, want 3`, phases["a"].Ops)
+	}
+	if phases["b"].Ops != 10 {
+		t.Errorf(`phase "b" ops = %d, want 10`, phases["b"].Ops)
+	}
+	if total.Ops != 13 {
+		t.Errorf("total ops = %d, want 13", total.Ops)
+	}
+}
+
+func TestSoCHitsInLLCAfterL1Eviction(t *testing.T) {
+	// Working set: 256 KiB — exceeds the 64 KiB L1, fits the 2 MiB LLC.
+	k := KernelFunc{KernelName: "k", Fn: func(ctx *Ctx) {
+		buf := ctx.Alloc("buf", 256<<10)
+		for pass := 0; pass < 2; pass++ {
+			for off := 0; off < buf.Len(); off += mem.LineSize {
+				ctx.Load(buf, off, mem.LineSize)
+			}
+		}
+	}}
+	total, _ := Run(SoC(), k)
+	wantCold := uint64(256 << 10)
+	if total.Mem.BytesRead != wantCold {
+		t.Errorf("memory reads = %d bytes, want %d (only cold misses)", total.Mem.BytesRead, wantCold)
+	}
+	if total.LLC.Misses >= total.LLC.Accesses {
+		t.Error("LLC absorbed nothing on the second pass")
+	}
+}
+
+func TestPIMCoreHasNoLLC(t *testing.T) {
+	k := KernelFunc{KernelName: "k", Fn: func(ctx *Ctx) {
+		buf := ctx.Alloc("buf", 128<<10)
+		for off := 0; off < buf.Len(); off += mem.LineSize {
+			ctx.Load(buf, off, mem.LineSize)
+		}
+	}}
+	total, _ := Run(PIMCore(), k)
+	if total.LLC.Accesses != 0 {
+		t.Errorf("PIM core recorded %d LLC accesses; it has none", total.LLC.Accesses)
+	}
+	if total.Mem.BytesRead != 128<<10 {
+		t.Errorf("memory reads = %d, want %d", total.Mem.BytesRead, 128<<10)
+	}
+}
+
+func TestLLCMPKI(t *testing.T) {
+	p := Profile{Ops: 500, MemRefs: 500}
+	p.LLC.Misses = 25
+	if got := p.LLCMPKI(); got != 25 {
+		t.Errorf("LLCMPKI = %v, want 25", got)
+	}
+	var zero Profile
+	if zero.LLCMPKI() != 0 {
+		t.Error("zero profile MPKI should be 0")
+	}
+}
+
+func TestScalarVsVectorRefWidths(t *testing.T) {
+	k := KernelFunc{KernelName: "k", Fn: func(ctx *Ctx) {
+		buf := ctx.Alloc("buf", 4096)
+		ctx.Load(buf, 0, 64)  // 8 scalar refs
+		ctx.LoadV(buf, 0, 64) // 4 vector refs
+		ctx.Load(buf, 0, 3)   // 1 ref (partial)
+		ctx.LoadV(buf, 0, 17) // 2 refs (partial)
+	}}
+	total, _ := Run(SoC(), k)
+	if total.MemRefs != 8+4+1+2 {
+		t.Errorf("MemRefs = %d, want 15", total.MemRefs)
+	}
+}
+
+func TestNoPhaseKernelGetsDefaultPhase(t *testing.T) {
+	k := KernelFunc{KernelName: "k", Fn: func(ctx *Ctx) { ctx.Ops(5) }}
+	total, phases := Run(SoC(), k)
+	if total.Ops != 5 {
+		t.Errorf("total ops = %d, want 5", total.Ops)
+	}
+	if _, ok := phases[""]; !ok || len(phases) != 1 {
+		t.Errorf("expected single default phase, got %v", phases)
+	}
+}

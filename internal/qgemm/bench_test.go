@@ -1,0 +1,69 @@
+package qgemm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkGEMM256(b *testing.B) {
+	lhs := randMatrixB(256, 256, 1)
+	rhs := randMatrixB(256, 256, 2)
+	pl := PackLHS(lhs)
+	pr := PackRHS(rhs)
+	macs := int64(256 * 256 * 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GEMMPanels(pl, pr, 12, 9)
+	}
+	b.ReportMetric(float64(macs*int64(b.N))/b.Elapsed().Seconds()/1e9, "GMAC/s")
+}
+
+func BenchmarkPackRHS(b *testing.B) {
+	m := randMatrixB(512, 512, 3)
+	dst := make([]uint8, PackedRHSSize(512, 512))
+	b.SetBytes(512 * 512)
+	for i := 0; i < b.N; i++ {
+		PackRHSInto(dst, m)
+	}
+}
+
+func BenchmarkPackLHS(b *testing.B) {
+	m := randMatrixB(512, 512, 4)
+	dst := make([]uint8, PackedLHSSize(512, 512))
+	b.SetBytes(512 * 512)
+	for i := 0; i < b.N; i++ {
+		PackLHSInto(dst, m)
+	}
+}
+
+func BenchmarkQuantize(b *testing.B) {
+	src := make([]float32, 1<<18)
+	rng := rand.New(rand.NewSource(5))
+	for i := range src {
+		src[i] = rng.Float32()*8 - 4
+	}
+	dst := make([]uint8, len(src))
+	b.SetBytes(int64(len(src) * 4))
+	for i := 0; i < b.N; i++ {
+		QuantizeInto(dst, src)
+	}
+}
+
+func BenchmarkRequantize(b *testing.B) {
+	src := make([]int32, 1<<18)
+	rng := rand.New(rand.NewSource(6))
+	for i := range src {
+		src[i] = rng.Int31() - 1<<30
+	}
+	dst := make([]uint8, len(src))
+	b.SetBytes(int64(len(src) * 4))
+	for i := 0; i < b.N; i++ {
+		RequantizeInto(dst, src)
+	}
+}
+
+func randMatrixB(rows, cols int, seed int64) Matrix {
+	m := NewMatrix(rows, cols)
+	rand.New(rand.NewSource(seed)).Read(m.Data)
+	return m
+}

@@ -1,0 +1,101 @@
+package qgemm
+
+import "fmt"
+
+// GEMM computes C = (A - lhsZero) x (B - rhsZero) over packed operands,
+// writing a row-major int32 result. A is Rows x Depth, B is Depth x Cols.
+// Zero points implement the affine quantization scheme: a quantized level q
+// represents the real value Min + Scale*q, and gemmlowp folds the offsets
+// into the integer kernel the same way.
+func GEMM(lhs PackedLHS, rhs PackedRHS, lhsZero, rhsZero int32) []int32 {
+	if lhs.Depth != rhs.Depth {
+		panic(fmt.Sprintf("qgemm: depth mismatch %d vs %d", lhs.Depth, rhs.Depth))
+	}
+	panelled := gemmPanels(lhs, rhs, lhsZero, rhsZero)
+	out := make([]int32, lhs.Rows*rhs.Cols)
+	UnpackResultInto(out, panelled, lhs.Rows, rhs.Cols)
+	return out
+}
+
+// GEMMPanels runs the micro-kernel over every panel pair, producing the
+// panel-ordered result (one MRxNR block per (rowPanel, colPanel)) that
+// UnpackResultInto restores to row-major order. Callers that account the
+// unpack step separately (the TensorFlow pipeline) use this directly.
+func GEMMPanels(lhs PackedLHS, rhs PackedRHS, lhsZero, rhsZero int32) []int32 {
+	if lhs.Depth != rhs.Depth {
+		panic(fmt.Sprintf("qgemm: depth mismatch %d vs %d", lhs.Depth, rhs.Depth))
+	}
+	return gemmPanels(lhs, rhs, lhsZero, rhsZero)
+}
+
+// gemmPanels runs the micro-kernel over every panel pair, producing the
+// panel-ordered result (one MRxNR block per (rowPanel, colPanel)).
+func gemmPanels(lhs PackedLHS, rhs PackedRHS, lhsZero, rhsZero int32) []int32 {
+	out := make([]int32, lhs.Panels*rhs.Panels*MR*NR)
+	depth := lhs.Depth
+	for rp := 0; rp < lhs.Panels; rp++ {
+		a := lhs.Data[rp*depth*MR:]
+		for cp := 0; cp < rhs.Panels; cp++ {
+			b := rhs.Data[cp*depth*NR:]
+			block := out[(rp*rhs.Panels+cp)*MR*NR:]
+			microKernel(block[:MR*NR], a, b, depth, lhsZero, rhsZero)
+		}
+	}
+	return out
+}
+
+// microKernel accumulates one MRxNR block: acc[r][c] += (a[k][r]-za)*(b[k][c]-zb).
+func microKernel(acc []int32, a, b []uint8, depth int, za, zb int32) {
+	var c00, c01, c02, c03 int32
+	var c10, c11, c12, c13 int32
+	var c20, c21, c22, c23 int32
+	var c30, c31, c32, c33 int32
+	for k := 0; k < depth; k++ {
+		a0 := int32(a[k*MR+0]) - za
+		a1 := int32(a[k*MR+1]) - za
+		a2 := int32(a[k*MR+2]) - za
+		a3 := int32(a[k*MR+3]) - za
+		b0 := int32(b[k*NR+0]) - zb
+		b1 := int32(b[k*NR+1]) - zb
+		b2 := int32(b[k*NR+2]) - zb
+		b3 := int32(b[k*NR+3]) - zb
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c02 += a0 * b2
+		c03 += a0 * b3
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c12 += a1 * b2
+		c13 += a1 * b3
+		c20 += a2 * b0
+		c21 += a2 * b1
+		c22 += a2 * b2
+		c23 += a2 * b3
+		c30 += a3 * b0
+		c31 += a3 * b1
+		c32 += a3 * b2
+		c33 += a3 * b3
+	}
+	acc[0], acc[1], acc[2], acc[3] = c00, c01, c02, c03
+	acc[4], acc[5], acc[6], acc[7] = c10, c11, c12, c13
+	acc[8], acc[9], acc[10], acc[11] = c20, c21, c22, c23
+	acc[12], acc[13], acc[14], acc[15] = c30, c31, c32, c33
+}
+
+// GEMMReference is a naive row-major reference multiply used by tests.
+func GEMMReference(lhs, rhs Matrix, lhsZero, rhsZero int32) []int32 {
+	if lhs.Cols != rhs.Rows {
+		panic(fmt.Sprintf("qgemm: depth mismatch %d vs %d", lhs.Cols, rhs.Rows))
+	}
+	out := make([]int32, lhs.Rows*rhs.Cols)
+	for r := 0; r < lhs.Rows; r++ {
+		for c := 0; c < rhs.Cols; c++ {
+			var acc int32
+			for k := 0; k < lhs.Cols; k++ {
+				acc += (int32(lhs.At(r, k)) - lhsZero) * (int32(rhs.At(k, c)) - rhsZero)
+			}
+			out[r*rhs.Cols+c] = acc
+		}
+	}
+	return out
+}

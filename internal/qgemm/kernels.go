@@ -1,0 +1,187 @@
+package qgemm
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gopim/internal/mem"
+	"gopim/internal/profile"
+)
+
+// PackKernel returns the instrumented matrix packing PIM target: packing an
+// M x K LHS and a K x N RHS into panel layout, then unpacking an M x N
+// result back to row-major order, repeated for each GEMM chunk — the data
+// reorganization work gemmlowp performs around every kernel invocation.
+func PackKernel(m, k, n, chunks int) profile.Kernel {
+	return profile.KernelFunc{
+		KernelName: fmt.Sprintf("packing %dx%dx%d", m, k, n),
+		Fn: func(ctx *profile.Ctx) {
+			for c := 0; c < chunks; c++ {
+				packOnce(ctx, m, k, n, int64(c+1))
+			}
+		},
+	}
+}
+
+func packOnce(ctx *profile.Ctx, m, k, n int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+
+	lhsBuf := ctx.Alloc("lhs", m*k)
+	rhsBuf := ctx.Alloc("rhs", k*n)
+	lhsPacked := ctx.Alloc("lhs packed", PackedLHSSize(m, k))
+	rhsPacked := ctx.Alloc("rhs packed", PackedRHSSize(k, n))
+	resPanels := ctx.Alloc("result panels", ((m+MR-1)/MR)*((n+NR-1)/NR)*MR*NR*4)
+	resOut := ctx.Alloc("result", m*n*4)
+
+	ctx.SetPhase("generate")
+	rng.Read(lhsBuf.Data)
+	rng.Read(rhsBuf.Data)
+	ctx.StoreV(lhsBuf, 0, m*k)
+	ctx.StoreV(rhsBuf, 0, k*n)
+
+	ctx.SetPhase("packing")
+	lhs := Matrix{Rows: m, Cols: k, Data: lhsBuf.Data}
+	PackLHSInto(lhsPacked.Data, lhs)
+	lhsPanels := (m + MR - 1) / MR
+	for panel := 0; panel < lhsPanels; panel++ {
+		for r := 0; r < MR; r++ {
+			if panel*MR+r < m {
+				ctx.LoadV(lhsBuf, (panel*MR+r)*k, k)
+			}
+		}
+		ctx.StoreV(lhsPacked, panel*k*MR, k*MR)
+		ctx.Ops(k) // interleaving index arithmetic
+	}
+
+	rhs := Matrix{Rows: k, Cols: n, Data: rhsBuf.Data}
+	PackRHSInto(rhsPacked.Data, rhs)
+	TraceRHSPack(ctx, rhsBuf, rhsPacked, k, n)
+
+	// Unpack a result chunk (int32) back into row-major order.
+	panelled := make([]int32, ((m+MR-1)/MR)*((n+NR-1)/NR)*MR*NR)
+	for i := range panelled {
+		panelled[i] = int32(i)
+	}
+	flat := make([]int32, m*n)
+	UnpackResultInto(flat, panelled, m, n)
+	rowPanels := (m + MR - 1) / MR
+	colPanels := (n + NR - 1) / NR
+	for rp := 0; rp < rowPanels; rp++ {
+		for cp := 0; cp < colPanels; cp++ {
+			ctx.LoadV(resPanels, (rp*colPanels+cp)*MR*NR*4, MR*NR*4)
+			for r := 0; r < MR && rp*MR+r < m; r++ {
+				ctx.Store(resOut, ((rp*MR+r)*n+cp*NR)*4, NR*4)
+			}
+			ctx.Ops(MR)
+		}
+	}
+}
+
+// QuantizeKernel returns the instrumented quantization PIM target: the
+// float32 input matrix quantization before Conv2D plus the int32 result
+// re-quantization after it, for an M x K input and M x N result, repeated
+// per Conv2D invocation (Figure 8).
+func QuantizeKernel(m, k, n, convs int) profile.Kernel {
+	return profile.KernelFunc{
+		KernelName: fmt.Sprintf("quantization %dx%dx%d", m, k, n),
+		Fn: func(ctx *profile.Ctx) {
+			for c := 0; c < convs; c++ {
+				quantizeOnce(ctx, m, k, n, int64(c+1))
+			}
+		},
+	}
+}
+
+func quantizeOnce(ctx *profile.Ctx, m, k, n int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+
+	inF := ctx.Alloc("input f32", m*k*4)
+	inQ := ctx.Alloc("input u8", m*k)
+	resI := ctx.Alloc("result i32", m*n*4)
+	resQ := ctx.Alloc("result u8", m*n)
+
+	ctx.SetPhase("generate")
+	src := make([]float32, m*k)
+	for i := range src {
+		src[i] = rng.Float32()*16 - 8
+	}
+	ctx.StoreV(inF, 0, m*k*4)
+
+	ctx.SetPhase("quantization")
+	TraceQuantScans(ctx, inF, inQ, m*k, 4)
+	QuantizeInto(inQ.Data, src)
+
+	acc := make([]int32, m*n)
+	for i := range acc {
+		acc[i] = rng.Int31() - 1<<30
+	}
+	ctx.SetPhase("generate")
+	ctx.StoreV(resI, 0, m*n*4)
+
+	ctx.SetPhase("quantization")
+	TraceQuantScans(ctx, resI, resQ, m*n, 4)
+	RequantizeInto(resQ.Data, acc)
+}
+
+// TraceRHSPack records the access pattern of packing a k x n row-major
+// matrix into column panels. Like gemmlowp, the packer works on
+// depth-blocked chunks small enough to stay cache-resident, so the matrix
+// streams from DRAM once even though each chunk is read once per panel
+// (strided, NR bytes at a time — the cache-hostile inner pattern the paper
+// calls out).
+func TraceRHSPack(ctx *profile.Ctx, rhsBuf, rhsPacked *mem.Buffer, k, n int) {
+	rhsPanels := (n + NR - 1) / NR
+	// Chunks of ~16 KiB stay resident in any L1 (CPU or PIM core), as in
+	// gemmlowp's L1-blocked packing.
+	blockRows := 16 << 10 / maxInt(n, 1)
+	if blockRows < 1 {
+		blockRows = 1
+	}
+	for k0 := 0; k0 < k; k0 += blockRows {
+		k1 := k0 + blockRows
+		if k1 > k {
+			k1 = k
+		}
+		for panel := 0; panel < rhsPanels; panel++ {
+			for kk := k0; kk < k1; kk++ {
+				ctx.Load(rhsBuf, kk*n+panel*NR, NR)
+			}
+			ctx.StoreV(rhsPacked, panel*k*NR+k0*NR, (k1-k0)*NR)
+			ctx.Ops(k1 - k0)
+		}
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// TraceQuantScans records quantization's two full scans over a matrix of
+// elems elements of elemSize bytes: the min/max pass and the conversion
+// pass writing one byte per element (Figure 8's steps 1 and 2).
+func TraceQuantScans(ctx *profile.Ctx, src, dst *mem.Buffer, elems, elemSize int) {
+	const chunk = 4096
+	bytes := elems * elemSize
+	// Pass 1: min/max scan.
+	for off := 0; off < bytes; off += chunk {
+		n := chunk
+		if bytes-off < n {
+			n = bytes - off
+		}
+		ctx.LoadV(src, off, n)
+		ctx.SIMD(n / elemSize / 4 * 2) // min and max lanes
+	}
+	// Pass 2: convert each element, writing one byte per element.
+	for off := 0; off < bytes; off += chunk {
+		n := chunk
+		if bytes-off < n {
+			n = bytes - off
+		}
+		ctx.LoadV(src, off, n)
+		ctx.StoreV(dst, off/elemSize, n/elemSize)
+		ctx.SIMD(n / elemSize) // subtract, scale, round, clamp per lane group
+	}
+}

@@ -1,0 +1,75 @@
+package qgemm
+
+import (
+	"testing"
+
+	"gopim/internal/profile"
+)
+
+func TestPackKernelProfile(t *testing.T) {
+	total, phases := profile.Run(profile.SoC(), PackKernel(256, 256, 256, 1))
+	p, ok := phases["packing"]
+	if !ok {
+		t.Fatal("no packing phase")
+	}
+	if p.Mem.Total() == 0 {
+		t.Error("packing produced no memory traffic")
+	}
+	// Packing reads each matrix once and writes the packed copy: traffic
+	// should be at least the matrices' footprint once they exceed caches.
+	if total.Instructions() == 0 {
+		t.Error("no instructions")
+	}
+	// Data movement should dominate packing energy (paper: 82.1%).
+	if p.MemRefs == 0 || p.Ops == 0 {
+		t.Errorf("packing refs/ops = %d/%d; both must be nonzero", p.MemRefs, p.Ops)
+	}
+}
+
+func TestPackKernelChunksScale(t *testing.T) {
+	one, _ := profile.Run(profile.SoC(), PackKernel(64, 64, 64, 1))
+	four, _ := profile.Run(profile.SoC(), PackKernel(64, 64, 64, 4))
+	if four.Instructions() <= 3*one.Instructions() {
+		t.Errorf("4 chunks = %d instr vs 1 chunk %d; expected ~4x", four.Instructions(), one.Instructions())
+	}
+}
+
+func TestQuantizeKernelProfile(t *testing.T) {
+	// 768x768 float32 (2.25 MiB) exceeds the 2 MiB LLC, so both scan
+	// passes reach memory — the behaviour the paper reports for large
+	// matrices.
+	_, phases := profile.Run(profile.SoC(), QuantizeKernel(768, 768, 768, 1))
+	p, ok := phases["quantization"]
+	if !ok {
+		t.Fatal("no quantization phase")
+	}
+	footprint := uint64(768*768*4) * 2 // f32 input + i32 result
+	if p.Mem.BytesRead < footprint*3/2 {
+		t.Errorf("quantization read %d bytes from memory, want >= %d (both matrices scanned twice, beyond LLC)",
+			p.Mem.BytesRead, footprint*3/2)
+	}
+	if p.SIMDOps == 0 {
+		t.Error("quantization recorded no SIMD conversion work")
+	}
+}
+
+func TestQuantizeKernelMPKI(t *testing.T) {
+	// The paper's criterion: quantization at realistic matrix sizes is
+	// memory-intensive (MPKI > 10).
+	_, phases := profile.Run(profile.SoC(), QuantizeKernel(768, 768, 768, 1))
+	p := phases["quantization"]
+	if mpki := p.LLCMPKI(); mpki < 10 {
+		t.Errorf("quantization LLC MPKI = %.1f, want > 10", mpki)
+	}
+}
+
+func TestQuantizeKernelSmallMatrixCacheResident(t *testing.T) {
+	// A 128x128 matrix set fits in the LLC: the second scan must not reach
+	// memory, so total reads stay near one footprint.
+	_, phases := profile.Run(profile.SoC(), QuantizeKernel(128, 128, 128, 1))
+	p := phases["quantization"]
+	footprint := uint64(128*128*4) * 2
+	if p.Mem.BytesRead > footprint*3/2 {
+		t.Errorf("cache-resident quantization read %d bytes, want <= %d", p.Mem.BytesRead, footprint*3/2)
+	}
+}

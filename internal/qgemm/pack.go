@@ -1,0 +1,150 @@
+package qgemm
+
+import "fmt"
+
+// Micro-kernel geometry, as in gemmlowp's small fixed-size kernels: the
+// inner kernel multiplies an MR-row LHS panel by an NR-column RHS panel.
+const (
+	MR = 4 // rows per LHS panel
+	NR = 4 // columns per RHS panel
+)
+
+// PackedLHS holds the left-hand matrix reordered into row panels: panel i
+// holds rows [i*MR, i*MR+MR) interleaved by depth, so the kernel streams it
+// sequentially. Ragged edges are zero-padded.
+type PackedLHS struct {
+	Rows, Depth int
+	Panels      int
+	Data        []uint8 // Panels * Depth * MR bytes
+}
+
+// PackedRHS holds the right-hand matrix reordered into column panels.
+type PackedRHS struct {
+	Depth, Cols int
+	Panels      int
+	Data        []uint8 // Panels * Depth * NR bytes
+}
+
+// PackLHS reorders lhs (Rows x Depth) into panel layout.
+func PackLHS(lhs Matrix) PackedLHS {
+	panels := (lhs.Rows + MR - 1) / MR
+	p := PackedLHS{Rows: lhs.Rows, Depth: lhs.Cols, Panels: panels, Data: make([]uint8, panels*lhs.Cols*MR)}
+	PackLHSInto(p.Data, lhs)
+	return p
+}
+
+// PackLHSInto packs lhs into dst, which must hold PackedLHSSize(lhs) bytes.
+func PackLHSInto(dst []uint8, lhs Matrix) {
+	need := PackedLHSSize(lhs.Rows, lhs.Cols)
+	if len(dst) < need {
+		panic(fmt.Sprintf("qgemm: packed LHS dst %d < %d", len(dst), need))
+	}
+	panels := (lhs.Rows + MR - 1) / MR
+	depth := lhs.Cols
+	for panel := 0; panel < panels; panel++ {
+		base := panel * depth * MR
+		for k := 0; k < depth; k++ {
+			for r := 0; r < MR; r++ {
+				row := panel*MR + r
+				var v uint8
+				if row < lhs.Rows {
+					v = lhs.Data[row*depth+k]
+				}
+				dst[base+k*MR+r] = v
+			}
+		}
+	}
+}
+
+// PackedLHSSize returns the packed byte size of a rows x depth LHS.
+func PackedLHSSize(rows, depth int) int {
+	return ((rows + MR - 1) / MR) * depth * MR
+}
+
+// PackRHS reorders rhs (Depth x Cols) into panel layout. Reading the source
+// column-wise gives packing its cache-unfriendly access pattern (§5.3).
+func PackRHS(rhs Matrix) PackedRHS {
+	panels := (rhs.Cols + NR - 1) / NR
+	p := PackedRHS{Depth: rhs.Rows, Cols: rhs.Cols, Panels: panels, Data: make([]uint8, panels*rhs.Rows*NR)}
+	PackRHSInto(p.Data, rhs)
+	return p
+}
+
+// PackRHSInto packs rhs into dst, which must hold PackedRHSSize bytes.
+func PackRHSInto(dst []uint8, rhs Matrix) {
+	need := PackedRHSSize(rhs.Rows, rhs.Cols)
+	if len(dst) < need {
+		panic(fmt.Sprintf("qgemm: packed RHS dst %d < %d", len(dst), need))
+	}
+	panels := (rhs.Cols + NR - 1) / NR
+	depth := rhs.Rows
+	for panel := 0; panel < panels; panel++ {
+		base := panel * depth * NR
+		for k := 0; k < depth; k++ {
+			for c := 0; c < NR; c++ {
+				col := panel*NR + c
+				var v uint8
+				if col < rhs.Cols {
+					v = rhs.Data[k*rhs.Cols+col]
+				}
+				dst[base+k*NR+c] = v
+			}
+		}
+	}
+}
+
+// PackedRHSSize returns the packed byte size of a depth x cols RHS.
+func PackedRHSSize(depth, cols int) int {
+	return ((cols + NR - 1) / NR) * depth * NR
+}
+
+// UnpackLHS restores the original row-major matrix from packed layout
+// (the "unpacking" step applied to result chunks in gemmlowp; exercised
+// here on LHS panels so the pair is a proven bijection).
+func UnpackLHS(p PackedLHS) Matrix {
+	m := NewMatrix(p.Rows, p.Depth)
+	for panel := 0; panel < p.Panels; panel++ {
+		base := panel * p.Depth * MR
+		for k := 0; k < p.Depth; k++ {
+			for r := 0; r < MR; r++ {
+				row := panel*MR + r
+				if row < p.Rows {
+					m.Data[row*p.Depth+k] = p.Data[base+k*MR+r]
+				}
+			}
+		}
+	}
+	return m
+}
+
+// UnpackResultInto converts a panel-ordered int32 result (as the micro-
+// kernel produces it: per (rowPanel, colPanel) an MRxNR block) into a
+// row-major int32 matrix. rows x cols give the logical result size.
+func UnpackResultInto(dst []int32, panelled []int32, rows, cols int) {
+	rowPanels := (rows + MR - 1) / MR
+	colPanels := (cols + NR - 1) / NR
+	if len(dst) < rows*cols {
+		panic(fmt.Sprintf("qgemm: unpack dst %d < %d", len(dst), rows*cols))
+	}
+	if len(panelled) < rowPanels*colPanels*MR*NR {
+		panic(fmt.Sprintf("qgemm: panelled src %d < %d", len(panelled), rowPanels*colPanels*MR*NR))
+	}
+	for rp := 0; rp < rowPanels; rp++ {
+		for cp := 0; cp < colPanels; cp++ {
+			block := (rp*colPanels + cp) * MR * NR
+			for r := 0; r < MR; r++ {
+				row := rp*MR + r
+				if row >= rows {
+					break
+				}
+				for c := 0; c < NR; c++ {
+					col := cp*NR + c
+					if col >= cols {
+						break
+					}
+					dst[row*cols+col] = panelled[block+r*NR+c]
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,140 @@
+// Package qgemm is a from-scratch quantized GEMM library modelled on
+// gemmlowp, the low-precision matrix library TensorFlow Mobile builds on
+// (paper §5). It provides the full pipeline the paper analyzes:
+//
+//   - Quantize: 32-bit floats → 8-bit integers (two passes: min/max scan,
+//     then conversion) — Figure 8's steps 1–2.
+//   - Pack/Unpack: reorder matrix chunks into the kernel's cache-friendly
+//     panel layout and back — the "packing" PIM target.
+//   - GEMM: uint8 × uint8 → int32 with a small fixed-size micro-kernel.
+//   - Requantize: the int32 result matrix → 8-bit — Figure 8's steps 3–4.
+package qgemm
+
+import "fmt"
+
+// QParams is an affine quantization: real = Min + Scale*q.
+type QParams struct {
+	Min   float32
+	Scale float32
+}
+
+// Dequant returns the real value of quantized level q.
+func (p QParams) Dequant(q uint8) float32 { return p.Min + p.Scale*float32(q) }
+
+// Quantize converts a float32 tensor to uint8 levels. It scans src twice —
+// once for the min/max range, once to convert — exactly the data movement
+// pattern the paper identifies (§5.3).
+func Quantize(src []float32) ([]uint8, QParams) {
+	dst := make([]uint8, len(src))
+	p := QuantizeInto(dst, src)
+	return dst, p
+}
+
+// QuantizeInto is Quantize into a caller-provided destination.
+func QuantizeInto(dst []uint8, src []float32) QParams {
+	if len(dst) < len(src) {
+		panic(fmt.Sprintf("qgemm: dst %d < src %d", len(dst), len(src)))
+	}
+	if len(src) == 0 {
+		return QParams{Scale: 1}
+	}
+	// Pass 1: min/max scan.
+	lo, hi := src[0], src[0]
+	for _, v := range src[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	p := QParams{Min: lo, Scale: (hi - lo) / 255}
+	if p.Scale == 0 {
+		p.Scale = 1
+	}
+	// Pass 2: convert each element.
+	inv := 1 / p.Scale
+	for i, v := range src {
+		q := int32((v-lo)*inv + 0.5)
+		if q < 0 {
+			q = 0
+		} else if q > 255 {
+			q = 255
+		}
+		dst[i] = uint8(q)
+	}
+	return p
+}
+
+// Dequantize expands quantized levels back to float32.
+func Dequantize(src []uint8, p QParams) []float32 {
+	out := make([]float32, len(src))
+	for i, q := range src {
+		out[i] = p.Dequant(q)
+	}
+	return out
+}
+
+// Requantize converts a GEMM result matrix (int32 accumulators) to uint8,
+// again with a min/max scan followed by a conversion pass (the
+// re-quantization step of Figure 8).
+func Requantize(src []int32) ([]uint8, QParams) {
+	dst := make([]uint8, len(src))
+	p := RequantizeInto(dst, src)
+	return dst, p
+}
+
+// RequantizeInto is Requantize into a caller-provided destination.
+func RequantizeInto(dst []uint8, src []int32) QParams {
+	if len(dst) < len(src) {
+		panic(fmt.Sprintf("qgemm: dst %d < src %d", len(dst), len(src)))
+	}
+	if len(src) == 0 {
+		return QParams{Scale: 1}
+	}
+	lo, hi := src[0], src[0]
+	for _, v := range src[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	span := float32(hi - lo)
+	scale := span / 255
+	if scale == 0 {
+		scale = 1
+	}
+	inv := 1 / scale
+	for i, v := range src {
+		q := int32(float32(v-lo)*inv + 0.5)
+		if q < 0 {
+			q = 0
+		} else if q > 255 {
+			q = 255
+		}
+		dst[i] = uint8(q)
+	}
+	return QParams{Min: float32(lo), Scale: scale}
+}
+
+// Matrix is a row-major uint8 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []uint8
+}
+
+// NewMatrix allocates a zeroed matrix.
+func NewMatrix(rows, cols int) Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("qgemm: bad matrix %dx%d", rows, cols))
+	}
+	return Matrix{Rows: rows, Cols: cols, Data: make([]uint8, rows*cols)}
+}
+
+// At returns element (r, c).
+func (m Matrix) At(r, c int) uint8 { return m.Data[r*m.Cols+c] }
+
+// Set writes element (r, c).
+func (m Matrix) Set(r, c int, v uint8) { m.Data[r*m.Cols+c] = v }

@@ -1,0 +1,185 @@
+package qgemm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randMatrix(rows, cols int, seed int64) Matrix {
+	m := NewMatrix(rows, cols)
+	rng := rand.New(rand.NewSource(seed))
+	rng.Read(m.Data)
+	return m
+}
+
+func TestQuantizeRoundTripError(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	src := make([]float32, 1000)
+	for i := range src {
+		src[i] = rng.Float32()*200 - 100
+	}
+	q, p := Quantize(src)
+	back := Dequantize(q, p)
+	for i := range src {
+		if err := math.Abs(float64(back[i] - src[i])); err > float64(p.Scale)*0.51 {
+			t.Fatalf("element %d: error %.4f exceeds scale/2 = %.4f", i, err, p.Scale/2)
+		}
+	}
+}
+
+func TestQuantizeEdgeCases(t *testing.T) {
+	if q, p := Quantize(nil); len(q) != 0 || p.Scale != 1 {
+		t.Error("empty input mishandled")
+	}
+	q, p := Quantize([]float32{5, 5, 5})
+	for _, v := range q {
+		if p.Dequant(v) != 5 {
+			t.Errorf("constant input: dequant = %v, want 5", p.Dequant(v))
+		}
+	}
+	// Extremes map to 0 and 255.
+	q, _ = Quantize([]float32{-3, 7})
+	if q[0] != 0 || q[1] != 255 {
+		t.Errorf("extremes = %v, want [0 255]", q)
+	}
+}
+
+func TestQuantizeIntoShortDstPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short dst did not panic")
+		}
+	}()
+	QuantizeInto(make([]uint8, 1), make([]float32, 5))
+}
+
+func TestRequantizeRange(t *testing.T) {
+	src := []int32{-1000, 0, 500, 1000}
+	q, p := Requantize(src)
+	if q[0] != 0 || q[3] != 255 {
+		t.Errorf("extremes = %v, want q[0]=0 q[3]=255", q)
+	}
+	// Monotone: larger accumulators never get smaller levels.
+	for i := 1; i < len(q); i++ {
+		if q[i] < q[i-1] {
+			t.Errorf("requantize not monotone: %v", q)
+		}
+	}
+	if p.Scale <= 0 {
+		t.Errorf("scale = %v, want positive", p.Scale)
+	}
+	if _, p := Requantize([]int32{7}); p.Scale != 1 {
+		t.Error("constant requantize should use scale 1")
+	}
+}
+
+func TestPackUnpackLHSBijection(t *testing.T) {
+	for _, sz := range [][2]int{{4, 4}, {8, 16}, {5, 7}, {1, 1}, {13, 3}, {64, 128}} {
+		m := randMatrix(sz[0], sz[1], int64(sz[0]*100+sz[1]))
+		packed := PackLHS(m)
+		back := UnpackLHS(packed)
+		if back.Rows != m.Rows || back.Cols != m.Cols {
+			t.Fatalf("%v: size changed", sz)
+		}
+		for i := range m.Data {
+			if m.Data[i] != back.Data[i] {
+				t.Fatalf("%v: byte %d differs", sz, i)
+			}
+		}
+	}
+}
+
+func TestPackedSizes(t *testing.T) {
+	if got := PackedLHSSize(5, 7); got != 2*7*MR {
+		t.Errorf("PackedLHSSize(5,7) = %d, want %d", got, 2*7*MR)
+	}
+	if got := PackedRHSSize(7, 5); got != 2*7*NR {
+		t.Errorf("PackedRHSSize(7,5) = %d, want %d", got, 2*7*NR)
+	}
+}
+
+func TestGEMMMatchesReference(t *testing.T) {
+	cases := [][3]int{{4, 4, 4}, {8, 8, 8}, {5, 7, 3}, {1, 9, 1}, {16, 32, 12}, {33, 17, 21}}
+	for _, c := range cases {
+		m, k, n := c[0], c[1], c[2]
+		lhs := randMatrix(m, k, int64(m))
+		rhs := randMatrix(k, n, int64(n))
+		got := GEMM(PackLHS(lhs), PackRHS(rhs), 12, 7)
+		want := GEMMReference(lhs, rhs, 12, 7)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%v: element %d = %d, want %d", c, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestGEMMDepthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("depth mismatch did not panic")
+		}
+	}()
+	GEMM(PackLHS(NewMatrix(4, 5)), PackRHS(NewMatrix(6, 4)), 0, 0)
+}
+
+// Property: packed GEMM equals reference GEMM for arbitrary small shapes.
+func TestQuickGEMM(t *testing.T) {
+	f := func(m8, k8, n8 uint8, za, zb uint8, seed int64) bool {
+		m := int(m8)%12 + 1
+		k := int(k8)%12 + 1
+		n := int(n8)%12 + 1
+		lhs := randMatrix(m, k, seed)
+		rhs := randMatrix(k, n, seed+1)
+		got := GEMM(PackLHS(lhs), PackRHS(rhs), int32(za), int32(zb))
+		want := GEMMReference(lhs, rhs, int32(za), int32(zb))
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: quantize/dequantize error is bounded by the scale.
+func TestQuickQuantizeError(t *testing.T) {
+	f := func(vals []float32) bool {
+		src := make([]float32, 0, len(vals))
+		for _, v := range vals {
+			if !math.IsNaN(float64(v)) && !math.IsInf(float64(v), 0) && math.Abs(float64(v)) < 1e6 {
+				src = append(src, v)
+			}
+		}
+		q, p := Quantize(src)
+		back := Dequantize(q, p)
+		for i := range src {
+			if math.Abs(float64(back[i]-src[i])) > float64(p.Scale)*0.51+1e-3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatrixAccessors(t *testing.T) {
+	m := NewMatrix(3, 4)
+	m.Set(2, 3, 99)
+	if m.At(2, 3) != 99 {
+		t.Error("Set/At mismatch")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative size did not panic")
+		}
+	}()
+	NewMatrix(-1, 2)
+}

@@ -1,0 +1,124 @@
+// Package timing provides the analytic runtime model used in place of the
+// paper's gem5 full-system simulation. A kernel's execution time on an
+// engine is the combination of a compute term (instructions over issue
+// throughput across the engine's parallel units) and a memory term (traffic
+// over the engine's *effective* bandwidth, which is the smaller of the
+// channel bandwidth and what the engine's memory-level parallelism can
+// sustain at its access latency), with an overlap factor describing how much
+// of the shorter term hides under the longer one (out-of-order cores overlap
+// well; the in-order PIM core less; pipelined fixed-function accelerators
+// almost completely).
+package timing
+
+import (
+	"gopim/internal/dram"
+	"gopim/internal/mem"
+	"gopim/internal/profile"
+)
+
+// Engine describes the execution resources of one compute engine.
+type Engine struct {
+	Name       string
+	FreqHz     float64
+	IPC        float64 // sustained instructions per cycle per unit
+	Units      int     // parallel units (vault cores, accelerator lanes)
+	MemLatency float64 // seconds per line fetch from this engine's memory
+	MLP        float64 // outstanding misses per unit
+	Bandwidth  float64 // bytes/s ceiling of the memory channel
+	Overlap    float64 // 0..1: fraction of min(compute,memory) hidden
+}
+
+// SoC returns the timing model of one baseline SoC core (paper Table 1:
+// out-of-order, nominally 8-wide; mobile Celeron-class cores sustain far
+// less, and a single thread drives the LPDDR3 channel well below its peak).
+func SoC() Engine {
+	return Engine{
+		Name:       "CPU-Only",
+		FreqHz:     2.0e9,
+		IPC:        2.0,
+		Units:      1,
+		MemLatency: dram.OffChipLatency,
+		MLP:        20,
+		Bandwidth:  dram.ChannelBandwidth,
+		Overlap:    0.7,
+	}
+}
+
+// PIMCore returns the timing model of vaults PIM cores working on a
+// data-parallel PIM target (1-wide in-order, 4-wide SIMD, 1 GHz, logic-layer
+// latency and bandwidth). The paper places one core per vault; a target's
+// data parallelism determines how many vaults it spreads over.
+func PIMCore(vaults int) Engine {
+	if vaults <= 0 {
+		vaults = 1
+	}
+	return Engine{
+		Name:       "PIM-Core",
+		FreqHz:     1.0e9,
+		IPC:        1.0,
+		Units:      vaults,
+		MemLatency: dram.InternalLatency,
+		MLP:        6,
+		Bandwidth:  dram.InternalBandwidth,
+		Overlap:    0.35,
+	}
+}
+
+// PIMAcc returns the timing model of a fixed-function PIM accelerator with
+// the given number of in-memory logic units (the paper uses four for the
+// browser and TensorFlow targets). Each unit is a short pipeline retiring
+// several operations per cycle with deeply prefetched operands.
+func PIMAcc(units int) Engine {
+	if units <= 0 {
+		units = 1
+	}
+	return Engine{
+		Name:       "PIM-Acc",
+		FreqHz:     1.0e9,
+		IPC:        4.0,
+		Units:      units,
+		MemLatency: dram.InternalLatency,
+		MLP:        6,
+		Bandwidth:  dram.InternalBandwidth,
+		Overlap:    0.9,
+	}
+}
+
+// EffectiveBandwidth returns the memory bandwidth the engine can actually
+// sustain: the channel ceiling, or the latency-MLP product across units,
+// whichever is smaller.
+func (e Engine) EffectiveBandwidth() float64 {
+	sustained := float64(e.Units) * e.MLP * mem.LineSize / e.MemLatency
+	if sustained < e.Bandwidth {
+		return sustained
+	}
+	return e.Bandwidth
+}
+
+// Seconds returns the modelled execution time of a kernel with profile p.
+func (e Engine) Seconds(p profile.Profile) float64 {
+	units := e.Units
+	if units <= 0 {
+		units = 1
+	}
+	compute := float64(p.Instructions()) / (e.IPC * e.FreqHz * float64(units))
+	memory := float64(p.Mem.Total()) / e.EffectiveBandwidth()
+
+	longer, shorter := compute, memory
+	if memory > longer {
+		longer, shorter = memory, compute
+	}
+	return longer + (1-e.Overlap)*shorter
+}
+
+// ComputeBound reports whether p would be limited by compute rather than
+// memory on e (useful for explaining accelerator-vs-core gaps).
+func (e Engine) ComputeBound(p profile.Profile) bool {
+	units := e.Units
+	if units <= 0 {
+		units = 1
+	}
+	compute := float64(p.Instructions()) / (e.IPC * e.FreqHz * float64(units))
+	memory := float64(p.Mem.Total()) / e.EffectiveBandwidth()
+	return compute > memory
+}

@@ -1,0 +1,124 @@
+package timing
+
+import (
+	"testing"
+
+	"gopim/internal/dram"
+	"gopim/internal/profile"
+)
+
+func computeHeavy() profile.Profile {
+	var p profile.Profile
+	p.Ops = 500_000_000 // no memory traffic at all
+	return p
+}
+
+func memoryHeavy() profile.Profile {
+	var p profile.Profile
+	p.Ops = 1000
+	p.Mem.BytesRead = 256 << 20
+	return p
+}
+
+func TestEffectiveBandwidthCapped(t *testing.T) {
+	// The SoC core's MLP-limited bandwidth is below the channel peak.
+	soc := SoC()
+	if bw := soc.EffectiveBandwidth(); bw > dram.ChannelBandwidth {
+		t.Errorf("SoC effective bandwidth %.1f GB/s exceeds the channel", bw/1e9)
+	}
+	// A hypothetical engine with enormous MLP is capped by the channel.
+	e := SoC()
+	e.MLP = 1e6
+	if bw := e.EffectiveBandwidth(); bw != dram.ChannelBandwidth {
+		t.Errorf("bandwidth not capped at the channel: %.1f GB/s", bw/1e9)
+	}
+}
+
+func TestPIMBandwidthExceedsCPU(t *testing.T) {
+	if PIMCore(4).EffectiveBandwidth() <= SoC().EffectiveBandwidth() {
+		t.Error("PIM logic must see more memory bandwidth than the off-chip CPU")
+	}
+	if PIMAcc(4).EffectiveBandwidth() <= SoC().EffectiveBandwidth() {
+		t.Error("PIM accelerator must see more bandwidth than the CPU")
+	}
+}
+
+func TestComputeBoundClassification(t *testing.T) {
+	if !SoC().ComputeBound(computeHeavy()) {
+		t.Error("pure-compute profile classified as memory bound")
+	}
+	if SoC().ComputeBound(memoryHeavy()) {
+		t.Error("pure-traffic profile classified as compute bound")
+	}
+}
+
+func TestMemoryBoundKernelFasterOnPIM(t *testing.T) {
+	p := memoryHeavy()
+	cpu := SoC().Seconds(p)
+	pim := PIMCore(4).Seconds(p)
+	if pim >= cpu {
+		t.Errorf("memory-bound kernel: PIM %.2g s not faster than CPU %.2g s", pim, cpu)
+	}
+}
+
+func TestComputeBoundKernelSlowerOnOnePIMCore(t *testing.T) {
+	p := computeHeavy()
+	cpu := SoC().Seconds(p)
+	pim := PIMCore(1).Seconds(p)
+	// One 1-wide 1 GHz core against a 2-wide 2 GHz core: ~4x slower.
+	if pim <= cpu {
+		t.Errorf("compute-bound kernel should be slower on one PIM core (CPU %.2g, PIM %.2g)", cpu, pim)
+	}
+	if ratio := pim / cpu; ratio < 3 || ratio > 5 {
+		t.Errorf("compute slowdown ratio %.1f, want ~4", ratio)
+	}
+}
+
+func TestVaultScalingHelpsCompute(t *testing.T) {
+	p := computeHeavy()
+	one := PIMCore(1).Seconds(p)
+	four := PIMCore(4).Seconds(p)
+	if four >= one {
+		t.Error("more vaults should reduce compute time")
+	}
+	if ratio := one / four; ratio < 3.5 || ratio > 4.5 {
+		t.Errorf("4-vault compute scaling = %.1fx, want ~4x", ratio)
+	}
+}
+
+func TestAcceleratorFastestOnCompute(t *testing.T) {
+	p := computeHeavy()
+	if PIMAcc(4).Seconds(p) >= PIMCore(4).Seconds(p) {
+		t.Error("the accelerator should beat equal-width PIM cores on compute")
+	}
+}
+
+func TestZeroUnitsDefaultsToOne(t *testing.T) {
+	e := PIMCore(0)
+	if e.Units != 1 {
+		t.Errorf("PIMCore(0).Units = %d, want 1", e.Units)
+	}
+	e = PIMAcc(-3)
+	if e.Units != 1 {
+		t.Errorf("PIMAcc(-3).Units = %d, want 1", e.Units)
+	}
+	var p profile.Profile
+	p.Ops = 100
+	z := Engine{FreqHz: 1e9, IPC: 1, MemLatency: 1e-8, MLP: 1, Bandwidth: 1e9}
+	if z.Seconds(p) <= 0 {
+		t.Error("zero-unit engine must still produce positive time")
+	}
+}
+
+func TestOverlapReducesTime(t *testing.T) {
+	var p profile.Profile
+	p.Ops = 1_000_000
+	p.Mem.BytesRead = 10 << 20
+	noOverlap := SoC()
+	noOverlap.Overlap = 0
+	fullOverlap := SoC()
+	fullOverlap.Overlap = 1
+	if fullOverlap.Seconds(p) >= noOverlap.Seconds(p) {
+		t.Error("full compute/memory overlap should be faster than none")
+	}
+}

@@ -1,0 +1,161 @@
+package video
+
+// Synth generates deterministic synthetic video: a smoothly textured
+// background panning globally, with moving textured rectangles on top and a
+// little per-frame noise. Objects move at sub-pixel effective rates (their
+// velocities are not multiples of the pan), so inter prediction needs
+// sub-pixel interpolation to track them well.
+type Synth struct {
+	W, H    int
+	seed    uint32
+	objects []object
+}
+
+type object struct {
+	x, y   float64 // position at frame 0
+	vx, vy float64 // velocity in pixels/frame
+	w, h   int
+	tex    uint32
+}
+
+// NewSynth returns a generator for w x h video with nObjects moving
+// rectangles. The same (w, h, seed, nObjects) always produces the same
+// clip.
+func NewSynth(w, h int, nObjects int, seed uint32) *Synth {
+	s := &Synth{W: w, H: h, seed: seed}
+	rng := seed*2654435761 + 1
+	next := func() uint32 {
+		rng ^= rng << 13
+		rng ^= rng >> 17
+		rng ^= rng << 5
+		return rng
+	}
+	for i := 0; i < nObjects; i++ {
+		s.objects = append(s.objects, object{
+			x:   float64(next() % uint32(w)),
+			y:   float64(next() % uint32(h)),
+			vx:  float64(int(next()%25)-12) / 4.0, // -3.0 .. +3.0 in 0.25 steps
+			vy:  float64(int(next()%25)-12) / 4.0,
+			w:   32 + int(next()%96),
+			h:   32 + int(next()%96),
+			tex: next(),
+		})
+	}
+	return s
+}
+
+// Frame renders frame number n.
+func (s *Synth) Frame(n int) *Frame {
+	f := NewFrame(s.W, s.H)
+	// Global pan: 1.25 px/frame horizontally, 0.5 px/frame vertically.
+	panX := float64(n) * 1.25
+	panY := float64(n) * 0.5
+
+	for y := 0; y < s.H; y++ {
+		row := f.Y[y*s.W:]
+		fy := float64(y) + panY
+		for x := 0; x < s.W; x++ {
+			fx := float64(x) + panX
+			row[x] = background(fx, fy, s.seed)
+		}
+	}
+	// Objects (luma only; chroma stays smooth).
+	for _, o := range s.objects {
+		ox := int(o.x + o.vx*float64(n))
+		oy := int(o.y + o.vy*float64(n))
+		ox = ((ox % s.W) + s.W) % s.W
+		oy = ((oy % s.H) + s.H) % s.H
+		for dy := 0; dy < o.h; dy++ {
+			y := oy + dy
+			if y >= s.H {
+				break
+			}
+			row := f.Y[y*s.W:]
+			for dx := 0; dx < o.w; dx++ {
+				x := ox + dx
+				if x >= s.W {
+					break
+				}
+				row[x] = texture(uint32(dx), uint32(dy), o.tex)
+			}
+		}
+	}
+	// Mild deterministic noise so frames are never trivially identical.
+	h := s.seed ^ uint32(n)*0x9E3779B1
+	for i := 0; i < len(f.Y); i += 211 {
+		h ^= h << 13
+		h ^= h >> 17
+		h ^= h << 5
+		f.Y[i] = clamp8(int(f.Y[i]) + int(h%3) - 1)
+	}
+	// Chroma: slow gradients following the pan.
+	cw, ch := s.W/2, s.H/2
+	for y := 0; y < ch; y++ {
+		for x := 0; x < cw; x++ {
+			f.U[y*cw+x] = uint8(128 + int(panX/4)%8 + x%16)
+			f.V[y*cw+x] = uint8(128 + int(panY/4)%8 + y%16)
+		}
+	}
+	return f
+}
+
+// Clip renders frames [0, n).
+func (s *Synth) Clip(n int) []*Frame {
+	out := make([]*Frame, n)
+	for i := range out {
+		out[i] = s.Frame(i)
+	}
+	return out
+}
+
+// background samples a smooth multi-octave texture at a (possibly
+// fractional) position; bilinear blending of the hash lattice keeps it
+// band-limited so sub-pixel motion is representable.
+func background(fx, fy float64, seed uint32) uint8 {
+	v := 0.0
+	amp := 1.0
+	freq := 1.0 / 16
+	for oct := 0; oct < 4; oct++ {
+		v += amp * lattice(fx*freq, fy*freq, seed+uint32(oct))
+		amp *= 0.55
+		freq *= 2
+	}
+	return clamp8(96 + int(v*56))
+}
+
+func lattice(x, y float64, seed uint32) float64 {
+	x0, y0 := int(x), int(y)
+	tx, ty := x-float64(x0), y-float64(y0)
+	v00 := hash01(uint32(x0), uint32(y0), seed)
+	v10 := hash01(uint32(x0+1), uint32(y0), seed)
+	v01 := hash01(uint32(x0), uint32(y0+1), seed)
+	v11 := hash01(uint32(x0+1), uint32(y0+1), seed)
+	a := v00 + (v10-v00)*tx
+	b := v01 + (v11-v01)*tx
+	return a + (b-a)*ty
+}
+
+func hash01(x, y, seed uint32) float64 {
+	h := x*0x9E3779B1 ^ y*0x85EBCA77 ^ seed*0xC2B2AE3D
+	h ^= h >> 15
+	h *= 0x27D4EB2F
+	h ^= h >> 13
+	return float64(h%1024)/512 - 1
+}
+
+func texture(x, y, seed uint32) uint8 {
+	h := x/4*0x9E3779B1 ^ y/4*0x85EBCA77 ^ seed
+	h ^= h >> 15
+	h *= 0x27D4EB2F
+	return uint8(64 + h%128)
+}
+
+func clamp8(v int) uint8 {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return uint8(v)
+}

@@ -1,0 +1,147 @@
+package video
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestNewFrameValidation(t *testing.T) {
+	f := NewFrame(64, 48)
+	if len(f.Y) != 64*48 || len(f.U) != 32*24 || len(f.V) != 32*24 {
+		t.Error("plane sizes wrong for 4:2:0")
+	}
+	for _, bad := range [][2]int{{0, 16}, {16, 0}, {15, 16}, {16, 15}, {-2, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewFrame(%d,%d) did not panic", bad[0], bad[1])
+				}
+			}()
+			NewFrame(bad[0], bad[1])
+		}()
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	f := NewFrame(16, 16)
+	f.Y[0] = 42
+	g := f.Clone()
+	g.Y[0] = 7
+	if f.Y[0] != 42 {
+		t.Error("Clone shares luma storage")
+	}
+	g.U[0] = 9
+	if f.U[0] != 0 {
+		t.Error("Clone shares chroma storage")
+	}
+}
+
+func TestYAtClamps(t *testing.T) {
+	f := NewFrame(4, 4)
+	f.Y[0] = 11  // (0,0)
+	f.Y[3] = 22  // (3,0)
+	f.Y[12] = 33 // (0,3)
+	f.Y[15] = 44 // (3,3)
+	cases := []struct {
+		x, y int
+		want uint8
+	}{
+		{-5, -5, 11}, {10, -1, 22}, {-1, 10, 33}, {9, 9, 44}, {1, 0, f.Y[1]},
+	}
+	for _, c := range cases {
+		if got := f.YAt(c.x, c.y); got != c.want {
+			t.Errorf("YAt(%d,%d) = %d, want %d", c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func TestPSNR(t *testing.T) {
+	a := NewFrame(16, 16)
+	b := a.Clone()
+	if !math.IsInf(PSNR(a, b), 1) {
+		t.Error("identical frames: PSNR should be +Inf")
+	}
+	for i := range b.Y {
+		b.Y[i] = a.Y[i] + 1
+	}
+	if p := PSNR(a, b); p < 45 || p > 50 {
+		t.Errorf("uniform +1 error: PSNR = %.1f, want ~48.1 dB", p)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched sizes did not panic")
+		}
+	}()
+	PSNR(a, NewFrame(32, 32))
+}
+
+func TestSynthDeterministic(t *testing.T) {
+	a := NewSynth(64, 64, 3, 5).Frame(2)
+	b := NewSynth(64, 64, 3, 5).Frame(2)
+	if !bytes.Equal(a.Y, b.Y) || !bytes.Equal(a.U, b.U) {
+		t.Fatal("same parameters produced different frames")
+	}
+	c := NewSynth(64, 64, 3, 6).Frame(2)
+	if bytes.Equal(a.Y, c.Y) {
+		t.Error("different seeds produced identical luma")
+	}
+}
+
+func TestSynthFramesDiffer(t *testing.T) {
+	s := NewSynth(64, 64, 2, 9)
+	f0, f1 := s.Frame(0), s.Frame(1)
+	diff := 0
+	for i := range f0.Y {
+		if f0.Y[i] != f1.Y[i] {
+			diff++
+		}
+	}
+	// Panning content: most pixels change between frames, but the frames
+	// remain correlated (it is video, not noise).
+	if diff < len(f0.Y)/4 {
+		t.Errorf("only %d/%d pixels changed; pan should move most of the frame", diff, len(f0.Y))
+	}
+	var sad int
+	for i := range f0.Y {
+		d := int(f0.Y[i]) - int(f1.Y[i])
+		if d < 0 {
+			d = -d
+		}
+		sad += d
+	}
+	if avg := float64(sad) / float64(len(f0.Y)); avg > 40 {
+		t.Errorf("mean absolute frame difference %.1f too high; frames should be correlated", avg)
+	}
+}
+
+func TestSynthHasTexture(t *testing.T) {
+	f := NewSynth(128, 128, 0, 3).Frame(0)
+	// Local contrast: neighboring pixels must differ somewhere (the codec's
+	// sub-pel behaviour depends on band-limited but non-flat content).
+	var grad int
+	for y := 0; y < 128; y++ {
+		for x := 1; x < 128; x++ {
+			d := int(f.Y[y*128+x]) - int(f.Y[y*128+x-1])
+			if d < 0 {
+				d = -d
+			}
+			grad += d
+		}
+	}
+	if avg := float64(grad) / (128 * 127); avg < 1 {
+		t.Errorf("mean horizontal gradient %.2f; content is too flat", avg)
+	}
+}
+
+func TestClip(t *testing.T) {
+	frames := NewSynth(32, 32, 1, 1).Clip(3)
+	if len(frames) != 3 {
+		t.Fatalf("Clip(3) returned %d frames", len(frames))
+	}
+	for i, f := range frames {
+		if f.W != 32 || f.H != 32 {
+			t.Errorf("frame %d has size %dx%d", i, f.W, f.H)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package vp9
+
+import (
+	"bytes"
+	"testing"
+
+	"gopim/internal/video"
+)
+
+func TestAdaptationStaysInSync(t *testing.T) {
+	// Long clip with a mid-stream keyframe: encoder and decoder must adapt
+	// their probabilities identically and reset together at the keyframe.
+	cfg := Config{Width: 128, Height: 96, QIndex: 26, KeyInterval: 6}
+	frames := video.NewSynth(cfg.Width, cfg.Height, 3, 13).Clip(14)
+	enc, err := NewEncoder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := NewDecoder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range frames {
+		data, recon, err := enc.Encode(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := dec.Decode(data)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got.Y, recon.Y) || !bytes.Equal(got.U, recon.U) || !bytes.Equal(got.V, recon.V) {
+			t.Fatalf("frame %d: adaptation desynchronized encoder and decoder", i)
+		}
+	}
+	// The adaptive probabilities must have actually moved off defaults.
+	if enc.coeffY == defaultCoeffProbs() {
+		t.Error("luma coefficient probabilities never adapted")
+	}
+	if enc.coeffY != dec.coeffY || enc.coeffC != dec.coeffC || enc.mvp != dec.mvp {
+		t.Error("encoder and decoder hold different adapted probabilities")
+	}
+}
+
+func TestAdaptationImprovesLaterFrames(t *testing.T) {
+	// After adaptation warms up, inter frames of stationary-statistics
+	// content should not be larger on average than the first inter frame.
+	cfg := Config{Width: 192, Height: 128, QIndex: 26, KeyInterval: 100}
+	frames := video.NewSynth(cfg.Width, cfg.Height, 3, 29).Clip(10)
+	enc, err := NewEncoder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sizes []int
+	for _, f := range frames {
+		data, _, err := enc.Encode(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes = append(sizes, len(data))
+	}
+	first := sizes[1] // sizes[0] is the keyframe
+	var late int
+	for _, s := range sizes[6:] {
+		late += s
+	}
+	lateAvg := late / len(sizes[6:])
+	if lateAvg > first*11/10 {
+		t.Errorf("late inter frames avg %d B vs first inter %d B; adaptation should not regress", lateAvg, first)
+	}
+	t.Logf("first inter frame %d B, adapted average %d B", first, lateAvg)
+}
+
+func TestAdaptProbBounds(t *testing.T) {
+	// Few samples: unchanged.
+	if got := adaptProb(128, boolCount{f: 3, t: 2}); got != 128 {
+		t.Errorf("adaptProb with 5 samples = %d, want unchanged 128", got)
+	}
+	// All-false observations pull the probability up, clamped inside (0,255).
+	p := uint8(128)
+	for i := 0; i < 20; i++ {
+		p = adaptProb(p, boolCount{f: 1000})
+	}
+	if p < 200 || p > 254 {
+		t.Errorf("all-false adaptation converged to %d, want near 254", p)
+	}
+	// All-true observations pull it down.
+	p = 128
+	for i := 0; i < 20; i++ {
+		p = adaptProb(p, boolCount{t: 1000})
+	}
+	if p > 60 || p < 1 {
+		t.Errorf("all-true adaptation converged to %d, want near 1", p)
+	}
+}

@@ -1,0 +1,121 @@
+package vp9
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBoolRoundTripFixedProb(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	bits := make([]bool, 5000)
+	for i := range bits {
+		bits[i] = rng.Intn(4) == 0
+	}
+	w := NewBoolWriter()
+	for _, b := range bits {
+		w.Bool(b, 192) // p(false) = 192/256, matching the 1-in-4 bias
+	}
+	data := w.Flush()
+	r := NewBoolReader(data)
+	for i, want := range bits {
+		if got := r.Bool(192); got != want {
+			t.Fatalf("bit %d = %v, want %v", i, got, want)
+		}
+	}
+	// A biased stream must compress below one bit per symbol.
+	if len(data)*8 >= len(bits) {
+		t.Errorf("5000 biased bools took %d bits; expected < 1 bit/symbol", len(data)*8)
+	}
+}
+
+func TestBoolRoundTripVaryingProbs(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 3000
+	bits := make([]bool, n)
+	probs := make([]uint8, n)
+	for i := range bits {
+		bits[i] = rng.Intn(2) == 0
+		probs[i] = uint8(rng.Intn(254) + 1)
+	}
+	w := NewBoolWriter()
+	for i := range bits {
+		w.Bool(bits[i], probs[i])
+	}
+	r := NewBoolReader(w.Flush())
+	for i := range bits {
+		if got := r.Bool(probs[i]); got != bits[i] {
+			t.Fatalf("bit %d mismatch", i)
+		}
+	}
+}
+
+func TestLiteralRoundTrip(t *testing.T) {
+	w := NewBoolWriter()
+	vals := []struct {
+		v uint32
+		n int
+	}{{0, 1}, {1, 1}, {255, 8}, {0xABC, 12}, {0, 8}, {7, 3}, {1 << 15, 16}}
+	for _, c := range vals {
+		w.Literal(c.v, c.n)
+	}
+	r := NewBoolReader(w.Flush())
+	for i, c := range vals {
+		if got := r.Literal(c.n); got != c.v {
+			t.Fatalf("literal %d = %#x, want %#x", i, got, c.v)
+		}
+	}
+}
+
+func TestCarryPropagation(t *testing.T) {
+	// Encoding long runs of the improbable symbol forces carries through
+	// 0xFF byte runs; the decoder must still agree bit-for-bit.
+	w := NewBoolWriter()
+	for i := 0; i < 2000; i++ {
+		w.Bool(true, 255) // p(false)=255/256: "true" is the rare branch
+	}
+	r := NewBoolReader(w.Flush())
+	for i := 0; i < 2000; i++ {
+		if !r.Bool(255) {
+			t.Fatalf("bit %d lost after carry", i)
+		}
+	}
+}
+
+func TestEmptyStream(t *testing.T) {
+	w := NewBoolWriter()
+	data := w.Flush()
+	if len(data) == 0 {
+		t.Fatal("flush produced no bytes")
+	}
+	r := NewBoolReader(data)
+	_ = r.Bool(128) // decoding from an empty logical stream must not panic
+}
+
+// Property: any bool sequence with any probability sequence round-trips.
+func TestQuickBoolRoundTrip(t *testing.T) {
+	f := func(seed int64, n uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		count := int(n)%2000 + 1
+		bits := make([]bool, count)
+		probs := make([]uint8, count)
+		for i := range bits {
+			bits[i] = rng.Intn(2) == 0
+			probs[i] = uint8(rng.Intn(255) + 1)
+		}
+		w := NewBoolWriter()
+		for i := range bits {
+			w.Bool(bits[i], probs[i])
+		}
+		r := NewBoolReader(w.Flush())
+		for i := range bits {
+			if r.Bool(probs[i]) != bits[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

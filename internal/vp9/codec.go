@@ -1,0 +1,165 @@
+package vp9
+
+import (
+	"errors"
+	"fmt"
+
+	"gopim/internal/video"
+)
+
+// Config parameterizes an encoder/decoder pair. Width and Height must be
+// multiples of 16 (the macro-block size).
+type Config struct {
+	Width, Height int
+	QIndex        int // 0 (finest) .. MaxQIndex
+	KeyInterval   int // force a keyframe every N frames; 0 means 32
+	SearchRange   int // motion search range in whole pels; 0 means 16
+	MaxRefs       int // reference frames to search; 0 means 3
+}
+
+func (c Config) withDefaults() Config {
+	if c.KeyInterval == 0 {
+		c.KeyInterval = 32
+	}
+	if c.SearchRange == 0 {
+		c.SearchRange = 16
+	}
+	if c.MaxRefs == 0 {
+		c.MaxRefs = 3
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Width <= 0 || c.Height <= 0 || c.Width%16 != 0 || c.Height%16 != 0 {
+		return fmt.Errorf("vp9: frame size %dx%d must be positive multiples of 16", c.Width, c.Height)
+	}
+	if c.QIndex < 0 || c.QIndex > MaxQIndex {
+		return fmt.Errorf("vp9: qindex %d out of range [0,%d]", c.QIndex, MaxQIndex)
+	}
+	return nil
+}
+
+// MBSize is the macro-block size used for mode decisions and motion.
+const MBSize = 16
+
+// Stats aggregates the codec-side work counters used by the instrumented
+// kernels and the hardware traffic model.
+type Stats struct {
+	ME             MEStats
+	MC             MCStats
+	Deblock        DeblockStats
+	IntraMBs       uint64
+	InterMBs       uint64
+	BitstreamBytes uint64
+	FramesCoded    uint64
+}
+
+// probabilities for mode/reference syntax (P(false) each).
+const (
+	probInter = 80  // inter blocks are likely on inter frames
+	probRef0  = 100 // LAST is the most used reference
+	probRef2  = 128
+	probSplit = 200 // most blocks keep the single 16x16 vector
+)
+
+// mbPrediction is the luma/chroma prediction of one macro-block plus its
+// coding decisions, shared between encode and decode reconstruction.
+type mbPrediction struct {
+	inter bool
+	mode  IntraMode
+	ref   int
+	mv    MV
+	// split selects four 8x8 sub-blocks with independent motion vectors
+	// instead of one 16x16 vector (VP9's variable partitioning, reduced to
+	// one split level).
+	split bool
+	subMV [4]MV
+	predY [MBSize * MBSize]uint8
+	predU [8 * 8]uint8
+	predV [8 * 8]uint8
+}
+
+// chromaMV returns the whole-pel chroma displacement for the block: the
+// (sub-)vector average, halved for 4:2:0.
+func (p *mbPrediction) chromaMV() (dx, dy int) {
+	mv := p.mv
+	if p.split {
+		var sx, sy int
+		for _, m := range p.subMV {
+			sx += m.X
+			sy += m.Y
+		}
+		mv = MV{X: sx / 4, Y: sy / 4}
+	}
+	dx, _ = floorDiv(mv.X+8, 16)
+	dy, _ = floorDiv(mv.Y+8, 16)
+	return dx, dy
+}
+
+// predictInterLuma fills predY from ref using the block's vector(s).
+func (p *mbPrediction) predictInterLuma(ref *video.Frame, bx, by int, st *MCStats) {
+	if !p.split {
+		PredictLuma(p.predY[:], MBSize, ref, bx, by, MBSize, MBSize, p.mv, st)
+		return
+	}
+	for q := 0; q < 4; q++ {
+		qx, qy := (q%2)*8, (q/2)*8
+		PredictLuma(p.predY[qy*MBSize+qx:], MBSize, ref, bx+qx, by+qy, 8, 8, p.subMV[q], st)
+	}
+}
+
+// predictChroma fills predU/predV: motion-compensated at full-pel chroma
+// resolution for inter blocks, DC intra otherwise.
+func (p *mbPrediction) predictChroma(recon, ref *video.Frame, mbx, mby int) {
+	cw, ch := recon.W/2, recon.H/2
+	cbx, cby := mbx*8, mby*8
+	if p.inter && ref != nil {
+		dx, dy := p.chromaMV() // luma 1/8-pel -> chroma whole-pel
+		for y := 0; y < 8; y++ {
+			for x := 0; x < 8; x++ {
+				p.predU[y*8+x] = planeAt(ref.U, cw, ch, cbx+x+dx, cby+y+dy)
+				p.predV[y*8+x] = planeAt(ref.V, cw, ch, cbx+x+dx, cby+y+dy)
+			}
+		}
+		return
+	}
+	PredictIntra(p.predU[:], 8, recon.U, cw, ch, cbx, cby, 8, PredDC)
+	PredictIntra(p.predV[:], 8, recon.V, cw, ch, cbx, cby, 8, PredDC)
+}
+
+func planeAt(plane []uint8, w, h, x, y int) uint8 {
+	if x < 0 {
+		x = 0
+	} else if x >= w {
+		x = w - 1
+	}
+	if y < 0 {
+		y = 0
+	} else if y >= h {
+		y = h - 1
+	}
+	return plane[y*w+x]
+}
+
+// reconstruct4x4 applies a dequantized, inverse-transformed residual to a
+// 4x4 block of plane at (x, y), using pred (row-major, predStride).
+func reconstruct4x4(plane []uint8, w int, x, y int, pred []uint8, predStride int, res *[16]int32) {
+	for r := 0; r < 4; r++ {
+		row := (y+r)*w + x
+		for c := 0; c < 4; c++ {
+			v := int32(pred[r*predStride+c]) + res[r*4+c]
+			plane[row+c] = clampPel(v)
+		}
+	}
+}
+
+// codeUnit is the per-4x4 residual pipeline shared by both directions.
+// Encoding: residual -> transform -> quantize -> levels; returns dequantized
+// inverse for reconstruction. Decoding only runs the second half.
+func dequantInverse(levels *[16]int32, qIndex int) {
+	DequantizeBlock(levels[:], qIndex)
+	InvTransform4x4(levels[:])
+}
+
+var errBadBitstream = errors.New("vp9: corrupt bitstream")

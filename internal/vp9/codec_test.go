@@ -1,0 +1,448 @@
+package vp9
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gopim/internal/video"
+)
+
+func TestTransform4x4RoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		var b, orig [16]int32
+		for i := range b {
+			b[i] = int32(rng.Intn(511) - 255) // residual range
+			orig[i] = b[i]
+		}
+		FwdTransform4x4(b[:])
+		InvTransform4x4(b[:])
+		if b != orig {
+			t.Fatalf("trial %d: WHT round trip failed:\n%v\n%v", trial, orig, b)
+		}
+	}
+}
+
+func TestTransform8x8RoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var b, orig [64]int32
+	for i := range b {
+		b[i] = int32(rng.Intn(511) - 255)
+		orig[i] = b[i]
+	}
+	FwdTransform8x8(b[:])
+	InvTransform8x8(b[:])
+	if b != orig {
+		t.Fatal("8x8 Hadamard round trip failed")
+	}
+}
+
+// Property: the transform pair is exact for any int16-range block.
+func TestQuickTransformRoundTrip(t *testing.T) {
+	f := func(vals [16]int16) bool {
+		var b, orig [16]int32
+		for i := range vals {
+			b[i] = int32(vals[i])
+			orig[i] = b[i]
+		}
+		FwdTransform4x4(b[:])
+		InvTransform4x4(b[:])
+		return b == orig
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantizeDequantizeBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		qi := rng.Intn(MaxQIndex + 1)
+		var c, orig [16]int32
+		for i := range c {
+			c[i] = int32(rng.Intn(8001) - 4000)
+			orig[i] = c[i]
+		}
+		QuantizeBlock(c[:], qi)
+		DequantizeBlock(c[:], qi)
+		for i := range c {
+			step := StepFor(qi, i)
+			if d := c[i] - orig[i]; d > step/2+1 || d < -step/2-1 {
+				t.Fatalf("qi %d coeff %d: error %d exceeds step/2 (%d)", qi, i, d, step/2)
+			}
+		}
+	}
+}
+
+func TestZigZagIsPermutation(t *testing.T) {
+	var seen [16]bool
+	for _, v := range ZigZag4 {
+		if v < 0 || v > 15 || seen[v] {
+			t.Fatalf("zigzag is not a permutation: %v", ZigZag4)
+		}
+		seen[v] = true
+	}
+}
+
+func TestCoeffsRoundTrip(t *testing.T) {
+	p := defaultCoeffProbs()
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 300; trial++ {
+		var levels [16]int32
+		n := rng.Intn(17)
+		for i := 0; i < n; i++ {
+			levels[rng.Intn(16)] = int32(rng.Intn(801) - 400)
+		}
+		w := NewBoolWriter()
+		writeCoeffs(w, &levels, &p, nil)
+		r := NewBoolReader(w.Flush())
+		var got [16]int32
+		readCoeffs(r, &got, &p, nil)
+		if got != levels {
+			t.Fatalf("trial %d: coeffs %v decoded as %v", trial, levels, got)
+		}
+	}
+}
+
+func TestMVComponentRoundTrip(t *testing.T) {
+	p := defaultMVProbs()
+	w := NewBoolWriter()
+	vals := []int{0, 1, -1, 7, -7, 128, -128, 500, -4000}
+	for _, v := range vals {
+		writeMVComponent(w, v, &p, nil)
+	}
+	r := NewBoolReader(w.Flush())
+	for i, want := range vals {
+		if got := readMVComponent(r, &p, nil); got != want {
+			t.Fatalf("mv %d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestMagnitudeRoundTrip(t *testing.T) {
+	p := defaultMagProbs()
+	w := NewBoolWriter()
+	var vals []int
+	for m := 0; m < 40; m++ {
+		vals = append(vals, m)
+	}
+	vals = append(vals, 100, 1000, 4000, 31+4095)
+	for _, v := range vals {
+		writeMag(w, v, &p)
+	}
+	r := NewBoolReader(w.Flush())
+	for i, want := range vals {
+		if got := readMag(r, &p); got != want {
+			t.Fatalf("mag %d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestPredictLumaFullPelIsCopy(t *testing.T) {
+	ref := video.NewSynth(64, 64, 2, 7).Frame(0)
+	var dst [16 * 16]uint8
+	var st MCStats
+	PredictLuma(dst[:], 16, ref, 16, 16, 16, 16, MV{X: 3 * MVPrecision, Y: -2 * MVPrecision}, &st)
+	for y := 0; y < 16; y++ {
+		for x := 0; x < 16; x++ {
+			if dst[y*16+x] != ref.YAt(16+x+3, 16+y-2) {
+				t.Fatalf("full-pel MC is not a copy at (%d,%d)", x, y)
+			}
+		}
+	}
+	if st.SubPelBlocks != 0 {
+		t.Error("full-pel block counted as sub-pel")
+	}
+}
+
+func TestPredictLumaSubPelBetweenNeighbors(t *testing.T) {
+	// On a horizontal ramp, a half-pel shift must land between the two
+	// neighboring samples.
+	ref := video.NewFrame(64, 64)
+	for y := 0; y < 64; y++ {
+		for x := 0; x < 64; x++ {
+			ref.Y[y*64+x] = uint8(x * 4)
+		}
+	}
+	var dst [16 * 16]uint8
+	var st MCStats
+	PredictLuma(dst[:], 16, ref, 24, 24, 16, 16, MV{X: 4, Y: 0}, &st) // +0.5 px
+	for y := 2; y < 14; y++ {
+		for x := 2; x < 14; x++ {
+			lo := ref.YAt(24+x, 24+y)
+			hi := ref.YAt(24+x+1, 24+y)
+			v := dst[y*16+x]
+			if v < lo || v > hi {
+				t.Fatalf("half-pel sample %d at (%d,%d) outside [%d,%d]", v, x, y, lo, hi)
+			}
+		}
+	}
+	if st.SubPelBlocks != 1 {
+		t.Errorf("sub-pel blocks = %d, want 1", st.SubPelBlocks)
+	}
+	if st.RefPixelsRead <= 256 {
+		t.Error("sub-pel interpolation must fetch the filter apron (>256 pixels for 16x16)")
+	}
+}
+
+func TestSubPelFilterTapsSumTo128(t *testing.T) {
+	for i, f := range subPelFilters {
+		var sum int32
+		for _, tap := range f {
+			sum += tap
+		}
+		if sum != 128 {
+			t.Errorf("phase %d taps sum to %d, want 128", i, sum)
+		}
+	}
+}
+
+func TestDiamondSearchFindsPlantedMotion(t *testing.T) {
+	s := video.NewSynth(128, 128, 0, 3)
+	ref := s.Frame(0)
+	// Current frame: reference shifted by (+5, -3).
+	cur := video.NewFrame(128, 128)
+	for y := 0; y < 128; y++ {
+		for x := 0; x < 128; x++ {
+			cur.Y[y*128+x] = ref.YAt(x+5, y-3)
+		}
+	}
+	var st MEStats
+	disp, sad := DiamondSearch(cur, ref, 48, 48, [2]int{0, 0}, 16, &st)
+	if disp != [2]int{5, -3} {
+		t.Errorf("found displacement %v (SAD %d), want [5 -3]", disp, sad)
+	}
+	if sad != 0 {
+		t.Errorf("SAD at true motion = %d, want 0", sad)
+	}
+}
+
+func TestSubPelRefineImproves(t *testing.T) {
+	s := video.NewSynth(128, 128, 0, 9)
+	ref := s.Frame(0)
+	cur := s.Frame(1) // global pan of (1.25, 0.5) px: true motion is fractional
+	var st MEStats
+	whole, wholeSAD := DiamondSearch(cur, ref, 48, 48, [2]int{0, 0}, 16, &st)
+	_, subSAD := SubPelRefine(cur, ref, 48, 48, whole, &st)
+	if subSAD > wholeSAD {
+		t.Errorf("sub-pel refinement worsened SAD: %d -> %d", wholeSAD, subSAD)
+	}
+	if st.SubPelProbes == 0 {
+		t.Error("no sub-pel probes recorded")
+	}
+}
+
+func TestDeblockSmoothsBlockEdge(t *testing.T) {
+	// A small step across a 4x4 boundary must shrink; a large (real) edge
+	// must survive.
+	w, h := 16, 16
+	plane := make([]uint8, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x >= 4 {
+				plane[y*w+x] = 104 // +4 step at x=4 boundary
+			} else {
+				plane[y*w+x] = 100
+			}
+			if x >= 8 {
+				plane[y*w+x] = 220 // big real edge at x=8
+			}
+		}
+	}
+	var st DeblockStats
+	DeblockPlane(plane, w, h, 20, &st)
+	stepAfter := int(plane[5*w+4]) - int(plane[5*w+3])
+	if stepAfter >= 4 {
+		t.Errorf("blocking step not reduced: still %d", stepAfter)
+	}
+	bigAfter := int(plane[5*w+8]) - int(plane[5*w+7])
+	if bigAfter < 100 {
+		t.Errorf("real edge was destroyed: step now %d", bigAfter)
+	}
+	if st.EdgesFiltered == 0 || st.EdgesFiltered >= st.EdgesChecked {
+		t.Errorf("filtered %d of %d edges; expected some but not all", st.EdgesFiltered, st.EdgesChecked)
+	}
+}
+
+func TestIntraPredictionModes(t *testing.T) {
+	w, h := 16, 16
+	plane := make([]uint8, w*h)
+	for i := range plane {
+		plane[i] = uint8(i)
+	}
+	var pred [16]uint8
+	PredictIntra(pred[:], 4, plane, w, h, 4, 4, 4, PredV)
+	for x := 0; x < 4; x++ {
+		want := plane[3*w+4+x]
+		for y := 0; y < 4; y++ {
+			if pred[y*4+x] != want {
+				t.Fatalf("V mode column %d not constant", x)
+			}
+		}
+	}
+	PredictIntra(pred[:], 4, plane, w, h, 4, 4, 4, PredH)
+	for y := 0; y < 4; y++ {
+		want := plane[(4+y)*w+3]
+		for x := 0; x < 4; x++ {
+			if pred[y*4+x] != want {
+				t.Fatalf("H mode row %d not constant", y)
+			}
+		}
+	}
+	// DC with no neighbors is the fixed default.
+	PredictIntra(pred[:], 4, plane, w, h, 0, 0, 4, PredDC)
+	// top-left has no above/left: average defaults to 128.
+	if pred[0] != 128 {
+		t.Errorf("cornerless DC = %d, want 128", pred[0])
+	}
+}
+
+// --- full codec round trips ---
+
+func encodeClip(t *testing.T, frames []*video.Frame, cfg Config) (*Encoder, [][]byte, []*video.Frame) {
+	t.Helper()
+	enc, err := NewEncoder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streams [][]byte
+	var recons []*video.Frame
+	for _, f := range frames {
+		data, recon, err := enc.Encode(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		streams = append(streams, data)
+		recons = append(recons, recon)
+	}
+	return enc, streams, recons
+}
+
+func TestCodecRoundTripExact(t *testing.T) {
+	cfg := Config{Width: 128, Height: 96, QIndex: 24}
+	frames := video.NewSynth(cfg.Width, cfg.Height, 3, 11).Clip(6)
+	enc, streams, recons := encodeClip(t, frames, cfg)
+
+	dec, err := NewDecoder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, data := range streams {
+		got, err := dec.Decode(data)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got.Y, recons[i].Y) || !bytes.Equal(got.U, recons[i].U) || !bytes.Equal(got.V, recons[i].V) {
+			t.Fatalf("frame %d: decoder does not match encoder reconstruction", i)
+		}
+	}
+	if enc.Stats.InterMBs == 0 {
+		t.Error("no inter macro-blocks coded across 6 frames of panning video")
+	}
+	if enc.Stats.MC.SubPelBlocks == 0 {
+		t.Error("no sub-pel blocks: the synthetic pan should need interpolation")
+	}
+}
+
+func TestCodecQuality(t *testing.T) {
+	cfg := Config{Width: 128, Height: 96, QIndex: 8}
+	frames := video.NewSynth(cfg.Width, cfg.Height, 2, 21).Clip(4)
+	_, streams, recons := encodeClip(t, frames, cfg)
+	for i := range frames {
+		if p := video.PSNR(frames[i], recons[i]); p < 28 {
+			t.Errorf("frame %d PSNR %.1f dB < 28 dB at fine quantization", i, p)
+		}
+	}
+	// Compression must actually compress vs raw YUV.
+	raw := cfg.Width * cfg.Height * 3 / 2
+	for i, s := range streams {
+		if len(s) >= raw {
+			t.Errorf("frame %d: %d bytes >= raw %d", i, len(s), raw)
+		}
+	}
+}
+
+func TestCoarserQuantizerSmallerStream(t *testing.T) {
+	frames := video.NewSynth(128, 96, 2, 5).Clip(2)
+	_, fine, _ := encodeClip(t, frames, Config{Width: 128, Height: 96, QIndex: 4})
+	_, coarse, _ := encodeClip(t, frames, Config{Width: 128, Height: 96, QIndex: 55})
+	fineBytes, coarseBytes := 0, 0
+	for i := range fine {
+		fineBytes += len(fine[i])
+		coarseBytes += len(coarse[i])
+	}
+	if coarseBytes >= fineBytes {
+		t.Errorf("coarse quantizer stream (%d) not smaller than fine (%d)", coarseBytes, fineBytes)
+	}
+}
+
+func TestInterFramesSmallerThanKeyframes(t *testing.T) {
+	frames := video.NewSynth(128, 96, 2, 31).Clip(4)
+	_, streams, _ := encodeClip(t, frames, Config{Width: 128, Height: 96, QIndex: 24})
+	key := len(streams[0])
+	for i := 1; i < len(streams); i++ {
+		if len(streams[i]) >= key {
+			t.Errorf("inter frame %d (%dB) not smaller than keyframe (%dB)", i, len(streams[i]), key)
+		}
+	}
+}
+
+func TestDecoderErrors(t *testing.T) {
+	cfg := Config{Width: 64, Height: 64, QIndex: 24}
+	dec, err := NewDecoder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An inter frame before any keyframe must be rejected.
+	w := NewBoolWriter()
+	w.Bool(false, 128) // not a keyframe
+	w.Literal(24, 6)
+	if _, err := dec.Decode(w.Flush()); err == nil {
+		t.Error("inter frame with no references accepted")
+	}
+	// Truncated stream: decoding must error, not panic.
+	frames := video.NewSynth(64, 64, 1, 2).Clip(1)
+	enc, _ := NewEncoder(cfg)
+	data, _, _ := enc.Encode(frames[0])
+	if _, err := dec.Decode(data[:len(data)/4]); err == nil {
+		t.Error("truncated keyframe accepted")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Width: 0, Height: 64},
+		{Width: 65, Height: 64},
+		{Width: 64, Height: 64, QIndex: 99},
+	}
+	for _, cfg := range bad {
+		if _, err := NewEncoder(cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+		if _, err := NewDecoder(cfg); err == nil {
+			t.Errorf("decoder config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestEncodeRejectsWrongSize(t *testing.T) {
+	enc, _ := NewEncoder(Config{Width: 64, Height: 64, QIndex: 24})
+	if _, _, err := enc.Encode(video.NewFrame(128, 128)); err == nil {
+		t.Error("mismatched frame size accepted")
+	}
+}
+
+func TestPSNRHelpers(t *testing.T) {
+	a := video.NewFrame(16, 16)
+	b := a.Clone()
+	if !math.IsInf(video.PSNR(a, b), 1) {
+		t.Error("identical frames should have infinite PSNR")
+	}
+	b.Y[0] = 255
+	if p := video.PSNR(a, b); math.IsInf(p, 1) || p < 0 {
+		t.Errorf("PSNR = %v", p)
+	}
+}

@@ -1,0 +1,107 @@
+package vp9
+
+// In-loop deblocking filter (paper Figure 9, block 8): for every 4x4 block
+// edge, edge pixels that are discontinuous with their neighbors — but not
+// so discontinuous that the edge is real image content — get a low-pass
+// adjustment, in the style of VP8/VP9's normal loop filter.
+
+// DeblockStats counts filter work for the instrumented kernels and the
+// hardware traffic model.
+type DeblockStats struct {
+	EdgesChecked  uint64
+	EdgesFiltered uint64
+	PixelsRead    uint64
+	PixelsWritten uint64
+}
+
+// filterLevelFor derives the filter strength from the frame's quantizer.
+func filterLevelFor(qIndex int) int32 {
+	lvl := int32(6 + qIndex/2)
+	if lvl > 40 {
+		lvl = 40
+	}
+	return lvl
+}
+
+// DeblockPlane filters all interior 4x4 edges of a plane in place.
+func DeblockPlane(plane []uint8, w, h, qIndex int, st *DeblockStats) {
+	level := filterLevelFor(qIndex)
+	limit := level
+	thresh := level / 4
+
+	// Vertical edges (filter across columns), then horizontal edges.
+	for x := 4; x < w; x += 4 {
+		for y := 0; y < h; y++ {
+			st.EdgesChecked++
+			i := y*w + x
+			filterEdge(plane, i, 1, limit, thresh, st)
+		}
+	}
+	for y := 4; y < h; y += 4 {
+		for x := 0; x < w; x++ {
+			st.EdgesChecked++
+			i := y*w + x
+			filterEdge(plane, i, w, limit, thresh, st)
+		}
+	}
+}
+
+// filterEdge examines samples p1 p0 | q0 q1 around the edge at index i
+// (stride step between samples perpendicular to the edge) and applies the
+// 4-tap adjustment when the discontinuity is small enough to be a blocking
+// artifact.
+func filterEdge(plane []uint8, i, step int, limit, thresh int32, st *DeblockStats) {
+	if i-2*step < 0 || i+2*step > len(plane) {
+		return
+	}
+	p1 := int32(plane[i-2*step])
+	p0 := int32(plane[i-step])
+	q0 := int32(plane[i])
+	q1 := int32(plane[i+step])
+	st.PixelsRead += 4
+
+	if abs32(p0-q0)*2+abs32(p1-q1)/2 > limit {
+		return // real edge: leave it alone
+	}
+	st.EdgesFiltered++
+
+	// VP8-style filter: a = clamp(3*(q0-p0) + clamp(p1-q1))
+	a := clamp128(3*(q0-p0) + clamp128(p1-q1))
+	f1 := (a + 4) >> 3
+	if a+4 > 127 {
+		f1 = 15
+	}
+	f2 := (a + 3) >> 3
+	if a+3 > 127 {
+		f2 = 15
+	}
+	plane[i] = clampPel(q0 - f1)
+	plane[i-step] = clampPel(p0 + f2)
+	st.PixelsWritten += 2
+
+	// High-variance edges skip the outer taps.
+	if abs32(p1-p0) > thresh || abs32(q1-q0) > thresh {
+		return
+	}
+	outer := (f1 + 1) >> 1
+	plane[i+step] = clampPel(q1 - outer)
+	plane[i-2*step] = clampPel(p1 + outer)
+	st.PixelsWritten += 2
+}
+
+func abs32(v int32) int32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func clamp128(v int32) int32 {
+	if v < -128 {
+		return -128
+	}
+	if v > 127 {
+		return 127
+	}
+	return v
+}

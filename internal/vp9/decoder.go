@@ -1,0 +1,172 @@
+package vp9
+
+import (
+	"fmt"
+
+	"gopim/internal/video"
+)
+
+// Decoder decompresses bitstreams produced by Encoder (paper Figure 9),
+// mirroring its reconstruction exactly.
+type Decoder struct {
+	cfg  Config
+	refs []*video.Frame
+
+	coeffY coeffProbs
+	coeffC coeffProbs
+	mvp    mvProbs
+
+	countsY coeffCounts
+	countsC coeffCounts
+	countMV mvCounts
+
+	// Stats accumulates work counters across Decode calls.
+	Stats Stats
+}
+
+// NewDecoder returns a decoder for the given configuration (Width/Height
+// must match the encoder's; other fields are taken from the bitstream or
+// defaults).
+func NewDecoder(cfg Config) (*Decoder, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Decoder{
+		cfg:    cfg,
+		coeffY: defaultCoeffProbs(),
+		coeffC: defaultCoeffProbs(),
+		mvp:    defaultMVProbs(),
+	}, nil
+}
+
+// Decode reconstructs one frame from data.
+func (d *Decoder) Decode(data []byte) (*video.Frame, error) {
+	r := NewBoolReader(data)
+	keyframe := r.Bool(128)
+	qIndex := int(r.Literal(6))
+	if qIndex > MaxQIndex {
+		return nil, fmt.Errorf("%w: qindex %d", errBadBitstream, qIndex)
+	}
+	if !keyframe && len(d.refs) == 0 {
+		return nil, fmt.Errorf("%w: inter frame with no references", errBadBitstream)
+	}
+	if keyframe {
+		d.coeffY = defaultCoeffProbs()
+		d.coeffC = defaultCoeffProbs()
+		d.mvp = defaultMVProbs()
+		d.countsY = coeffCounts{}
+		d.countsC = coeffCounts{}
+		d.countMV = mvCounts{}
+	}
+
+	recon := video.NewFrame(d.cfg.Width, d.cfg.Height)
+	mbCols := d.cfg.Width / MBSize
+	mbRows := d.cfg.Height / MBSize
+	for mby := 0; mby < mbRows; mby++ {
+		predMV := MV{}
+		for mbx := 0; mbx < mbCols; mbx++ {
+			if err := d.decodeMB(r, recon, mbx, mby, keyframe, qIndex, &predMV); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if r.Exhausted() {
+		return nil, fmt.Errorf("%w: truncated stream", errBadBitstream)
+	}
+
+	var dst DeblockStats
+	DeblockPlane(recon.Y, recon.W, recon.H, qIndex, &dst)
+	DeblockPlane(recon.U, recon.W/2, recon.H/2, qIndex, &dst)
+	DeblockPlane(recon.V, recon.W/2, recon.H/2, qIndex, &dst)
+	d.Stats.Deblock.EdgesChecked += dst.EdgesChecked
+	d.Stats.Deblock.EdgesFiltered += dst.EdgesFiltered
+	d.Stats.Deblock.PixelsRead += dst.PixelsRead
+	d.Stats.Deblock.PixelsWritten += dst.PixelsWritten
+
+	// Mirror the encoder's backward adaptation.
+	d.coeffY.adapt(&d.countsY)
+	d.coeffC.adapt(&d.countsC)
+	d.mvp.adapt(&d.countMV)
+
+	if keyframe {
+		d.refs = d.refs[:0]
+	}
+	d.refs = append([]*video.Frame{recon}, d.refs...)
+	if len(d.refs) > d.cfg.MaxRefs {
+		d.refs = d.refs[:d.cfg.MaxRefs]
+	}
+	d.Stats.BitstreamBytes += uint64(len(data))
+	d.Stats.FramesCoded++
+	return recon.Clone(), nil
+}
+
+func (d *Decoder) decodeMB(r *BoolReader, recon *video.Frame, mbx, mby int, keyframe bool, qIndex int, predMV *MV) error {
+	bx, by := mbx*MBSize, mby*MBSize
+	var p mbPrediction
+
+	if !keyframe {
+		p.inter = r.Bool(probInter)
+	}
+	if p.inter {
+		if r.Bool(probRef0) {
+			p.ref = 1
+			if r.Bool(probRef2) {
+				p.ref = 2
+			}
+		}
+		if p.ref >= len(d.refs) {
+			return fmt.Errorf("%w: reference %d of %d", errBadBitstream, p.ref, len(d.refs))
+		}
+		p.split = r.Bool(probSplit)
+		if p.split {
+			prev := *predMV
+			for q := 0; q < 4; q++ {
+				p.subMV[q].X = prev.X + readMVComponent(r, &d.mvp, &d.countMV)
+				p.subMV[q].Y = prev.Y + readMVComponent(r, &d.mvp, &d.countMV)
+				prev = p.subMV[q]
+			}
+			*predMV = prev
+		} else {
+			p.mv.X = predMV.X + readMVComponent(r, &d.mvp, &d.countMV)
+			p.mv.Y = predMV.Y + readMVComponent(r, &d.mvp, &d.countMV)
+			*predMV = p.mv
+		}
+		d.Stats.InterMBs++
+	} else {
+		p.mode = IntraMode(r.Literal(2))
+		d.Stats.IntraMBs++
+	}
+
+	var ref *video.Frame
+	if p.inter {
+		ref = d.refs[p.ref]
+		p.predictInterLuma(ref, bx, by, &d.Stats.MC)
+	} else {
+		PredictIntra(p.predY[:], MBSize, recon.Y, recon.W, recon.H, bx, by, MBSize, p.mode)
+	}
+	p.predictChroma(recon, ref, mbx, mby)
+
+	var levels [16]int32
+	for blk := 0; blk < 16; blk++ {
+		ox, oy := (blk%4)*4, (blk/4)*4
+		readCoeffs(r, &levels, &d.coeffY, &d.countsY)
+		dequantInverse(&levels, qIndex)
+		reconstruct4x4(recon.Y, recon.W, bx+ox, by+oy, p.predY[oy*MBSize+ox:], MBSize, &levels)
+	}
+
+	cw := recon.W / 2
+	cbx, cby := mbx*8, mby*8
+	for _, plane := range [2]struct {
+		rec  []uint8
+		pred []uint8
+	}{{recon.U, p.predU[:]}, {recon.V, p.predV[:]}} {
+		for blk := 0; blk < 4; blk++ {
+			ox, oy := (blk%2)*4, (blk/2)*4
+			readCoeffs(r, &levels, &d.coeffC, &d.countsC)
+			dequantInverse(&levels, qIndex)
+			reconstruct4x4(plane.rec, cw, cbx+ox, cby+oy, plane.pred[oy*8+ox:], 8, &levels)
+		}
+	}
+	return nil
+}

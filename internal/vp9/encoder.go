@@ -1,0 +1,257 @@
+package vp9
+
+import (
+	"fmt"
+
+	"gopim/internal/video"
+)
+
+// Encoder compresses frames (paper Figure 14). It owns the reference frame
+// ring and mirrors the decoder's reconstruction exactly, so that
+// Decode(Encode(f)) equals the encoder's reconstructed output bit-for-bit.
+type Encoder struct {
+	cfg    Config
+	refs   []*video.Frame // most recent first, post-deblock
+	frameN int
+
+	coeffY coeffProbs
+	coeffC coeffProbs
+	mvp    mvProbs
+
+	countsY coeffCounts
+	countsC coeffCounts
+	countMV mvCounts
+
+	// Stats accumulates work counters across Encode calls.
+	Stats Stats
+
+	// OnMB, when non-nil, observes every macro-block coding decision (used
+	// by the instrumented replay kernels and by analysis tools).
+	OnMB func(mbx, mby int, d Decision)
+}
+
+// Decision records how one macro-block was coded.
+type Decision struct {
+	Inter  bool
+	Ref    int
+	MV     MV
+	Mode   IntraMode
+	Split  bool
+	SubMVs [4]MV
+}
+
+// NewEncoder returns an encoder for the given configuration.
+func NewEncoder(cfg Config) (*Encoder, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Encoder{
+		cfg:    cfg,
+		coeffY: defaultCoeffProbs(),
+		coeffC: defaultCoeffProbs(),
+		mvp:    defaultMVProbs(),
+	}, nil
+}
+
+// Encode compresses one frame, returning the bitstream and the encoder's
+// reconstruction (which the decoder will reproduce exactly).
+func (e *Encoder) Encode(src *video.Frame) ([]byte, *video.Frame, error) {
+	if src.W != e.cfg.Width || src.H != e.cfg.Height {
+		return nil, nil, fmt.Errorf("vp9: frame %dx%d does not match configured %dx%d", src.W, src.H, e.cfg.Width, e.cfg.Height)
+	}
+	keyframe := e.frameN%e.cfg.KeyInterval == 0 || len(e.refs) == 0
+	if keyframe {
+		// Keyframes reset the adaptive entropy state (both sides do the
+		// same, so streams stay seekable at keyframes).
+		e.coeffY = defaultCoeffProbs()
+		e.coeffC = defaultCoeffProbs()
+		e.mvp = defaultMVProbs()
+		e.countsY = coeffCounts{}
+		e.countsC = coeffCounts{}
+		e.countMV = mvCounts{}
+	}
+	w := NewBoolWriter()
+	w.Bool(keyframe, 128)
+	w.Literal(uint32(e.cfg.QIndex), 6)
+
+	recon := video.NewFrame(src.W, src.H)
+	mbCols := src.W / MBSize
+	mbRows := src.H / MBSize
+	for mby := 0; mby < mbRows; mby++ {
+		predMV := MV{}
+		for mbx := 0; mbx < mbCols; mbx++ {
+			e.encodeMB(w, src, recon, mbx, mby, keyframe, &predMV)
+		}
+	}
+
+	var dst DeblockStats
+	DeblockPlane(recon.Y, recon.W, recon.H, e.cfg.QIndex, &dst)
+	DeblockPlane(recon.U, recon.W/2, recon.H/2, e.cfg.QIndex, &dst)
+	DeblockPlane(recon.V, recon.W/2, recon.H/2, e.cfg.QIndex, &dst)
+	e.Stats.Deblock.EdgesChecked += dst.EdgesChecked
+	e.Stats.Deblock.EdgesFiltered += dst.EdgesFiltered
+	e.Stats.Deblock.PixelsRead += dst.PixelsRead
+	e.Stats.Deblock.PixelsWritten += dst.PixelsWritten
+
+	// Backward adaptation: fold this frame's symbol counts into the
+	// probabilities used for the next frame.
+	e.coeffY.adapt(&e.countsY)
+	e.coeffC.adapt(&e.countsC)
+	e.mvp.adapt(&e.countMV)
+
+	e.pushRef(recon, keyframe)
+	e.frameN++
+
+	data := w.Flush()
+	e.Stats.BitstreamBytes += uint64(len(data))
+	e.Stats.FramesCoded++
+	return data, recon.Clone(), nil
+}
+
+func (e *Encoder) pushRef(recon *video.Frame, keyframe bool) {
+	if keyframe {
+		e.refs = e.refs[:0]
+	}
+	e.refs = append([]*video.Frame{recon}, e.refs...)
+	if len(e.refs) > e.cfg.MaxRefs {
+		e.refs = e.refs[:e.cfg.MaxRefs]
+	}
+}
+
+func (e *Encoder) encodeMB(w *BoolWriter, src, recon *video.Frame, mbx, mby int, keyframe bool, predMV *MV) {
+	bx, by := mbx*MBSize, mby*MBSize
+	var p mbPrediction
+
+	intraMode, intraCost := BestIntraMode(src, recon.Y, recon.W, recon.H, bx, by, MBSize)
+
+	bestRef, bestCost := -1, 1<<30
+	var bestMV MV
+	if !keyframe && len(e.refs) > 0 {
+		start := [2]int{predMV.X / MVPrecision, predMV.Y / MVPrecision}
+		// Whole-pel diamond search on every reference; sub-pel refinement
+		// only on the winner (as libvpx does).
+		bestWhole := [2]int{}
+		for ri, ref := range e.refs {
+			whole, sad := DiamondSearch(src, ref, bx, by, start, e.cfg.SearchRange, &e.Stats.ME)
+			if sad < bestCost {
+				bestCost = sad
+				bestRef = ri
+				bestWhole = whole
+			}
+		}
+		bestMV, bestCost = SubPelRefine(src, e.refs[bestRef], bx, by, bestWhole, &e.Stats.ME)
+		e.Stats.ME.Blocks++ // one macro-block fully searched
+	}
+
+	const interBias = 100 // signaling cost of ref+mv
+	p.inter = bestRef >= 0 && bestCost+interBias < intraCost
+	if p.inter {
+		p.ref = bestRef
+		p.mv = bestMV
+		// Consider splitting into four 8x8 sub-blocks, each refined
+		// around the 16x16 winner (one level of VP9's partitioning).
+		ref := e.refs[p.ref]
+		whole := [2]int{bestMV.X / MVPrecision, bestMV.Y / MVPrecision}
+		splitCost := 0
+		var subMVs [4]MV
+		for q := 0; q < 4; q++ {
+			qx, qy := bx+(q%2)*8, by+(q/2)*8
+			mv, cost := SubPelRefineBlock(src, ref, qx, qy, whole, 8, &e.Stats.ME)
+			subMVs[q] = mv
+			splitCost += cost
+		}
+		const splitBias = 96 // signaling cost of three extra vectors
+		if splitCost+splitBias < bestCost {
+			p.split = true
+			p.subMV = subMVs
+		}
+		e.Stats.InterMBs++
+	} else {
+		p.mode = intraMode
+		e.Stats.IntraMBs++
+	}
+	if e.OnMB != nil {
+		e.OnMB(mbx, mby, Decision{Inter: p.inter, Ref: p.ref, MV: p.mv, Mode: p.mode, Split: p.split, SubMVs: p.subMV})
+	}
+
+	// Syntax.
+	if !keyframe {
+		w.Bool(p.inter, probInter)
+	}
+	if p.inter {
+		w.Bool(p.ref != 0, probRef0)
+		if p.ref != 0 {
+			w.Bool(p.ref == 2, probRef2)
+		}
+		w.Bool(p.split, probSplit)
+		if p.split {
+			prev := *predMV
+			for q := 0; q < 4; q++ {
+				writeMVComponent(w, p.subMV[q].X-prev.X, &e.mvp, &e.countMV)
+				writeMVComponent(w, p.subMV[q].Y-prev.Y, &e.mvp, &e.countMV)
+				prev = p.subMV[q]
+			}
+			*predMV = prev
+		} else {
+			writeMVComponent(w, p.mv.X-predMV.X, &e.mvp, &e.countMV)
+			writeMVComponent(w, p.mv.Y-predMV.Y, &e.mvp, &e.countMV)
+			*predMV = p.mv
+		}
+	} else {
+		w.Literal(uint32(p.mode), 2)
+	}
+
+	// Prediction.
+	var ref *video.Frame
+	if p.inter {
+		ref = e.refs[p.ref]
+		p.predictInterLuma(ref, bx, by, &e.Stats.MC)
+	} else {
+		PredictIntra(p.predY[:], MBSize, recon.Y, recon.W, recon.H, bx, by, MBSize, p.mode)
+	}
+	p.predictChroma(recon, ref, mbx, mby)
+
+	// Luma residual: 16 4x4 blocks.
+	var levels [16]int32
+	for blk := 0; blk < 16; blk++ {
+		ox, oy := (blk%4)*4, (blk/4)*4
+		for r := 0; r < 4; r++ {
+			for c := 0; c < 4; c++ {
+				sv := int32(src.Y[(by+oy+r)*src.W+bx+ox+c])
+				pv := int32(p.predY[(oy+r)*MBSize+ox+c])
+				levels[r*4+c] = sv - pv
+			}
+		}
+		FwdTransform4x4(levels[:])
+		QuantizeBlock(levels[:], e.cfg.QIndex)
+		writeCoeffs(w, &levels, &e.coeffY, &e.countsY)
+		dequantInverse(&levels, e.cfg.QIndex)
+		reconstruct4x4(recon.Y, recon.W, bx+ox, by+oy, p.predY[(oy)*MBSize+ox:], MBSize, &levels)
+	}
+
+	// Chroma residual: 4 blocks per plane.
+	cw := recon.W / 2
+	cbx, cby := mbx*8, mby*8
+	for pi, plane := range [2]struct {
+		src, rec []uint8
+		pred     []uint8
+	}{{src.U, recon.U, p.predU[:]}, {src.V, recon.V, p.predV[:]}} {
+		_ = pi
+		for blk := 0; blk < 4; blk++ {
+			ox, oy := (blk%2)*4, (blk/2)*4
+			for r := 0; r < 4; r++ {
+				for c := 0; c < 4; c++ {
+					sv := int32(plane.src[(cby+oy+r)*cw+cbx+ox+c])
+					pv := int32(plane.pred[(oy+r)*8+ox+c])
+					levels[r*4+c] = sv - pv
+				}
+			}
+			FwdTransform4x4(levels[:])
+			QuantizeBlock(levels[:], e.cfg.QIndex)
+			writeCoeffs(w, &levels, &e.coeffC, &e.countsC)
+			dequantInverse(&levels, e.cfg.QIndex)
+			reconstruct4x4(plane.rec, cw, cbx+ox, cby+oy, plane.pred[oy*8+ox:], 8, &levels)
+		}
+	}
+}

@@ -1,0 +1,251 @@
+package vp9
+
+// Entropy layer: how quantized coefficients, motion vectors and mode
+// decisions are expressed as bools for the range coder. The scheme follows
+// VP8/VP9's shape — band-dependent probabilities, EOB-first coefficient
+// coding, and category-based magnitude coding with literal extra bits — with
+// a fixed default probability set.
+
+// magProbs parameterizes magnitude coding: a unary walk through size
+// categories (each Bool's probability is P(stop here)) followed by literal
+// bits.
+type magProbs struct {
+	cat [5]uint8
+}
+
+func defaultMagProbs() magProbs {
+	return magProbs{cat: [5]uint8{120, 150, 170, 190, 210}}
+}
+
+// Category boundaries: category j covers m in [catBase[j], catBase[j+1]).
+var catBase = [6]int{0, 1, 3, 7, 15, 31}
+var catBits = [5]int{0, 1, 2, 3, 4}
+
+const escapeBits = 12 // category-5 escape literal width
+
+// writeMag encodes a non-negative magnitude m.
+func writeMag(w *BoolWriter, m int, p *magProbs) {
+	for j := 0; j < 5; j++ {
+		inCat := m < catBase[j+1]
+		w.Bool(!inCat, p.cat[j])
+		if inCat {
+			if catBits[j] > 0 {
+				w.Literal(uint32(m-catBase[j]), catBits[j])
+			}
+			return
+		}
+	}
+	w.Literal(uint32(m-catBase[5]), escapeBits)
+}
+
+// readMag decodes a magnitude written by writeMag.
+func readMag(r *BoolReader, p *magProbs) int {
+	for j := 0; j < 5; j++ {
+		if !r.Bool(p.cat[j]) {
+			if catBits[j] == 0 {
+				return catBase[j]
+			}
+			return catBase[j] + int(r.Literal(catBits[j]))
+		}
+	}
+	return catBase[5] + int(r.Literal(escapeBits))
+}
+
+// coeffProbs parameterizes 4x4 coefficient coding, banded by scan position.
+type coeffProbs struct {
+	more [4]uint8 // P(no more coefficients) per band
+	nz   [4]uint8 // P(this position is zero) per band
+	mag  magProbs
+}
+
+func defaultCoeffProbs() coeffProbs {
+	return coeffProbs{
+		more: [4]uint8{60, 100, 140, 180},
+		nz:   [4]uint8{100, 128, 150, 170},
+		mag:  defaultMagProbs(),
+	}
+}
+
+func band(k int) int {
+	switch {
+	case k == 0:
+		return 0
+	case k == 1:
+		return 1
+	case k < 4:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// writeCoeffs encodes 16 quantized levels (natural raster order) in zigzag
+// order with EOB-first semantics. An all-zero block costs one bool. When
+// counts is non-nil, every adaptive decision is tallied for backward
+// adaptation.
+func writeCoeffs(w *BoolWriter, levels *[16]int32, p *coeffProbs, counts *coeffCounts) {
+	last := -1
+	for k := 15; k >= 0; k-- {
+		if levels[ZigZag4[k]] != 0 {
+			last = k
+			break
+		}
+	}
+	for k := 0; k <= last; k++ {
+		w.Bool(true, p.more[band(k)])
+		level := levels[ZigZag4[k]]
+		nz := level != 0
+		if counts != nil {
+			counts.more[band(k)].add(true)
+			counts.nz[band(k)].add(nz)
+		}
+		if !nz {
+			w.Bool(false, p.nz[band(k)])
+			continue
+		}
+		w.Bool(true, p.nz[band(k)])
+		w.Bool(level < 0, 128)
+		mag := level
+		if mag < 0 {
+			mag = -mag
+		}
+		writeMag(w, int(mag-1), &p.mag)
+	}
+	if last < 15 {
+		w.Bool(false, p.more[band(last+1)])
+		if counts != nil {
+			counts.more[band(last+1)].add(false)
+		}
+	}
+}
+
+// readCoeffs decodes what writeCoeffs produced, filling levels (natural
+// order) and tallying the same adaptive contexts.
+func readCoeffs(r *BoolReader, levels *[16]int32, p *coeffProbs, counts *coeffCounts) {
+	for i := range levels {
+		levels[i] = 0
+	}
+	for k := 0; k < 16; k++ {
+		more := r.Bool(p.more[band(k)])
+		if counts != nil {
+			counts.more[band(k)].add(more)
+		}
+		if !more {
+			return
+		}
+		nz := r.Bool(p.nz[band(k)])
+		if counts != nil {
+			counts.nz[band(k)].add(nz)
+		}
+		if !nz {
+			continue
+		}
+		neg := r.Bool(128)
+		mag := int32(readMag(r, &p.mag)) + 1
+		if neg {
+			mag = -mag
+		}
+		levels[ZigZag4[k]] = mag
+	}
+}
+
+// boolCount tallies coded bool outcomes for backward adaptation.
+type boolCount struct {
+	f, t uint32
+}
+
+func (c *boolCount) add(b bool) {
+	if b {
+		c.t++
+	} else {
+		c.f++
+	}
+}
+
+// adaptProb blends an old probability toward the observed frequency of
+// false outcomes (VP9-style backward adaptation: both sides count the
+// symbols they coded and update identically for the next frame).
+func adaptProb(old uint8, c boolCount) uint8 {
+	total := c.f + c.t
+	if total < 16 {
+		return old // too few samples to trust
+	}
+	obs := (c.f*255 + total/2) / total
+	if obs < 1 {
+		obs = 1
+	}
+	if obs > 254 {
+		obs = 254
+	}
+	return uint8((3*uint32(old) + obs) / 4)
+}
+
+// coeffCounts tallies the adaptive contexts of coefficient coding.
+type coeffCounts struct {
+	more [4]boolCount
+	nz   [4]boolCount
+}
+
+// adapt folds one frame's counts into the probabilities and resets them.
+func (p *coeffProbs) adapt(c *coeffCounts) {
+	for i := range p.more {
+		p.more[i] = adaptProb(p.more[i], c.more[i])
+		p.nz[i] = adaptProb(p.nz[i], c.nz[i])
+	}
+	*c = coeffCounts{}
+}
+
+// mvCounts tallies the adaptive context of MV coding.
+type mvCounts struct {
+	zero boolCount
+}
+
+// adapt folds one frame's counts into the probabilities and resets them.
+func (p *mvProbs) adapt(c *mvCounts) {
+	p.zero = adaptProb(p.zero, c.zero)
+	*c = mvCounts{}
+}
+
+// mvProbs parameterizes motion vector difference coding.
+type mvProbs struct {
+	zero uint8 // P(component diff == 0)
+	mag  magProbs
+}
+
+func defaultMVProbs() mvProbs {
+	return mvProbs{zero: 100, mag: defaultMagProbs()}
+}
+
+// writeMVComponent encodes one MV component difference (1/8-pel units).
+func writeMVComponent(w *BoolWriter, d int, p *mvProbs, counts *mvCounts) {
+	if counts != nil {
+		counts.zero.add(d != 0)
+	}
+	if d == 0 {
+		w.Bool(false, p.zero)
+		return
+	}
+	w.Bool(true, p.zero)
+	w.Bool(d < 0, 128)
+	if d < 0 {
+		d = -d
+	}
+	writeMag(w, d-1, &p.mag)
+}
+
+// readMVComponent decodes one MV component difference.
+func readMVComponent(r *BoolReader, p *mvProbs, counts *mvCounts) int {
+	nonzero := r.Bool(p.zero)
+	if counts != nil {
+		counts.zero.add(nonzero)
+	}
+	if !nonzero {
+		return 0
+	}
+	neg := r.Bool(128)
+	d := readMag(r, &p.mag) + 1
+	if neg {
+		return -d
+	}
+	return d
+}

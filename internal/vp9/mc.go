@@ -1,0 +1,150 @@
+package vp9
+
+import (
+	"math"
+
+	"gopim/internal/video"
+)
+
+// Motion compensation (paper Figure 9, block 3). Motion vectors have
+// 1/8-pixel resolution; fractional positions are interpolated with the
+// 8-tap filter bank below (the even phases of libvpx's eighttap-regular
+// filter), exactly the operation the paper identifies as the dominant
+// source of decoder data movement.
+
+// MVPrecision is the denominator of motion vector units: 8 units per pixel.
+const MVPrecision = 8
+
+// subPelFilters holds one 8-tap filter per 1/8-pel phase, taps summing to
+// 128. The bank is a Lanczos-windowed sinc (a=4), the same family as
+// libvpx's eighttap filters; phase p interpolates at p/8 of a pixel, so
+// phase 4 is the symmetric half-pel filter.
+var subPelFilters = buildSubPelFilters()
+
+func buildSubPelFilters() [MVPrecision][8]int32 {
+	var out [MVPrecision][8]int32
+	out[0][3] = 128
+	for p := 1; p < MVPrecision; p++ {
+		frac := float64(p) / MVPrecision
+		var w [8]float64
+		var sum float64
+		for t := 0; t < 8; t++ {
+			x := float64(t) - 3 - frac
+			w[t] = sinc(x) * sinc(x/4) // Lanczos window, a = 4
+			sum += w[t]
+		}
+		// Quantize to integers summing to exactly 128.
+		total := int32(0)
+		maxIdx := 0
+		for t := 0; t < 8; t++ {
+			out[p][t] = int32(math.Round(w[t] / sum * 128))
+			total += out[p][t]
+			if out[p][t] > out[p][maxIdx] {
+				maxIdx = t
+			}
+		}
+		out[p][maxIdx] += 128 - total
+	}
+	return out
+}
+
+func sinc(x float64) float64 {
+	if x == 0 {
+		return 1
+	}
+	px := math.Pi * x
+	return math.Sin(px) / px
+}
+
+// MV is a motion vector in 1/8-pel units.
+type MV struct {
+	X, Y int
+}
+
+// MCStats counts the work motion compensation performs, for the hardware
+// traffic model and the instrumented kernels.
+type MCStats struct {
+	Blocks         uint64 // blocks predicted
+	SubPelBlocks   uint64 // blocks needing interpolation
+	RefPixelsRead  uint64 // reference pixels fetched (including filter apron)
+	PixelsProduced uint64 // predicted pixels written
+	FilterTapMults uint64 // multiply-accumulates spent in filters
+}
+
+// PredictLuma writes the w x h luma prediction for the block at (bx, by)
+// displaced by mv, reading from ref. dst is row-major with the given
+// stride. Out-of-frame reference samples clamp to the edge.
+func PredictLuma(dst []uint8, stride int, ref *video.Frame, bx, by, w, h int, mv MV, st *MCStats) {
+	intX, fracX := floorDiv(mv.X, MVPrecision)
+	intY, fracY := floorDiv(mv.Y, MVPrecision)
+	srcX := bx + intX
+	srcY := by + intY
+
+	st.Blocks++
+	st.PixelsProduced += uint64(w * h)
+
+	if fracX == 0 && fracY == 0 {
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				dst[y*stride+x] = ref.YAt(srcX+x, srcY+y)
+			}
+		}
+		st.RefPixelsRead += uint64(w * h)
+		return
+	}
+
+	st.SubPelBlocks++
+	// Horizontal pass into an intermediate buffer tall enough for the
+	// vertical filter's apron (h + 7 rows). In the worst case the decoder
+	// fetches (w+7) x (h+7) reference pixels for a w x h block — the
+	// paper's "11x11 pixels for a 4x4 sub-block".
+	const apron = 7
+	tmpH := h + apron
+	tmp := make([]int32, w*tmpH)
+	fx := subPelFilters[fracX]
+	for y := 0; y < tmpH; y++ {
+		ry := srcY + y - apron/2 - 1
+		for x := 0; x < w; x++ {
+			var acc int32
+			for t := 0; t < 8; t++ {
+				acc += fx[t] * int32(ref.YAt(srcX+x+t-3, ry))
+			}
+			tmp[y*w+x] = acc
+		}
+	}
+	st.RefPixelsRead += uint64((w + apron) * tmpH)
+	st.FilterTapMults += uint64(w * tmpH * 8)
+
+	fy := subPelFilters[fracY]
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			var acc int32
+			for t := 0; t < 8; t++ {
+				acc += fy[t] * tmp[(y+t)*w+x]
+			}
+			// Two filter passes: divide by 128*128 with rounding.
+			dst[y*stride+x] = clampPel((acc + 8192) >> 14)
+		}
+	}
+	st.FilterTapMults += uint64(w * h * 8)
+}
+
+func floorDiv(v, d int) (q, r int) {
+	q = v / d
+	r = v % d
+	if r < 0 {
+		q--
+		r += d
+	}
+	return q, r
+}
+
+func clampPel(v int32) uint8 {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return uint8(v)
+}

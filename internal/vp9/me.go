@@ -1,0 +1,158 @@
+package vp9
+
+import "gopim/internal/video"
+
+// Motion estimation (paper Figure 14, block 4): diamond search over up to
+// three reference frames with sum-of-absolute-differences matching, then
+// sub-pixel refinement, as in libvpx's encoder.
+
+// MEStats counts motion estimation work for the hardware traffic model and
+// the instrumented kernels.
+type MEStats struct {
+	Blocks        uint64 // macro-blocks searched
+	SADs          uint64 // block comparisons performed
+	RefPixelsRead uint64 // candidate reference pixels fetched
+	SubPelProbes  uint64 // sub-pel refinement comparisons
+}
+
+// SAD16 returns the sum of absolute differences between the 16x16 block of
+// cur at (bx, by) and ref displaced by (dx, dy) whole pixels.
+func SAD16(cur, ref *video.Frame, bx, by, dx, dy int) int {
+	return SADBlock(cur, ref, bx, by, dx, dy, 16)
+}
+
+// SADBlock is SAD16 for an arbitrary square block size.
+func SADBlock(cur, ref *video.Frame, bx, by, dx, dy, bs int) int {
+	var sad int
+	for y := 0; y < bs; y++ {
+		cy := by + y
+		for x := 0; x < bs; x++ {
+			c := int(cur.YAt(bx+x, cy))
+			r := int(ref.YAt(bx+x+dx, cy+dy))
+			d := c - r
+			if d < 0 {
+				d = -d
+			}
+			sad += d
+		}
+	}
+	return sad
+}
+
+// diamond patterns: a large step-halving diamond followed by the small
+// one-pel diamond (Zhu & Ma's diamond search, which libvpx uses).
+var largeDiamond = [8][2]int{{0, -2}, {1, -1}, {2, 0}, {1, 1}, {0, 2}, {-1, 1}, {-2, 0}, {-1, -1}}
+var smallDiamond = [4][2]int{{0, -1}, {1, 0}, {0, 1}, {-1, 0}}
+
+// DiamondSearch finds the best whole-pel displacement of the 16x16 block at
+// (bx, by) in ref, starting from the predictor pred (whole-pel units).
+// It returns the displacement and its SAD.
+func DiamondSearch(cur, ref *video.Frame, bx, by int, pred [2]int, maxRange int, st *MEStats) ([2]int, int) {
+	best := pred
+	clampDisp(&best, maxRange)
+	bestSAD := SAD16(cur, ref, bx, by, best[0], best[1])
+	st.SADs++
+	st.RefPixelsRead += 256
+
+	// Large diamond with step halving.
+	for step := 4; step >= 1; step /= 2 {
+		improved := true
+		for improved {
+			improved = false
+			for _, d := range largeDiamond {
+				cand := [2]int{best[0] + d[0]*step, best[1] + d[1]*step}
+				if cand[0] < -maxRange || cand[0] > maxRange || cand[1] < -maxRange || cand[1] > maxRange {
+					continue
+				}
+				sad := SAD16(cur, ref, bx, by, cand[0], cand[1])
+				st.SADs++
+				st.RefPixelsRead += 256
+				if sad < bestSAD {
+					bestSAD = sad
+					best = cand
+					improved = true
+				}
+			}
+		}
+	}
+	// Small diamond polish.
+	improved := true
+	for improved {
+		improved = false
+		for _, d := range smallDiamond {
+			cand := [2]int{best[0] + d[0], best[1] + d[1]}
+			if cand[0] < -maxRange || cand[0] > maxRange || cand[1] < -maxRange || cand[1] > maxRange {
+				continue
+			}
+			sad := SAD16(cur, ref, bx, by, cand[0], cand[1])
+			st.SADs++
+			st.RefPixelsRead += 256
+			if sad < bestSAD {
+				bestSAD = sad
+				best = cand
+				improved = true
+			}
+		}
+	}
+	st.Blocks++
+	return best, bestSAD
+}
+
+func clampDisp(d *[2]int, maxRange int) {
+	for i := 0; i < 2; i++ {
+		if d[i] < -maxRange {
+			d[i] = -maxRange
+		}
+		if d[i] > maxRange {
+			d[i] = maxRange
+		}
+	}
+}
+
+// SubPelRefine refines a whole-pel displacement to 1/8-pel resolution by
+// hierarchical probing at half, quarter, and eighth steps, comparing the
+// interpolated prediction against the source block.
+func SubPelRefine(cur, ref *video.Frame, bx, by int, whole [2]int, st *MEStats) (MV, int) {
+	return SubPelRefineBlock(cur, ref, bx, by, whole, 16, st)
+}
+
+// SubPelRefineBlock is SubPelRefine for an arbitrary square block size.
+func SubPelRefineBlock(cur, ref *video.Frame, bx, by int, whole [2]int, bs int, st *MEStats) (MV, int) {
+	best := MV{X: whole[0] * MVPrecision, Y: whole[1] * MVPrecision}
+	pred := make([]uint8, bs*bs)
+	var mcStats MCStats
+	bestCost := sadPred(cur, ref, bx, by, best, pred, bs, &mcStats)
+	for step := 4; step >= 1; step /= 2 {
+		improved := true
+		for improved {
+			improved = false
+			for _, d := range smallDiamond {
+				cand := MV{X: best.X + d[0]*step, Y: best.Y + d[1]*step}
+				cost := sadPred(cur, ref, bx, by, cand, pred, bs, &mcStats)
+				st.SubPelProbes++
+				if cost < bestCost {
+					bestCost = cost
+					best = cand
+					improved = true
+				}
+			}
+		}
+	}
+	st.RefPixelsRead += mcStats.RefPixelsRead
+	return best, bestCost
+}
+
+func sadPred(cur, ref *video.Frame, bx, by int, mv MV, pred []uint8, bs int, mcStats *MCStats) int {
+	PredictLuma(pred, bs, ref, bx, by, bs, bs, mv, mcStats)
+	var sad int
+	for y := 0; y < bs; y++ {
+		for x := 0; x < bs; x++ {
+			d := int(cur.YAt(bx+x, by+y)) - int(pred[y*bs+x])
+			if d < 0 {
+				d = -d
+			}
+			sad += d
+		}
+	}
+	return sad
+}

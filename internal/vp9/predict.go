@@ -1,0 +1,134 @@
+package vp9
+
+import "gopim/internal/video"
+
+// Intra prediction over 16x16 luma macro-blocks (and 8x8 chroma blocks),
+// using the four classic VP8/VP9 full-block modes.
+
+// IntraMode selects an intra predictor.
+type IntraMode int
+
+// Intra prediction modes.
+const (
+	PredDC IntraMode = iota // average of left and above samples
+	PredV                   // copy the row above downward
+	PredH                   // copy the left column rightward
+	PredTM                  // "true motion": left + above - aboveleft
+	numIntraModes
+)
+
+// PredictIntra writes an n x n intra prediction for the block at (bx, by)
+// into dst (row-major, given stride), reading already-reconstructed
+// neighbor samples from plane (width w, height h). Missing neighbors
+// (frame edges) use 128/129 defaults, as VP8/VP9 do.
+func PredictIntra(dst []uint8, stride int, plane []uint8, w, h, bx, by, n int, mode IntraMode) {
+	sample := func(x, y int) (uint8, bool) {
+		if x < 0 || y < 0 || x >= w || y >= h {
+			return 0, false
+		}
+		return plane[y*w+x], true
+	}
+	above := make([]int32, n)
+	left := make([]int32, n)
+	haveAbove, haveLeft := by > 0, bx > 0
+	for i := 0; i < n; i++ {
+		if v, ok := sample(bx+i, by-1); ok {
+			above[i] = int32(v)
+		} else if haveAbove {
+			// Right of the frame edge on the top row: repeat last valid.
+			above[i] = above[maxInt(i-1, 0)]
+		} else {
+			above[i] = 127
+		}
+		if v, ok := sample(bx-1, by+i); ok {
+			left[i] = int32(v)
+		} else if haveLeft {
+			left[i] = left[maxInt(i-1, 0)]
+		} else {
+			left[i] = 129
+		}
+	}
+	var aboveLeft int32 = 128
+	if v, ok := sample(bx-1, by-1); ok {
+		aboveLeft = int32(v)
+	}
+
+	switch mode {
+	case PredDC:
+		var sum, count int32
+		if haveAbove {
+			for _, v := range above {
+				sum += v
+			}
+			count += int32(n)
+		}
+		if haveLeft {
+			for _, v := range left {
+				sum += v
+			}
+			count += int32(n)
+		}
+		dc := int32(128)
+		if count > 0 {
+			dc = (sum + count/2) / count
+		}
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				dst[y*stride+x] = uint8(dc)
+			}
+		}
+	case PredV:
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				dst[y*stride+x] = uint8(above[x])
+			}
+		}
+	case PredH:
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				dst[y*stride+x] = uint8(left[y])
+			}
+		}
+	case PredTM:
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				dst[y*stride+x] = clampPel(left[y] + above[x] - aboveLeft)
+			}
+		}
+	default:
+		panic("vp9: unknown intra mode")
+	}
+}
+
+// BestIntraMode picks the mode whose prediction has the lowest SAD against
+// the source block.
+func BestIntraMode(src *video.Frame, recon []uint8, w, h, bx, by, n int) (IntraMode, int) {
+	pred := make([]uint8, n*n)
+	bestMode := PredDC
+	bestSAD := 1 << 30
+	for mode := PredDC; mode < numIntraModes; mode++ {
+		PredictIntra(pred, n, recon, w, h, bx, by, n, mode)
+		var sad int
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				d := int(src.YAt(bx+x, by+y)) - int(pred[y*n+x])
+				if d < 0 {
+					d = -d
+				}
+				sad += d
+			}
+		}
+		if sad < bestSAD {
+			bestSAD = sad
+			bestMode = mode
+		}
+	}
+	return bestMode, bestSAD
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,57 @@
+package vp9
+
+// Quantization. QIndex selects the step size; larger indices mean coarser
+// quantization and smaller bitstreams.
+
+// MaxQIndex is the coarsest quantizer.
+const MaxQIndex = 63
+
+// StepFor returns the quantizer step for a QIndex. DC (coefficient 0) uses
+// a slightly finer step than AC, as in VP9's dc/ac quantizer split. The
+// steps apply to WHT coefficients, which carry a transform gain of 16 for
+// 4x4 blocks; the table is scaled accordingly.
+func StepFor(qIndex, coeff int) int32 {
+	if qIndex < 0 {
+		qIndex = 0
+	}
+	if qIndex > MaxQIndex {
+		qIndex = MaxQIndex
+	}
+	step := int32(16 + qIndex*6)
+	if coeff == 0 {
+		step = step * 3 / 4
+		if step < 8 {
+			step = 8
+		}
+	}
+	return step
+}
+
+// QuantizeBlock quantizes 16 transform coefficients in place, returning the
+// number of nonzero quantized levels. Rounding is to nearest.
+func QuantizeBlock(coeffs []int32, qIndex int) int {
+	nz := 0
+	for i := 0; i < 16; i++ {
+		step := StepFor(qIndex, i)
+		c := coeffs[i]
+		var q int32
+		if c >= 0 {
+			q = (c + step/2) / step
+		} else {
+			q = -((-c + step/2) / step)
+		}
+		coeffs[i] = q
+		if q != 0 {
+			nz++
+		}
+	}
+	return nz
+}
+
+// DequantizeBlock expands quantized levels back to coefficient magnitudes
+// in place.
+func DequantizeBlock(levels []int32, qIndex int) {
+	for i := 0; i < 16; i++ {
+		levels[i] *= StepFor(qIndex, i)
+	}
+}

@@ -1,0 +1,81 @@
+package vp9
+
+import "gopim/internal/video"
+
+// Rate control: pick a per-frame quantizer to track a target bitrate, in
+// the style of libvpx's one-pass CBR controller — a virtual buffer that
+// fills with produced bits and drains at the target rate, steering QIndex
+// up when the buffer runs ahead and down when there is headroom.
+
+// RateControl tracks the encoder's bit budget.
+type RateControl struct {
+	targetBits float64 // per frame
+	buffer     float64 // bits ahead (+) or behind (-) of schedule
+	qIndex     int
+}
+
+// NewRateControl returns a controller for the given target, in bits per
+// frame (bitrate / framerate). startQ seeds the quantizer.
+func NewRateControl(targetBitsPerFrame float64, startQ int) *RateControl {
+	if startQ < 0 {
+		startQ = 0
+	}
+	if startQ > MaxQIndex {
+		startQ = MaxQIndex
+	}
+	return &RateControl{targetBits: targetBitsPerFrame, qIndex: startQ}
+}
+
+// QIndex returns the quantizer to use for the next frame.
+func (rc *RateControl) QIndex() int { return rc.qIndex }
+
+// Update feeds back the size of the frame just coded and adapts the
+// quantizer for the next one.
+func (rc *RateControl) Update(frameBytes int) {
+	produced := float64(frameBytes) * 8
+	rc.buffer += produced - rc.targetBits
+
+	// Proportional step on the log-ish scale of QIndex: one target-frame's
+	// worth of surplus moves Q by ~8 steps.
+	step := int(rc.buffer / rc.targetBits * 8)
+	if step > 12 {
+		step = 12
+	}
+	if step < -12 {
+		step = -12
+	}
+	rc.qIndex += step
+	if rc.qIndex < 0 {
+		rc.qIndex = 0
+	}
+	if rc.qIndex > MaxQIndex {
+		rc.qIndex = MaxQIndex
+	}
+	// Leak the buffer so ancient history does not dominate.
+	rc.buffer *= 0.5
+}
+
+// EncodeClipCBR encodes frames at an approximately constant bitrate,
+// returning the per-frame streams and the QIndex trajectory. The quantizer
+// travels in each frame's header, so a standard Decoder reads the stream
+// without out-of-band state.
+func EncodeClipCBR(cfg Config, frames []*video.Frame, targetBitsPerFrame float64) ([][]byte, []int, error) {
+	rc := NewRateControl(targetBitsPerFrame, cfg.QIndex)
+	enc, err := NewEncoder(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	var streams [][]byte
+	var qs []int
+	for _, f := range frames {
+		enc.cfg.QIndex = rc.QIndex()
+		data, _, err := enc.Encode(f)
+		if err != nil {
+			return nil, nil, err
+		}
+		qs = append(qs, rc.QIndex())
+		rc.Update(len(data))
+		streams = append(streams, data)
+	}
+	return streams, qs, nil
+}

@@ -1,0 +1,135 @@
+package vp9
+
+import (
+	"bytes"
+	"testing"
+
+	"gopim/internal/video"
+)
+
+func TestRateControlConverges(t *testing.T) {
+	cfg := Config{Width: 192, Height: 128, QIndex: 30}
+	frames := video.NewSynth(cfg.Width, cfg.Height, 3, 17).Clip(16)
+	const target = 20000.0 // bits per frame
+	streams, qs, err := EncodeClipCBR(cfg, frames, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streams) != 16 || len(qs) != 16 {
+		t.Fatalf("got %d streams, %d qs", len(streams), len(qs))
+	}
+	// Steady-state frames (skip the keyframe and settling) must land near
+	// the target.
+	var bits float64
+	n := 0
+	for i := 6; i < len(streams); i++ {
+		bits += float64(len(streams[i])) * 8
+		n++
+	}
+	avg := bits / float64(n)
+	if avg < target*0.5 || avg > target*1.6 {
+		t.Errorf("steady-state rate %.0f bits/frame, target %.0f (+/-60%%)", avg, target)
+	}
+}
+
+func TestRateControlReactsToTarget(t *testing.T) {
+	cfg := Config{Width: 192, Height: 128, QIndex: 30}
+	frames := video.NewSynth(cfg.Width, cfg.Height, 3, 17).Clip(10)
+	lowStreams, lowQs, err := EncodeClipCBR(cfg, frames, 6000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	highStreams, highQs, err := EncodeClipCBR(cfg, frames, 60000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lowBits, highBits := 0, 0
+	for i := range lowStreams {
+		lowBits += len(lowStreams[i])
+		highBits += len(highStreams[i])
+	}
+	if lowBits >= highBits {
+		t.Errorf("low-rate total %d >= high-rate total %d", lowBits, highBits)
+	}
+	// Lower targets must push the quantizer up.
+	if lowQs[len(lowQs)-1] <= highQs[len(highQs)-1] {
+		t.Errorf("final Q: low-rate %d <= high-rate %d", lowQs[len(lowQs)-1], highQs[len(highQs)-1])
+	}
+}
+
+func TestRateControlledStreamDecodes(t *testing.T) {
+	cfg := Config{Width: 96, Height: 64, QIndex: 30}
+	frames := video.NewSynth(cfg.Width, cfg.Height, 2, 23).Clip(6)
+	streams, _, err := EncodeClipCBR(cfg, frames, 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := NewDecoder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range streams {
+		if _, err := dec.Decode(s); err != nil {
+			t.Fatalf("frame %d with in-band quantizer failed to decode: %v", i, err)
+		}
+	}
+}
+
+func TestRateControlClamps(t *testing.T) {
+	rc := NewRateControl(1000, 99) // out-of-range start Q
+	if rc.QIndex() != MaxQIndex {
+		t.Errorf("start Q = %d, want clamp to %d", rc.QIndex(), MaxQIndex)
+	}
+	rc = NewRateControl(1000, -5)
+	if rc.QIndex() != 0 {
+		t.Errorf("start Q = %d, want clamp to 0", rc.QIndex())
+	}
+	// Massive overshoot cannot push Q past the limits.
+	for i := 0; i < 10; i++ {
+		rc.Update(1 << 20)
+	}
+	if rc.QIndex() > MaxQIndex {
+		t.Error("Q escaped above MaxQIndex")
+	}
+	for i := 0; i < 50; i++ {
+		rc.Update(0)
+	}
+	if rc.QIndex() < 0 {
+		t.Error("Q escaped below zero")
+	}
+}
+
+func TestFrameCompressRoundTrip(t *testing.T) {
+	f := video.NewSynth(128, 96, 3, 31).Frame(2)
+	comp := CompressFrame(f)
+	got, err := DecompressFrame(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Y, f.Y) || !bytes.Equal(got.U, f.U) || !bytes.Equal(got.V, f.V) {
+		t.Fatal("frame compression round trip corrupted planes")
+	}
+	raw := len(f.Y) + len(f.U) + len(f.V)
+	if len(comp) >= raw {
+		t.Errorf("synthetic frame did not compress: %d >= %d", len(comp), raw)
+	}
+	if sz := CompressFrameSize(f); sz != len(comp)-16 {
+		t.Errorf("CompressFrameSize = %d, want %d", sz, len(comp)-16)
+	}
+}
+
+func TestDecompressFrameCorrupt(t *testing.T) {
+	f := video.NewSynth(64, 64, 1, 1).Frame(0)
+	comp := CompressFrame(f)
+	cases := map[string][]byte{
+		"empty":           {},
+		"short header":    comp[:3],
+		"truncated plane": comp[:len(comp)/2],
+		"odd dimensions":  {3, 0, 3, 0},
+	}
+	for name, in := range cases {
+		if _, err := DecompressFrame(in); err == nil {
+			t.Errorf("%s: accepted corrupt input", name)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package vp9
+
+// Block transforms. VP9 proper uses a family of DCT/ADST transforms; this
+// codec uses 4x4 and 8x8 Walsh–Hadamard transforms instead (VP9 itself uses
+// the 4x4 WHT for its lossless mode). They are exactly invertible in
+// integer arithmetic, which lets the encoder's reconstruction and the
+// decoder agree bit-for-bit, and they have the same blocked data-movement
+// pattern as the DCT family — which is what the paper's analysis depends
+// on. DESIGN.md records the substitution.
+
+// BlockSize is the transform block edge length.
+const BlockSize = 4
+
+// FwdTransform4x4 applies the forward 4x4 WHT to a residual block (row-
+// major, 16 int32s), in place.
+func FwdTransform4x4(b []int32) {
+	hadamard4Rows(b)
+	hadamard4Cols(b)
+}
+
+// InvTransform4x4 inverts FwdTransform4x4 exactly: WHT is self-inverse up
+// to a scale of 16.
+func InvTransform4x4(b []int32) {
+	hadamard4Rows(b)
+	hadamard4Cols(b)
+	for i := range b[:16] {
+		b[i] >>= 4
+	}
+}
+
+func hadamard4Rows(b []int32) {
+	for r := 0; r < 4; r++ {
+		i := r * 4
+		a0, a1, a2, a3 := b[i], b[i+1], b[i+2], b[i+3]
+		s0 := a0 + a2
+		s1 := a1 + a3
+		d0 := a0 - a2
+		d1 := a1 - a3
+		b[i] = s0 + s1
+		b[i+1] = s0 - s1
+		b[i+2] = d0 + d1
+		b[i+3] = d0 - d1
+	}
+}
+
+func hadamard4Cols(b []int32) {
+	for c := 0; c < 4; c++ {
+		a0, a1, a2, a3 := b[c], b[c+4], b[c+8], b[c+12]
+		s0 := a0 + a2
+		s1 := a1 + a3
+		d0 := a0 - a2
+		d1 := a1 - a3
+		b[c] = s0 + s1
+		b[c+4] = s0 - s1
+		b[c+8] = d0 + d1
+		b[c+12] = d0 - d1
+	}
+}
+
+// FwdTransform8x8 applies an 8x8 Hadamard transform in place (64 int32s).
+func FwdTransform8x8(b []int32) {
+	for r := 0; r < 8; r++ {
+		hadamard8(b[r*8:r*8+8], 1)
+	}
+	var col [8]int32
+	for c := 0; c < 8; c++ {
+		for r := 0; r < 8; r++ {
+			col[r] = b[r*8+c]
+		}
+		hadamard8(col[:], 1)
+		for r := 0; r < 8; r++ {
+			b[r*8+c] = col[r]
+		}
+	}
+}
+
+// InvTransform8x8 inverts FwdTransform8x8 exactly (scale 64).
+func InvTransform8x8(b []int32) {
+	FwdTransform8x8(b)
+	for i := range b[:64] {
+		b[i] >>= 6
+	}
+}
+
+func hadamard8(v []int32, stride int) {
+	// Three butterfly stages.
+	for span := 1; span < 8; span <<= 1 {
+		for i := 0; i < 8; i += span * 2 {
+			for j := i; j < i+span; j++ {
+				a, b2 := v[j*stride], v[(j+span)*stride]
+				v[j*stride] = a + b2
+				v[(j+span)*stride] = a - b2
+			}
+		}
+	}
+}
+
+// ZigZag4 is the coefficient scan order for 4x4 blocks (low frequencies
+// first).
+var ZigZag4 = [16]int{0, 1, 4, 8, 5, 2, 3, 6, 9, 12, 13, 10, 7, 11, 14, 15}

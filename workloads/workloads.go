@@ -1,0 +1,127 @@
+// Package workloads exposes the consumer-workload implementations behind
+// the PIM study as a usable library surface: the VP9-class codec, the
+// quantized inference stack, the Chrome-like browser models, and the LZO
+// compressor. Everything here is real, tested code — the same
+// implementations the experiments profile.
+package workloads
+
+import (
+	"gopim/internal/browser"
+	"gopim/internal/lzo"
+	"gopim/internal/nn"
+	"gopim/internal/qgemm"
+	"gopim/internal/video"
+	"gopim/internal/vp9"
+)
+
+// ---- Video: frames, synthetic clips, and the VP9-class codec ----
+
+type (
+	// Frame is a YUV 4:2:0 picture.
+	Frame = video.Frame
+	// Synth generates deterministic synthetic video.
+	Synth = video.Synth
+	// CodecConfig parameterizes an encoder/decoder pair.
+	CodecConfig = vp9.Config
+	// Encoder compresses frames.
+	Encoder = vp9.Encoder
+	// Decoder decompresses bitstreams produced by Encoder.
+	Decoder = vp9.Decoder
+	// CodecStats aggregates codec work counters.
+	CodecStats = vp9.Stats
+)
+
+// NewFrame allocates a zeroed YUV 4:2:0 frame.
+func NewFrame(w, h int) *Frame { return video.NewFrame(w, h) }
+
+// NewSynth returns a synthetic video generator.
+func NewSynth(w, h, objects int, seed uint32) *Synth { return video.NewSynth(w, h, objects, seed) }
+
+// PSNR returns luma peak signal-to-noise ratio in dB.
+func PSNR(want, got *Frame) float64 { return video.PSNR(want, got) }
+
+// NewEncoder returns a video encoder.
+func NewEncoder(cfg CodecConfig) (*Encoder, error) { return vp9.NewEncoder(cfg) }
+
+// NewDecoder returns a video decoder.
+func NewDecoder(cfg CodecConfig) (*Decoder, error) { return vp9.NewDecoder(cfg) }
+
+// ---- Machine learning: quantized GEMM and network tables ----
+
+type (
+	// QuantMatrix is a row-major uint8 matrix.
+	QuantMatrix = qgemm.Matrix
+	// QuantParams is an affine quantization (real = Min + Scale*q).
+	QuantParams = qgemm.QParams
+	// Network is a neural network described as a stack of GEMM shapes.
+	Network = nn.Network
+	// NetLayer is one layer of a Network.
+	NetLayer = nn.Layer
+)
+
+// Quantize converts float32 values to uint8 levels (two-pass min/max scan
+// then conversion, as TensorFlow Mobile does).
+func Quantize(src []float32) ([]uint8, QuantParams) { return qgemm.Quantize(src) }
+
+// Dequantize expands levels back to float32.
+func Dequantize(src []uint8, p QuantParams) []float32 { return qgemm.Dequantize(src, p) }
+
+// Requantize converts int32 GEMM accumulators to uint8.
+func Requantize(src []int32) ([]uint8, QuantParams) { return qgemm.Requantize(src) }
+
+// NewQuantMatrix allocates a zeroed matrix.
+func NewQuantMatrix(rows, cols int) QuantMatrix { return qgemm.NewMatrix(rows, cols) }
+
+// QuantGEMM multiplies two uint8 matrices (with zero points) through the
+// full packed pipeline, returning int32 accumulators in row-major order.
+func QuantGEMM(lhs, rhs QuantMatrix, lhsZero, rhsZero int32) []int32 {
+	return qgemm.GEMM(qgemm.PackLHS(lhs), qgemm.PackRHS(rhs), lhsZero, rhsZero)
+}
+
+// Conv2D performs a quantized 2-D convolution (im2col + packed GEMM) over
+// an NHWC uint8 feature map with SAME padding, returning int32 accumulators
+// of shape outH*outW x outC.
+func Conv2D(input []uint8, h, w, c int, weights QuantMatrix, filter, stride int, inZero, wZero int32) []int32 {
+	return nn.Conv2D(input, h, w, c, weights, filter, stride, inZero, wZero)
+}
+
+// The paper's four evaluated networks (layer shape tables).
+func VGG19() Network             { return nn.VGG19() }
+func ResNetV2152() Network       { return nn.ResNetV2152() }
+func InceptionResNetV2() Network { return nn.InceptionResNetV2() }
+func ResidualGRU() Network       { return nn.ResidualGRU() }
+
+// ---- Browser: page specs, tab switching, ZRAM ----
+
+type (
+	// PageSpec describes a synthetic web page's content mix.
+	PageSpec = browser.PageSpec
+	// ZRAMPool is the compressed tab swap space.
+	ZRAMPool = browser.ZRAMPool
+	// SwitchResult is the outcome of a tab-switching session.
+	SwitchResult = browser.SwitchResult
+)
+
+// ScrollPages returns the six-page scrolling set of the paper's Figure 1.
+func ScrollPages() []PageSpec { return browser.ScrollPages() }
+
+// NewZRAMPool returns an empty compressed swap pool.
+func NewZRAMPool() *ZRAMPool { return browser.NewZRAMPool() }
+
+// TabMemory generates a tab's process memory image.
+func TabMemory(footprint int, seed int64) []byte { return browser.TabMemory(footprint, seed) }
+
+// RunSwitchSession simulates opening and switching between tabs with ZRAM
+// compression of inactive tabs (the paper's Figure 4 experiment).
+func RunSwitchSession(nTabs, residentBudget, footprint int, seed int64) (SwitchResult, error) {
+	return browser.RunSwitchSession(nTabs, residentBudget, footprint, seed)
+}
+
+// ---- Compression ----
+
+// LZOCompress compresses src with the LZO1X-style algorithm ZRAM uses.
+func LZOCompress(src []byte) []byte { return lzo.Compress(src) }
+
+// LZODecompress expands a block produced by LZOCompress; maxLen bounds the
+// output size.
+func LZODecompress(src []byte, maxLen int) ([]byte, error) { return lzo.Decompress(src, maxLen) }

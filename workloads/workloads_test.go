@@ -1,0 +1,138 @@
+package workloads
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestCodecThroughPublicAPI(t *testing.T) {
+	cfg := CodecConfig{Width: 96, Height: 64, QIndex: 20}
+	enc, err := NewEncoder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := NewDecoder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	synth := NewSynth(96, 64, 2, 5)
+	for i := 0; i < 3; i++ {
+		src := synth.Frame(i)
+		data, recon, err := enc.Encode(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := dec.Decode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Y, recon.Y) {
+			t.Fatalf("frame %d: decode mismatch", i)
+		}
+		if p := PSNR(src, got); p < 25 {
+			t.Errorf("frame %d PSNR %.1f too low", i, p)
+		}
+	}
+}
+
+func TestQuantGEMMThroughPublicAPI(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	lhs := NewQuantMatrix(5, 7)
+	rhs := NewQuantMatrix(7, 3)
+	rng.Read(lhs.Data)
+	rng.Read(rhs.Data)
+	out := QuantGEMM(lhs, rhs, 3, 4)
+	if len(out) != 15 {
+		t.Fatalf("result has %d elements, want 15", len(out))
+	}
+	// Spot check one element against a direct dot product.
+	var want int32
+	for k := 0; k < 7; k++ {
+		want += (int32(lhs.At(1, k)) - 3) * (int32(rhs.At(k, 2)) - 4)
+	}
+	if out[1*3+2] != want {
+		t.Errorf("element (1,2) = %d, want %d", out[1*3+2], want)
+	}
+}
+
+func TestQuantizeRoundTripPublicAPI(t *testing.T) {
+	src := []float32{-1, 0, 0.5, 2.5}
+	q, p := Quantize(src)
+	back := Dequantize(q, p)
+	for i := range src {
+		d := back[i] - src[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > p.Scale {
+			t.Errorf("element %d error %f exceeds scale %f", i, d, p.Scale)
+		}
+	}
+	if _, rp := Requantize([]int32{-5, 0, 5}); rp.Scale <= 0 {
+		t.Error("requantize scale must be positive")
+	}
+}
+
+func TestConv2DPublicAPI(t *testing.T) {
+	input := make([]uint8, 8*8*2)
+	rand.New(rand.NewSource(2)).Read(input)
+	w := NewQuantMatrix(3*3*2, 4)
+	rand.New(rand.NewSource(3)).Read(w.Data)
+	out := Conv2D(input, 8, 8, 2, w, 3, 1, 10, 7)
+	if len(out) != 8*8*4 {
+		t.Fatalf("conv output %d elements, want %d", len(out), 8*8*4)
+	}
+}
+
+func TestNetworkTablesPublicAPI(t *testing.T) {
+	for _, net := range []Network{VGG19(), ResNetV2152(), InceptionResNetV2(), ResidualGRU()} {
+		if net.Name == "" || len(net.Layers) == 0 {
+			t.Errorf("network %q incomplete", net.Name)
+		}
+		if net.MACs(1) == 0 {
+			t.Errorf("%s has zero MACs", net.Name)
+		}
+	}
+}
+
+func TestZRAMPublicAPI(t *testing.T) {
+	pool := NewZRAMPool()
+	mem := TabMemory(128<<10, 7)
+	pool.SwapOut(1, mem)
+	got, err := pool.SwapIn(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, mem) {
+		t.Error("ZRAM round trip corrupted memory")
+	}
+	res, err := RunSwitchSession(6, 2, 64<<10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalOut == 0 {
+		t.Error("no swap traffic in session")
+	}
+}
+
+func TestLZOPublicAPI(t *testing.T) {
+	src := bytes.Repeat([]byte("public api "), 500)
+	comp := LZOCompress(src)
+	out, err := LZODecompress(comp, len(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, src) {
+		t.Error("LZO round trip failed")
+	}
+	if len(comp) >= len(src)/2 {
+		t.Errorf("repetitive text compressed only to %d/%d", len(comp), len(src))
+	}
+}
+
+func TestScrollPagesPublicAPI(t *testing.T) {
+	if len(ScrollPages()) != 6 {
+		t.Error("expected the paper's six pages")
+	}
+}
