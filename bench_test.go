@@ -11,10 +11,15 @@
 package gopim_test
 
 import (
+	"fmt"
+	"math/rand"
 	"testing"
 
 	"gopim"
 	"gopim/experiments"
+	"gopim/internal/cache"
+	"gopim/internal/dram"
+	"gopim/internal/par"
 )
 
 var benchOpts = experiments.Options{Scale: gopim.Quick}
@@ -247,5 +252,77 @@ func BenchmarkTargetStats(b *testing.B) {
 			mpki += r.LLCMPKI / float64(len(rows))
 		}
 		b.ReportMetric(mpki, "avg_MPKI")
+	}
+}
+
+// BenchmarkHierarchySpan tracks the per-access cost of the cache hierarchy
+// on the span mixes the instrumented kernels produce: sequential sub-line
+// spans (byte-wise kernels like LZO and blitting, where consecutive
+// accesses stay within one 64 B line), strided row walks (texture tiling),
+// and scattered line-sized touches (motion compensation).
+func BenchmarkHierarchySpan(b *testing.B) {
+	newHier := func() *cache.Hierarchy {
+		l1 := cache.New(cache.Config{Name: "L1D", Size: 64 << 10, Ways: 4})
+		l2 := cache.New(cache.Config{Name: "LLC", Size: 2 << 20, Ways: 8})
+		return cache.NewHierarchy(l1, l2, dram.NewRowMeter())
+	}
+	const footprint = 8 << 20
+	b.Run("sequential-subline", func(b *testing.B) {
+		h := newHier()
+		var addr uint64
+		for i := 0; i < b.N; i++ {
+			h.Load(addr%footprint, 4)
+			addr += 4
+		}
+	})
+	b.Run("strided-rows", func(b *testing.B) {
+		h := newHier()
+		const stride, rowB = 4096, 128
+		var row uint64
+		for i := 0; i < b.N; i++ {
+			h.Load((row*stride+uint64(i%32)*rowB)%footprint, rowB)
+			if i%32 == 31 {
+				row++
+			}
+		}
+	})
+	b.Run("random-lines", func(b *testing.B) {
+		h := newHier()
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; i < b.N; i++ {
+			h.Load(uint64(rng.Intn(footprint)), 64)
+		}
+	})
+	// Whole-rectangle entry point vs. the per-row loop it replaces.
+	b.Run("span-batched-rows", func(b *testing.B) {
+		h := newHier()
+		const stride, rowB, rows = 4096, 128, 32
+		var base uint64
+		for i := 0; i < b.N; i++ {
+			h.LoadSpan(base%footprint, rowB, rows, stride)
+			base += rows * stride
+		}
+	})
+}
+
+// BenchmarkParMap tracks the fixed overhead of the bounded worker pool on
+// small CPU-bound units, per worker count. On a single-core host the >1
+// worker cases measure pure scheduling overhead; on multi-core hosts they
+// show the fan-out win.
+func BenchmarkParMap(b *testing.B) {
+	work := func(i int) uint64 {
+		h := uint64(i) + 0x9e3779b97f4a7c15
+		for j := 0; j < 1000; j++ {
+			h ^= h >> 33
+			h *= 0xff51afd7ed558ccd
+		}
+		return h
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				par.Map(workers, 64, work)
+			}
+		})
 	}
 }

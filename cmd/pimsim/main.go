@@ -3,21 +3,24 @@
 //
 // Usage:
 //
-//	pimsim [-scale quick|standard] [experiment ...]
+//	pimsim [-scale quick|standard] [-workers N] [experiment ...]
+//	pimsim [-scale quick|standard] [-workers N] run [all | experiment ...]
 //
-// With no arguments it runs every experiment. Experiment names are the
-// figure/table IDs from DESIGN.md: table1, fig1, fig2, fig4, fig6, fig7,
-// fig10, fig11, fig12, fig15, fig16, fig18, fig19, fig20, fig21, areas,
-// headline.
+// With no arguments it runs every experiment serially. The `run`
+// subcommand computes the selected experiments (or all of them)
+// concurrently on up to N workers and then prints the reports in the same
+// order and format as the serial path — the output is byte-identical.
+// Experiment names are the figure/table IDs from DESIGN.md: table1, fig1,
+// fig2, fig4, fig6, fig7, fig10, fig11, fig12, fig15, fig16, fig18,
+// fig19, fig20, fig21, areas, headline, ablation, battery, targets,
+// tabswitch, plan, pageload.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 	"strings"
-	"text/tabwriter"
 
 	"gopim"
 	"gopim/experiments"
@@ -25,6 +28,7 @@ import (
 
 func main() {
 	scaleFlag := flag.String("scale", "quick", "input scale: quick or standard")
+	workersFlag := flag.Int("workers", 0, "max concurrent workers (0 = GOMAXPROCS, 1 = serial)")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -38,21 +42,55 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pimsim: unknown scale %q\n", *scaleFlag)
 		os.Exit(2)
 	}
-	opts := experiments.Options{Scale: scale}
+	opts := experiments.Options{Scale: scale, Workers: *workersFlag}
 
 	names := flag.Args()
-	if len(names) == 0 {
-		names = allExperiments()
+	parallel := false
+	if len(names) > 0 && names[0] == "run" {
+		parallel = true
+		names = names[1:]
+		if len(names) == 1 && names[0] == "all" {
+			names = nil
+		}
 	}
+	if len(names) == 0 {
+		names = experiments.Names()
+	}
+
+	if parallel {
+		results, err := experiments.RunNamed(opts, names)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pimsim: %v (known: %s)\n", err, strings.Join(experiments.Names(), ", "))
+			os.Exit(2)
+		}
+		for _, r := range results {
+			fmt.Printf("==== %s ====\n", r.Name)
+			if r.Err != nil {
+				fmt.Fprintf(os.Stderr, "pimsim: %s: %v\n", r.Name, r.Err)
+				os.Exit(1)
+			}
+			if err := experiments.Render(os.Stdout, r.Name, r.Data); err != nil {
+				fmt.Fprintf(os.Stderr, "pimsim: %s: %v\n", r.Name, err)
+				os.Exit(1)
+			}
+			fmt.Println()
+		}
+		return
+	}
+
 	for _, name := range names {
-		run, ok := runners[name]
+		runner, ok := experiments.RunnerFor(name)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "pimsim: unknown experiment %q (known: %s)\n",
-				name, strings.Join(allExperiments(), ", "))
+				name, strings.Join(experiments.Names(), ", "))
 			os.Exit(2)
 		}
 		fmt.Printf("==== %s ====\n", name)
-		if err := run(opts); err != nil {
+		data, err := runner.Compute(opts)
+		if err == nil {
+			err = runner.Render(os.Stdout, data)
+		}
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "pimsim: %s: %v\n", name, err)
 			os.Exit(1)
 		}
@@ -61,404 +99,6 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: pimsim [-scale quick|standard] [experiment ...]\nexperiments: %s\n",
-		strings.Join(allExperiments(), ", "))
-}
-
-var runners = map[string]func(experiments.Options) error{
-	"table1":    runTable1,
-	"fig1":      runFig1,
-	"fig2":      runFig2,
-	"fig4":      runFig4,
-	"fig6":      func(o experiments.Options) error { return runTF("energy", experiments.Fig6(o)) },
-	"fig7":      func(o experiments.Options) error { return runTF("time", experiments.Fig7(o)) },
-	"fig10":     runFig10,
-	"fig11":     runFig11,
-	"fig12":     runFig12,
-	"fig15":     runFig15,
-	"fig16":     runFig16,
-	"fig18":     runFig18,
-	"fig19":     runFig19,
-	"fig20":     runFig20,
-	"fig21":     runFig21,
-	"areas":     runAreas,
-	"headline":  runHeadline,
-	"ablation":  runAblation,
-	"battery":   runBattery,
-	"targets":   runTargets,
-	"tabswitch": runTabSwitch,
-	"plan":      runPlan,
-	"pageload":  runPageLoad,
-}
-
-func allExperiments() []string {
-	names := make([]string, 0, len(runners))
-	for n := range runners {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	return names
-}
-
-func table() *tabwriter.Writer {
-	return tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-}
-
-func pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
-
-func runTable1(experiments.Options) error {
-	w := table()
-	fmt.Fprintln(w, "Component\tConfiguration")
-	for _, r := range experiments.Table1() {
-		fmt.Fprintf(w, "%s\t%s\n", r.Component, r.Value)
-	}
-	return w.Flush()
-}
-
-func runFig1(o experiments.Options) error {
-	fmt.Println("Energy breakdown for page scrolling (paper Figure 1)")
-	w := table()
-	fmt.Fprintln(w, "Page\tTexture Tiling\tColor Blitting\tOther")
-	for _, r := range experiments.Fig1(o) {
-		fmt.Fprintf(w, "%s\t%s\t%s\t%s\n", r.Page, pct(r.TextureTiling), pct(r.ColorBlitting), pct(r.Other))
-	}
-	return w.Flush()
-}
-
-func runFig2(o experiments.Options) error {
-	fmt.Println("Google Docs scrolling energy (paper Figure 2)")
-	res := experiments.Fig2(o)
-	w := table()
-	fmt.Fprintln(w, "Function\tCPU\tL1\tLLC\tInterconnect\tMemCtrl\tDRAM\tTotal")
-	var names []string
-	for n := range res.ByPhase {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	for _, n := range names {
-		b := res.ByPhase[n]
-		fmt.Fprintf(w, "%s\t%.2g\t%.2g\t%.2g\t%.2g\t%.2g\t%.2g\t%.2g\n",
-			n, b.CPU, b.L1, b.LLC, b.Interconnect, b.MemCtrl, b.DRAM, b.Total())
-	}
-	if err := w.Flush(); err != nil {
-		return err
-	}
-	fmt.Printf("data movement: %s of total energy (paper: 77%%)\n", pct(res.DataMovementFraction))
-	fmt.Printf("tiling+blitting data movement: %s of total (paper: 37.7%%)\n", pct(res.TilingBlittingMovementFraction))
-	fmt.Printf("LLC MPKI: %.1f (paper: 21.4 average)\n", res.LLCMPKI)
-	return nil
-}
-
-func runFig4(o experiments.Options) error {
-	fmt.Println("ZRAM swap traffic while switching tabs (paper Figure 4)")
-	res, err := experiments.Fig4(o)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("total swapped out: %.2f GB (paper: 11.7 GB), in: %.2f GB (paper: 7.8 GB)\n",
-		res.TotalOutGB, res.TotalInGB)
-	fmt.Printf("peak rates: out %.0f MB/s (paper: 201), in %.0f MB/s (paper: 227)\n",
-		res.PeakOutMBs, res.PeakInMBs)
-	fmt.Printf("LZO compression ratio: %.2f\n", res.CompressRatio)
-	scale := 1
-	for _, s := range res.Samples {
-		if s.OutBytes > scale {
-			scale = s.OutBytes
-		}
-		if s.InBytes > scale {
-			scale = s.InBytes
-		}
-	}
-	const cols = 40
-	fmt.Printf("timeline (each char = %.1f MB/s; o=swap-out i=swap-in):\n", float64(scale)/1e6/cols)
-	for _, s := range res.Samples {
-		if s.OutBytes == 0 && s.InBytes == 0 {
-			continue
-		}
-		fmt.Printf("  t=%3ds %s%s\n", s.Second,
-			strings.Repeat("o", s.OutBytes*cols/scale),
-			strings.Repeat("i", s.InBytes*cols/scale))
-	}
-	return nil
-}
-
-func runTF(kind string, rows []experiments.TFRow) error {
-	fmt.Printf("TensorFlow Mobile inference %s breakdown (paper Figures 6/7)\n", kind)
-	w := table()
-	fmt.Fprintln(w, "Network\tPacking\tQuantization\tConv2D+MatMul\tOther")
-	for _, r := range rows {
-		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\n", r.Network, pct(r.Packing), pct(r.Quantization), pct(r.GEMM), pct(r.Other))
-	}
-	return w.Flush()
-}
-
-func runFig10(o experiments.Options) error {
-	fmt.Println("VP9 software decoder energy by function (paper Figure 10)")
-	fr, err := experiments.Fig10(o)
-	if err != nil {
-		return err
-	}
-	w := table()
-	for _, f := range fr {
-		fmt.Fprintf(w, "%s\t%s\n", f.Name, pct(f.Fraction))
-	}
-	return w.Flush()
-}
-
-func runFig11(o experiments.Options) error {
-	fmt.Println("VP9 software decoder energy by component (paper Figure 11)")
-	res, err := experiments.Fig11(o)
-	if err != nil {
-		return err
-	}
-	w := table()
-	fmt.Fprintln(w, "Function\tCPU\tL1\tLLC\tInterconnect\tMemCtrl\tDRAM")
-	var names []string
-	for n := range res.ByPhase {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	for _, n := range names {
-		b := res.ByPhase[n]
-		fmt.Fprintf(w, "%s\t%.2g\t%.2g\t%.2g\t%.2g\t%.2g\t%.2g\n", n, b.CPU, b.L1, b.LLC, b.Interconnect, b.MemCtrl, b.DRAM)
-	}
-	if err := w.Flush(); err != nil {
-		return err
-	}
-	fmt.Printf("data movement: %s (paper at 4K: 63.5%%); sub-pel share of movement: %s\n",
-		pct(res.DataMovementFraction), pct(res.SubPelMovementShare))
-	return nil
-}
-
-func hwTraffic(rows []experiments.HWTrafficRow) error {
-	w := table()
-	fmt.Fprintln(w, "Config\tCategory\tMB/frame")
-	for _, r := range rows {
-		comp := "no compression"
-		if r.Compressed {
-			comp = "with compression"
-		}
-		for _, it := range r.Items {
-			fmt.Fprintf(w, "%s (%s)\t%s\t%.2f\n", r.Resolution, comp, it.Name, it.Bytes/1e6)
-		}
-		fmt.Fprintf(w, "%s (%s)\tTOTAL\t%.2f\n", r.Resolution, comp, r.TotalMB)
-	}
-	return w.Flush()
-}
-
-func runFig12(o experiments.Options) error {
-	fmt.Println("VP9 hardware decoder off-chip traffic (paper Figure 12)")
-	rows, err := experiments.Fig12(o)
-	if err != nil {
-		return err
-	}
-	return hwTraffic(rows)
-}
-
-func runFig15(o experiments.Options) error {
-	fmt.Println("VP9 software encoder energy by function (paper Figure 15)")
-	fr, err := experiments.Fig15(o)
-	if err != nil {
-		return err
-	}
-	w := table()
-	for _, f := range fr {
-		fmt.Fprintf(w, "%s\t%s\n", f.Name, pct(f.Fraction))
-	}
-	return w.Flush()
-}
-
-func runFig16(o experiments.Options) error {
-	fmt.Println("VP9 hardware encoder off-chip traffic (paper Figure 16)")
-	rows, err := experiments.Fig16(o)
-	if err != nil {
-		return err
-	}
-	return hwTraffic(rows)
-}
-
-func runFig18(o experiments.Options) error {
-	fmt.Println("Browser kernels: energy and runtime by execution mode (paper Figure 18)")
-	w := table()
-	fmt.Fprintln(w, "Kernel\tMode\tNorm. Energy\tNorm. Runtime\tSavings\tSpeedup")
-	for _, r := range experiments.Fig18(o) {
-		fmt.Fprintf(w, "%s\t%s\t%.2f\t%.2f\t%s\t%.2fx\n",
-			r.Kernel, r.Mode, r.NormEnergy, r.NormRuntime, pct(r.EnergySavings), r.Speedup)
-	}
-	return w.Flush()
-}
-
-func runFig19(o experiments.Options) error {
-	fmt.Println("TensorFlow kernels: energy and end-to-end speedup (paper Figure 19)")
-	energies, speedups := experiments.Fig19(o)
-	w := table()
-	fmt.Fprintln(w, "Kernel\tMode\tNorm. Energy")
-	for _, e := range energies {
-		fmt.Fprintf(w, "%s\t%s\t%.2f\n", e.Kernel, e.Mode, e.Normalized)
-	}
-	if err := w.Flush(); err != nil {
-		return err
-	}
-	w = table()
-	fmt.Fprintln(w, "GEMM ops\tMode\tSpeedup")
-	for _, s := range speedups {
-		fmt.Fprintf(w, "%d\t%s\t%.2fx\n", s.GEMMOps, s.Mode, s.Speedup)
-	}
-	return w.Flush()
-}
-
-func runFig20(o experiments.Options) error {
-	fmt.Println("Video kernels: energy and runtime by execution mode (paper Figure 20)")
-	rows, err := experiments.Fig20(o)
-	if err != nil {
-		return err
-	}
-	w := table()
-	fmt.Fprintln(w, "Kernel\tMode\tNorm. Energy\tNorm. Runtime\tSavings\tSpeedup")
-	for _, r := range rows {
-		fmt.Fprintf(w, "%s\t%s\t%.2f\t%.2f\t%s\t%.2fx\n",
-			r.Kernel, r.Mode, r.NormEnergy, r.NormRuntime, pct(r.EnergySavings), r.Speedup)
-	}
-	return w.Flush()
-}
-
-func runFig21(o experiments.Options) error {
-	fmt.Println("VP9 hardware codec energy (paper Figure 21, one HD frame)")
-	rows, err := experiments.Fig21(o)
-	if err != nil {
-		return err
-	}
-	modeName := map[int]string{0: "VP9", 1: "PIM-Core", 2: "PIM-Acc"}
-	w := table()
-	fmt.Fprintln(w, "Codec\tDesign\tCompression\tEnergy (mJ)")
-	for _, r := range rows {
-		comp := "off"
-		if r.Compressed {
-			comp = "on"
-		}
-		fmt.Fprintf(w, "%s\t%s\t%s\t%.3f\n", r.Codec, modeName[int(r.Mode)], comp, r.EnergyMJ)
-	}
-	return w.Flush()
-}
-
-func runAreas(experiments.Options) error {
-	fmt.Println("PIM logic area feasibility (paper §§3.3-7)")
-	w := table()
-	fmt.Fprintln(w, "Logic\tArea (mm²)\tVault budget used\tFeasible")
-	for _, r := range experiments.Areas() {
-		fmt.Fprintf(w, "%s\t%.2f\t%s\t%v\n", r.Logic, r.AreaMM2, pct(r.BudgetFraction), r.Feasible)
-	}
-	return w.Flush()
-}
-
-func runAblation(o experiments.Options) error {
-	fmt.Println("Design-space ablations (texture tiling target)")
-	w := table()
-	fmt.Fprintln(w, "Vault PIM cores\tSpeedup vs CPU")
-	for _, r := range experiments.AblationVaults(o) {
-		fmt.Fprintf(w, "%d\t%.2fx\n", r.Vaults, r.Speedup)
-	}
-	if err := w.Flush(); err != nil {
-		return err
-	}
-	w = table()
-	fmt.Fprintln(w, "Logic-layer bandwidth\tSpeedup vs CPU")
-	for _, r := range experiments.AblationBandwidth(o) {
-		fmt.Fprintf(w, "%.0f GB/s\t%.2fx\n", r.GBs, r.Speedup)
-	}
-	if err := w.Flush(); err != nil {
-		return err
-	}
-	w = table()
-	fmt.Fprintln(w, "CPU-shared lines\tCoherence energy overhead")
-	for _, r := range experiments.AblationCoherence(o) {
-		fmt.Fprintf(w, "%s\t%s\n", pct(r.SharedFraction), pct(r.EnergyOverhead))
-	}
-	if err := w.Flush(); err != nil {
-		return err
-	}
-	w = table()
-	fmt.Fprintln(w, "Accelerator efficiency vs CPU\tEnergy reduction")
-	for _, r := range experiments.AblationAccEfficiency(o) {
-		fmt.Fprintf(w, "%.0fx\t%s\n", r.EfficiencyX, pct(r.EnergyReduction))
-	}
-	return w.Flush()
-}
-
-func runBattery(o experiments.Options) error {
-	fmt.Println("Battery-life projection from PIM-Acc energy reductions (paper §1 motivation)")
-	w := table()
-	fmt.Fprintln(w, "Scenario\tWorkload power share\tPIM-Acc reduction\tBattery life")
-	for _, r := range experiments.BatteryLife(o) {
-		fmt.Fprintf(w, "%s\t%s\t%s\t%.2fx\n", r.Scenario, pct(r.Share), pct(r.Reduction), r.LifeExtension)
-	}
-	return w.Flush()
-}
-
-func runPageLoad(o experiments.Options) error {
-	fmt.Println("Page load: CPU vs GPU rasterization (paper §4.2.2)")
-	w := table()
-	fmt.Fprintln(w, "Page\tCPU raster (ms)\tGPU raster (ms)\tGPU/CPU")
-	for _, r := range experiments.PageLoad(o) {
-		fmt.Fprintf(w, "%s\t%.2f\t%.2f\t%.2fx\n", r.Page, r.CPUMillis, r.GPUMillis, r.GPUSlowdown)
-	}
-	return w.Flush()
-}
-
-func runTargets(o experiments.Options) error {
-	fmt.Println("PIM target characterization (paper §3.2 criteria)")
-	w := table()
-	fmt.Fprintln(w, "Target\tWorkload\tLLC MPKI\tMovement share\tTraffic (MB)\tMemory-intensive\tMovement-dominant")
-	for _, r := range experiments.TargetStats(o) {
-		fmt.Fprintf(w, "%s\t%s\t%.1f\t%s\t%.1f\t%v\t%v\n",
-			r.Name, r.Workload, r.LLCMPKI, pct(r.MovementFraction), r.TrafficMB, r.MemoryIntensive, r.MovementDominant)
-	}
-	return w.Flush()
-}
-
-func runTabSwitch(o experiments.Options) error {
-	fmt.Println("Tab restore latency: decompressing one 4 MiB tab (paper §4.3)")
-	w := table()
-	fmt.Fprintln(w, "Mode\tLatency (ms)")
-	for _, r := range experiments.TabSwitchLatency(o) {
-		fmt.Fprintf(w, "%s\t%.2f\n", r.Mode, r.Millis)
-	}
-	return w.Flush()
-}
-
-func runPlan(o experiments.Options) error {
-	fmt.Println("Per-vault accelerator provisioning plan (§8.1, 3.5 mm² budget)")
-	res := experiments.Plan(o)
-	w := table()
-	fmt.Fprintln(w, "Target\tPlanned logic\tArea (mm²)\tEnergy savings")
-	for _, r := range res.Rows {
-		fmt.Fprintf(w, "%s\t%s\t%.2f\t-%s\n", r.Target, r.Mode, r.AreaMM2, pct(r.SavingsPC))
-	}
-	if err := w.Flush(); err != nil {
-		return err
-	}
-	fmt.Printf("area used: %.2f of %.2f mm² (%d accelerators + the PIM core)\n",
-		res.AreaUsedMM2, res.BudgetMM2, res.Accelerated)
-	return nil
-}
-
-func runHeadline(o experiments.Options) error {
-	fmt.Println("Headline averages across all PIM targets (paper §1/§12)")
-	res := experiments.Headline(o)
-	fmt.Printf("data movement share of CPU-only energy: %s (paper: 62.7%%)\n", pct(res.AvgDataMovementFraction))
-	for _, m := range []gopim.Mode{gopim.PIMCore, gopim.PIMAcc} {
-		fmt.Printf("%s: energy -%s, speedup %.2fx avg / %.2fx max\n",
-			m, pct(res.AvgEnergyReduction[m]), res.AvgSpeedup[m], res.MaxSpeedup[m])
-	}
-	fmt.Println("(paper: PIM-Core -49.1% / 1.45x avg, up to 2.2x; PIM-Acc -55.4% / 1.54x avg, up to 2.5x)")
-	w := table()
-	fmt.Fprintln(w, "Target\tWorkload\tDM frac\tPIM-Core ΔE\tPIM-Acc ΔE\tPIM-Core speedup\tPIM-Acc speedup")
-	for _, r := range res.PerTarget {
-		fmt.Fprintf(w, "%s\t%s\t%s\t-%s\t-%s\t%.2fx\t%.2fx\n",
-			r.Target.Name, r.Target.Workload,
-			pct(r.ByMode[gopim.CPUOnly].Energy.DataMovementFraction()),
-			pct(r.EnergyReduction(gopim.PIMCore)), pct(r.EnergyReduction(gopim.PIMAcc)),
-			r.Speedup(gopim.PIMCore), r.Speedup(gopim.PIMAcc))
-	}
-	return w.Flush()
+	fmt.Fprintf(os.Stderr, "usage: pimsim [-scale quick|standard] [-workers N] [run] [experiment ...]\nexperiments: %s\n",
+		strings.Join(experiments.Names(), ", "))
 }

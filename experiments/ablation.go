@@ -4,6 +4,7 @@ import (
 	"gopim"
 	"gopim/internal/core"
 	"gopim/internal/energy"
+	"gopim/internal/par"
 	"gopim/internal/profile"
 	"gopim/internal/timing"
 )
@@ -21,16 +22,17 @@ func ablationProfiles(o Options) (cpu, pim profile.Profile, t gopim.Target) {
 			break
 		}
 	}
-	cpuTotal, cpuPhases := profile.Run(profile.SoC(), t.Kernel)
-	pimTotal, pimPhases := profile.Run(profile.PIMCore(), t.Kernel)
-	_ = cpuTotal
-	_ = pimTotal
-	var cpuSel, pimSel profile.Profile
-	for _, name := range t.Phases {
-		cpuSel = cpuSel.Add(cpuPhases[name])
-		pimSel = pimSel.Add(pimPhases[name])
-	}
-	return cpuSel, pimSel, t
+	// The two hardware flavors profile independently.
+	hws := []profile.Hardware{profile.SoC(), profile.PIMCore()}
+	sel := par.Map(o.workers(), len(hws), func(i int) profile.Profile {
+		_, phases := profile.Run(hws[i], t.Kernel)
+		var s profile.Profile
+		for _, name := range t.Phases {
+			s = s.Add(phases[name])
+		}
+		return s
+	})
+	return sel[0], sel[1], t
 }
 
 // VaultRow is one point of the vault-count sweep.
@@ -47,12 +49,11 @@ type VaultRow struct {
 func AblationVaults(o Options) []VaultRow {
 	cpuProf, pimProf, _ := ablationProfiles(o)
 	cpuSec := timing.SoC().Seconds(cpuProf)
-	var rows []VaultRow
-	for _, v := range []int{1, 2, 4, 8, 16, 32, 64} {
-		sec := timing.PIMCore(v).Seconds(pimProf)
-		rows = append(rows, VaultRow{Vaults: v, Speedup: cpuSec / sec})
-	}
-	return rows
+	vaults := []int{1, 2, 4, 8, 16, 32, 64}
+	return par.Map(o.workers(), len(vaults), func(i int) VaultRow {
+		sec := timing.PIMCore(vaults[i]).Seconds(pimProf)
+		return VaultRow{Vaults: vaults[i], Speedup: cpuSec / sec}
+	})
 }
 
 // BandwidthRow is one point of the internal-bandwidth sweep.
@@ -68,13 +69,12 @@ type BandwidthRow struct {
 func AblationBandwidth(o Options) []BandwidthRow {
 	cpuProf, pimProf, _ := ablationProfiles(o)
 	cpuSec := timing.SoC().Seconds(cpuProf)
-	var rows []BandwidthRow
-	for _, gbs := range []float64{32, 64, 128, 256, 512} {
+	gbsPoints := []float64{32, 64, 128, 256, 512}
+	return par.Map(o.workers(), len(gbsPoints), func(i int) BandwidthRow {
 		e := timing.PIMCore(4)
-		e.Bandwidth = gbs * 1e9
-		rows = append(rows, BandwidthRow{GBs: gbs, Speedup: cpuSec / e.Seconds(pimProf)})
-	}
-	return rows
+		e.Bandwidth = gbsPoints[i] * 1e9
+		return BandwidthRow{GBs: gbsPoints[i], Speedup: cpuSec / e.Seconds(pimProf)}
+	})
 }
 
 // CoherenceRow is one point of the coherence-cost sweep.
@@ -90,17 +90,16 @@ type CoherenceRow struct {
 func AblationCoherence(o Options) []CoherenceRow {
 	_, pimProf, _ := ablationProfiles(o)
 	ev := core.NewEvaluator()
-	var rows []CoherenceRow
-	for _, frac := range []float64{0, 0.01, 0.05, 0.1, 0.25, 0.5} {
+	fracs := []float64{0, 0.01, 0.05, 0.1, 0.25, 0.5}
+	return par.Map(o.workers(), len(fracs), func(i int) CoherenceRow {
 		m := core.DefaultCoherence()
-		m.SharedFraction = frac
+		m.SharedFraction = fracs[i]
 		coh := m.Overhead(pimProf)
 		sec := timing.PIMCore(4).Seconds(pimProf) + coh.Latency
 		base := ev.PIMCoreEnergy(pimProf, sec, core.Coherence{}).Total()
 		withCoh := ev.PIMCoreEnergy(pimProf, sec, coh).Total()
-		rows = append(rows, CoherenceRow{SharedFraction: frac, EnergyOverhead: withCoh/base - 1})
-	}
-	return rows
+		return CoherenceRow{SharedFraction: fracs[i], EnergyOverhead: withCoh/base - 1}
+	})
 }
 
 // EfficiencyRow is one point of the accelerator-efficiency sweep.
@@ -120,15 +119,14 @@ func AblationAccEfficiency(o Options) []EfficiencyRow {
 	base := ev.CPUEnergy(cpuProf, cpuSec).Total()
 	accSec := timing.PIMAcc(4).Seconds(pimProf)
 	_ = t
-	var rows []EfficiencyRow
-	for _, x := range []float64{5, 10, 20, 40, 80} {
+	xs := []float64{5, 10, 20, 40, 80}
+	return par.Map(o.workers(), len(xs), func(i int) EfficiencyRow {
 		params := energy.Default()
-		params.PIMAccOp = params.CPUInstr / x
+		params.PIMAccOp = params.CPUInstr / xs[i]
 		ev2 := &core.Evaluator{Params: params, Coherence: core.DefaultCoherence()}
 		total := ev2.PIMAccEnergy(pimProf, accSec, core.Coherence{}).Total()
-		rows = append(rows, EfficiencyRow{EfficiencyX: x, EnergyReduction: 1 - total/base})
-	}
-	return rows
+		return EfficiencyRow{EfficiencyX: xs[i], EnergyReduction: 1 - total/base}
+	})
 }
 
 // BatteryRow is one line of the battery-life projection.

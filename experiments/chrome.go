@@ -5,6 +5,7 @@ import (
 	"gopim/internal/browser"
 	"gopim/internal/core"
 	"gopim/internal/energy"
+	"gopim/internal/par"
 	"gopim/internal/profile"
 )
 
@@ -25,14 +26,16 @@ func Fig1(o Options) []Fig1Row {
 		frames = 12
 	}
 	ev := core.NewEvaluator()
-	var rows []Fig1Row
-	var avg Fig1Row
 	pages := browser.ScrollPages()
-	for _, page := range pages {
-		_, phases := profile.Run(profile.SoC(), browser.ScrollKernel(page, frames))
+	// Each page's kernel owns its address space and hierarchy, so pages
+	// profile concurrently; the average is reduced serially in page order.
+	rows := par.Map(o.workers(), len(pages), func(i int) Fig1Row {
+		_, phases := profile.Run(profile.SoC(), browser.ScrollKernel(pages[i], frames))
 		fr := fractionsOf(ev, phases, []string{browser.PhaseTiling, browser.PhaseBlitting}, "Other")
-		row := Fig1Row{Page: page.Name, TextureTiling: fr[0].Fraction, ColorBlitting: fr[1].Fraction, Other: fr[2].Fraction}
-		rows = append(rows, row)
+		return Fig1Row{Page: pages[i].Name, TextureTiling: fr[0].Fraction, ColorBlitting: fr[1].Fraction, Other: fr[2].Fraction}
+	})
+	var avg Fig1Row
+	for _, row := range rows {
 		avg.TextureTiling += row.TextureTiling / float64(len(pages))
 		avg.ColorBlitting += row.ColorBlitting / float64(len(pages))
 		avg.Other += row.Other / float64(len(pages))
@@ -69,8 +72,8 @@ func Fig2(o Options) Fig2Result {
 	total, phases := profile.Run(profile.SoC(), browser.ScrollKernel(browser.GoogleDocs(), frames))
 
 	res := Fig2Result{ByPhase: map[string]energy.Breakdown{}}
-	for name, p := range phases {
-		b := ev.CPUPhaseEnergy(p)
+	for _, name := range sortedPhaseNames(phases) {
+		b := ev.CPUPhaseEnergy(phases[name])
 		res.ByPhase[name] = b
 		res.Total = res.Total.Add(b)
 	}

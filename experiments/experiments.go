@@ -14,6 +14,7 @@ import (
 
 	"gopim"
 	"gopim/internal/core"
+	"gopim/internal/par"
 	"gopim/internal/profile"
 	"gopim/internal/timing"
 )
@@ -21,7 +22,15 @@ import (
 // Options parameterizes all experiment runners.
 type Options struct {
 	Scale gopim.Scale
+	// Workers bounds the concurrency of runners that fan out independent
+	// units of work (pages, networks, targets, sweep points). Zero means
+	// GOMAXPROCS; 1 forces the serial reference path. Results are
+	// bit-identical at any worker count.
+	Workers int
 }
+
+// workers resolves the effective worker count.
+func (o Options) workers() int { return par.Workers(o.Workers) }
 
 // PhaseFraction is one slice of a stacked-bar figure.
 type PhaseFraction struct {
@@ -29,16 +38,17 @@ type PhaseFraction struct {
 	Fraction float64
 }
 
-// fractionsOf converts per-phase profiles into energy fractions over the
-// listed phases, folding everything else into an "Other" entry if catchAll
-// is non-empty.
-func fractionsOf(ev *core.Evaluator, phases map[string]profile.Profile, order []string, catchAll string) []PhaseFraction {
+// phaseFractions converts per-phase profiles into fractions of the metric
+// over the listed phases, folding everything else into an "Other" entry if
+// catchAll is non-empty. The total is accumulated in sorted phase order so
+// the float sum does not depend on map iteration order.
+func phaseFractions(phases map[string]profile.Profile, metric func(profile.Profile) float64, order []string, catchAll string) []PhaseFraction {
 	total := 0.0
 	per := map[string]float64{}
-	for name, p := range phases {
-		e := ev.CPUPhaseEnergy(p).Total()
-		per[name] = e
-		total += e
+	for _, name := range sortedPhaseNames(phases) {
+		v := metric(phases[name])
+		per[name] = v
+		total += v
 	}
 	if total == 0 {
 		return nil
@@ -59,33 +69,17 @@ func fractionsOf(ev *core.Evaluator, phases map[string]profile.Profile, order []
 	return out
 }
 
-// timeFractionsOf is fractionsOf for execution time.
+// fractionsOf is phaseFractions over CPU energy.
+func fractionsOf(ev *core.Evaluator, phases map[string]profile.Profile, order []string, catchAll string) []PhaseFraction {
+	return phaseFractions(phases, func(p profile.Profile) float64 {
+		return ev.CPUPhaseEnergy(p).Total()
+	}, order, catchAll)
+}
+
+// timeFractionsOf is phaseFractions over execution time.
 func timeFractionsOf(phases map[string]profile.Profile, order []string, catchAll string) []PhaseFraction {
 	eng := timing.SoC()
-	total := 0.0
-	per := map[string]float64{}
-	for name, p := range phases {
-		t := eng.Seconds(p)
-		per[name] = t
-		total += t
-	}
-	if total == 0 {
-		return nil
-	}
-	out := make([]PhaseFraction, 0, len(order)+1)
-	used := 0.0
-	for _, name := range order {
-		out = append(out, PhaseFraction{Name: name, Fraction: per[name] / total})
-		used += per[name]
-	}
-	if catchAll != "" {
-		rest := (total - used) / total
-		if rest < 0 {
-			rest = 0
-		}
-		out = append(out, PhaseFraction{Name: catchAll, Fraction: rest})
-	}
-	return out
+	return phaseFractions(phases, eng.Seconds, order, catchAll)
 }
 
 func sortedPhaseNames(phases map[string]profile.Profile) []string {

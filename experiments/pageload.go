@@ -3,6 +3,7 @@ package experiments
 import (
 	"gopim/internal/browser"
 	"gopim/internal/core"
+	"gopim/internal/par"
 	"gopim/internal/profile"
 	"gopim/internal/timing"
 )
@@ -29,25 +30,25 @@ type PageLoadRow struct {
 func PageLoad(o Options) []PageLoadRow {
 	ev := core.NewEvaluator()
 	soc := timing.SoC()
-	var rows []PageLoadRow
-	for _, page := range browser.ScrollPages() {
+	pages := browser.ScrollPages()
+	return par.Map(o.workers(), len(pages), func(i int) PageLoadRow {
+		page := pages[i]
 		_, phases := profile.Run(profile.SoC(), browser.LoadKernel(page))
 		var total, raster float64
-		for name, p := range phases {
-			t := soc.Seconds(p)
+		for _, name := range sortedPhaseNames(phases) {
+			t := soc.Seconds(phases[name])
 			total += t
 			if name == browser.PhaseBlitting {
 				raster = t
 			}
 		}
 		gpu := total - raster + browser.GPURasterEstimate(page)
-		rows = append(rows, PageLoadRow{
+		return PageLoadRow{
 			Page:        page.Name,
 			Phases:      fractionsOf(ev, phases, browser.LoadPhases[:4], "Other"),
 			CPUMillis:   total * 1e3,
 			GPUMillis:   gpu * 1e3,
 			GPUSlowdown: gpu / total,
-		})
-	}
-	return rows
+		}
+	})
 }

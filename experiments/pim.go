@@ -4,6 +4,7 @@ import (
 	"gopim"
 	"gopim/internal/core"
 	"gopim/internal/dram"
+	"gopim/internal/par"
 )
 
 // Fig18Row is one bar pair of Figure 18: a browser kernel under one
@@ -23,16 +24,20 @@ type Fig18Row struct {
 // under CPU-only, PIM-core and PIM-accelerator execution.
 func Fig18(o Options) []Fig18Row {
 	ev := core.NewEvaluator()
-	var rows []Fig18Row
+	var targets []gopim.Target
 	for _, t := range gopim.Targets(o.Scale) {
-		if t.Workload != "Chrome" {
-			continue
+		if t.Workload == "Chrome" {
+			targets = append(targets, t)
 		}
+	}
+	perTarget := par.Map(o.workers(), len(targets), func(i int) []Fig18Row {
+		t := targets[i]
 		res := ev.Evaluate(t)
 		base := res.ByMode[gopim.CPUOnly]
+		var out []Fig18Row
 		for _, mode := range gopim.Modes {
 			e := res.ByMode[mode]
-			rows = append(rows, Fig18Row{
+			out = append(out, Fig18Row{
 				Kernel: t.Name, Mode: mode,
 				NormEnergy:    e.Energy.Total() / base.Energy.Total(),
 				NormRuntime:   e.Seconds / base.Seconds,
@@ -41,6 +46,11 @@ func Fig18(o Options) []Fig18Row {
 				EnergySavings: res.EnergyReduction(mode),
 			})
 		}
+		return out
+	})
+	var rows []Fig18Row
+	for _, r := range perTarget {
+		rows = append(rows, r...)
 	}
 	return rows
 }
@@ -100,9 +110,12 @@ func Headline(o Options) HeadlineResult {
 		MaxSpeedup:         map[gopim.Mode]float64{},
 	}
 	targets := gopim.Targets(o.Scale)
-	for _, t := range targets {
-		r := ev.Evaluate(t)
-		res.PerTarget = append(res.PerTarget, r)
+	// Targets evaluate concurrently; the averages are reduced serially in
+	// target order so float accumulation stays deterministic.
+	res.PerTarget = par.Map(o.workers(), len(targets), func(i int) gopim.Result {
+		return ev.Evaluate(targets[i])
+	})
+	for _, r := range res.PerTarget {
 		for _, mode := range []gopim.Mode{gopim.PIMCore, gopim.PIMAcc} {
 			res.AvgEnergyReduction[mode] += r.EnergyReduction(mode) / float64(len(targets))
 			s := r.Speedup(mode)

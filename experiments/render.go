@@ -1,0 +1,351 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"gopim"
+	"gopim/internal/vp9"
+)
+
+// The renderers format each experiment's payload exactly the way the
+// pimsim tool has always printed it; cmd/pimsim calls them through
+// Runner.Render for both the serial and the `run all` path.
+
+func tab(w io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+}
+
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
+
+func renderTable1(out io.Writer, data any) error {
+	w := tab(out)
+	fmt.Fprintln(w, "Component\tConfiguration")
+	for _, r := range data.([]Table1Row) {
+		fmt.Fprintf(w, "%s\t%s\n", r.Component, r.Value)
+	}
+	return w.Flush()
+}
+
+func renderFig1(out io.Writer, data any) error {
+	fmt.Fprintln(out, "Energy breakdown for page scrolling (paper Figure 1)")
+	w := tab(out)
+	fmt.Fprintln(w, "Page\tTexture Tiling\tColor Blitting\tOther")
+	for _, r := range data.([]Fig1Row) {
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\n", r.Page, pct(r.TextureTiling), pct(r.ColorBlitting), pct(r.Other))
+	}
+	return w.Flush()
+}
+
+func renderFig2(out io.Writer, data any) error {
+	fmt.Fprintln(out, "Google Docs scrolling energy (paper Figure 2)")
+	res := data.(Fig2Result)
+	w := tab(out)
+	fmt.Fprintln(w, "Function\tCPU\tL1\tLLC\tInterconnect\tMemCtrl\tDRAM\tTotal")
+	var names []string
+	for n := range res.ByPhase {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		b := res.ByPhase[n]
+		fmt.Fprintf(w, "%s\t%.2g\t%.2g\t%.2g\t%.2g\t%.2g\t%.2g\t%.2g\n",
+			n, b.CPU, b.L1, b.LLC, b.Interconnect, b.MemCtrl, b.DRAM, b.Total())
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "data movement: %s of total energy (paper: 77%%)\n", pct(res.DataMovementFraction))
+	fmt.Fprintf(out, "tiling+blitting data movement: %s of total (paper: 37.7%%)\n", pct(res.TilingBlittingMovementFraction))
+	fmt.Fprintf(out, "LLC MPKI: %.1f (paper: 21.4 average)\n", res.LLCMPKI)
+	return nil
+}
+
+func renderFig4(out io.Writer, data any) error {
+	fmt.Fprintln(out, "ZRAM swap traffic while switching tabs (paper Figure 4)")
+	res := data.(Fig4Result)
+	fmt.Fprintf(out, "total swapped out: %.2f GB (paper: 11.7 GB), in: %.2f GB (paper: 7.8 GB)\n",
+		res.TotalOutGB, res.TotalInGB)
+	fmt.Fprintf(out, "peak rates: out %.0f MB/s (paper: 201), in %.0f MB/s (paper: 227)\n",
+		res.PeakOutMBs, res.PeakInMBs)
+	fmt.Fprintf(out, "LZO compression ratio: %.2f\n", res.CompressRatio)
+	scale := 1
+	for _, s := range res.Samples {
+		if s.OutBytes > scale {
+			scale = s.OutBytes
+		}
+		if s.InBytes > scale {
+			scale = s.InBytes
+		}
+	}
+	const cols = 40
+	fmt.Fprintf(out, "timeline (each char = %.1f MB/s; o=swap-out i=swap-in):\n", float64(scale)/1e6/cols)
+	for _, s := range res.Samples {
+		if s.OutBytes == 0 && s.InBytes == 0 {
+			continue
+		}
+		fmt.Fprintf(out, "  t=%3ds %s%s\n", s.Second,
+			strings.Repeat("o", s.OutBytes*cols/scale),
+			strings.Repeat("i", s.InBytes*cols/scale))
+	}
+	return nil
+}
+
+func renderTF(out io.Writer, kind string, rows []TFRow) error {
+	fmt.Fprintf(out, "TensorFlow Mobile inference %s breakdown (paper Figures 6/7)\n", kind)
+	w := tab(out)
+	fmt.Fprintln(w, "Network\tPacking\tQuantization\tConv2D+MatMul\tOther")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\n", r.Network, pct(r.Packing), pct(r.Quantization), pct(r.GEMM), pct(r.Other))
+	}
+	return w.Flush()
+}
+
+func renderFig6(out io.Writer, data any) error { return renderTF(out, "energy", data.([]TFRow)) }
+func renderFig7(out io.Writer, data any) error { return renderTF(out, "time", data.([]TFRow)) }
+
+func renderFractions(out io.Writer, title string, fr []PhaseFraction) error {
+	fmt.Fprintln(out, title)
+	w := tab(out)
+	for _, f := range fr {
+		fmt.Fprintf(w, "%s\t%s\n", f.Name, pct(f.Fraction))
+	}
+	return w.Flush()
+}
+
+func renderFig10(out io.Writer, data any) error {
+	return renderFractions(out, "VP9 software decoder energy by function (paper Figure 10)", data.([]PhaseFraction))
+}
+
+func renderFig11(out io.Writer, data any) error {
+	fmt.Fprintln(out, "VP9 software decoder energy by component (paper Figure 11)")
+	res := data.(Fig11Result)
+	w := tab(out)
+	fmt.Fprintln(w, "Function\tCPU\tL1\tLLC\tInterconnect\tMemCtrl\tDRAM")
+	var names []string
+	for n := range res.ByPhase {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		b := res.ByPhase[n]
+		fmt.Fprintf(w, "%s\t%.2g\t%.2g\t%.2g\t%.2g\t%.2g\t%.2g\n", n, b.CPU, b.L1, b.LLC, b.Interconnect, b.MemCtrl, b.DRAM)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "data movement: %s (paper at 4K: 63.5%%); sub-pel share of movement: %s\n",
+		pct(res.DataMovementFraction), pct(res.SubPelMovementShare))
+	return nil
+}
+
+func renderHWTraffic(out io.Writer, title string, rows []HWTrafficRow) error {
+	fmt.Fprintln(out, title)
+	w := tab(out)
+	fmt.Fprintln(w, "Config\tCategory\tMB/frame")
+	for _, r := range rows {
+		comp := "no compression"
+		if r.Compressed {
+			comp = "with compression"
+		}
+		for _, it := range r.Items {
+			fmt.Fprintf(w, "%s (%s)\t%s\t%.2f\n", r.Resolution, comp, it.Name, it.Bytes/1e6)
+		}
+		fmt.Fprintf(w, "%s (%s)\tTOTAL\t%.2f\n", r.Resolution, comp, r.TotalMB)
+	}
+	return w.Flush()
+}
+
+func renderFig12(out io.Writer, data any) error {
+	return renderHWTraffic(out, "VP9 hardware decoder off-chip traffic (paper Figure 12)", data.([]HWTrafficRow))
+}
+
+func renderFig15(out io.Writer, data any) error {
+	return renderFractions(out, "VP9 software encoder energy by function (paper Figure 15)", data.([]PhaseFraction))
+}
+
+func renderFig16(out io.Writer, data any) error {
+	return renderHWTraffic(out, "VP9 hardware encoder off-chip traffic (paper Figure 16)", data.([]HWTrafficRow))
+}
+
+func renderFig18(out io.Writer, data any) error {
+	fmt.Fprintln(out, "Browser kernels: energy and runtime by execution mode (paper Figure 18)")
+	w := tab(out)
+	fmt.Fprintln(w, "Kernel\tMode\tNorm. Energy\tNorm. Runtime\tSavings\tSpeedup")
+	for _, r := range data.([]Fig18Row) {
+		fmt.Fprintf(w, "%s\t%s\t%.2f\t%.2f\t%s\t%.2fx\n",
+			r.Kernel, r.Mode, r.NormEnergy, r.NormRuntime, pct(r.EnergySavings), r.Speedup)
+	}
+	return w.Flush()
+}
+
+func renderFig19(out io.Writer, data any) error {
+	fmt.Fprintln(out, "TensorFlow kernels: energy and end-to-end speedup (paper Figure 19)")
+	res := data.(Fig19Result)
+	w := tab(out)
+	fmt.Fprintln(w, "Kernel\tMode\tNorm. Energy")
+	for _, e := range res.Energies {
+		fmt.Fprintf(w, "%s\t%s\t%.2f\n", e.Kernel, e.Mode, e.Normalized)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	w = tab(out)
+	fmt.Fprintln(w, "GEMM ops\tMode\tSpeedup")
+	for _, s := range res.Speedups {
+		fmt.Fprintf(w, "%d\t%s\t%.2fx\n", s.GEMMOps, s.Mode, s.Speedup)
+	}
+	return w.Flush()
+}
+
+func renderFig20(out io.Writer, data any) error {
+	fmt.Fprintln(out, "Video kernels: energy and runtime by execution mode (paper Figure 20)")
+	w := tab(out)
+	fmt.Fprintln(w, "Kernel\tMode\tNorm. Energy\tNorm. Runtime\tSavings\tSpeedup")
+	for _, r := range data.([]Fig20Row) {
+		fmt.Fprintf(w, "%s\t%s\t%.2f\t%.2f\t%s\t%.2fx\n",
+			r.Kernel, r.Mode, r.NormEnergy, r.NormRuntime, pct(r.EnergySavings), r.Speedup)
+	}
+	return w.Flush()
+}
+
+func renderFig21(out io.Writer, data any) error {
+	fmt.Fprintln(out, "VP9 hardware codec energy (paper Figure 21, one HD frame)")
+	modeName := map[vp9.HWEnergyMode]string{vp9.HWBaseline: "VP9", vp9.HWPIMCore: "PIM-Core", vp9.HWPIMAcc: "PIM-Acc"}
+	w := tab(out)
+	fmt.Fprintln(w, "Codec\tDesign\tCompression\tEnergy (mJ)")
+	for _, r := range data.([]Fig21Row) {
+		comp := "off"
+		if r.Compressed {
+			comp = "on"
+		}
+		fmt.Fprintf(w, "%s\t%s\t%s\t%.3f\n", r.Codec, modeName[r.Mode], comp, r.EnergyMJ)
+	}
+	return w.Flush()
+}
+
+func renderAreas(out io.Writer, data any) error {
+	fmt.Fprintln(out, "PIM logic area feasibility (paper §§3.3-7)")
+	w := tab(out)
+	fmt.Fprintln(w, "Logic\tArea (mm²)\tVault budget used\tFeasible")
+	for _, r := range data.([]AreaRow) {
+		fmt.Fprintf(w, "%s\t%.2f\t%s\t%v\n", r.Logic, r.AreaMM2, pct(r.BudgetFraction), r.Feasible)
+	}
+	return w.Flush()
+}
+
+func renderAblation(out io.Writer, data any) error {
+	fmt.Fprintln(out, "Design-space ablations (texture tiling target)")
+	res := data.(AblationResult)
+	w := tab(out)
+	fmt.Fprintln(w, "Vault PIM cores\tSpeedup vs CPU")
+	for _, r := range res.Vaults {
+		fmt.Fprintf(w, "%d\t%.2fx\n", r.Vaults, r.Speedup)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	w = tab(out)
+	fmt.Fprintln(w, "Logic-layer bandwidth\tSpeedup vs CPU")
+	for _, r := range res.Bandwidth {
+		fmt.Fprintf(w, "%.0f GB/s\t%.2fx\n", r.GBs, r.Speedup)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	w = tab(out)
+	fmt.Fprintln(w, "CPU-shared lines\tCoherence energy overhead")
+	for _, r := range res.Coherence {
+		fmt.Fprintf(w, "%s\t%s\n", pct(r.SharedFraction), pct(r.EnergyOverhead))
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	w = tab(out)
+	fmt.Fprintln(w, "Accelerator efficiency vs CPU\tEnergy reduction")
+	for _, r := range res.AccEfficiency {
+		fmt.Fprintf(w, "%.0fx\t%s\n", r.EfficiencyX, pct(r.EnergyReduction))
+	}
+	return w.Flush()
+}
+
+func renderBattery(out io.Writer, data any) error {
+	fmt.Fprintln(out, "Battery-life projection from PIM-Acc energy reductions (paper §1 motivation)")
+	w := tab(out)
+	fmt.Fprintln(w, "Scenario\tWorkload power share\tPIM-Acc reduction\tBattery life")
+	for _, r := range data.([]BatteryRow) {
+		fmt.Fprintf(w, "%s\t%s\t%s\t%.2fx\n", r.Scenario, pct(r.Share), pct(r.Reduction), r.LifeExtension)
+	}
+	return w.Flush()
+}
+
+func renderPageLoad(out io.Writer, data any) error {
+	fmt.Fprintln(out, "Page load: CPU vs GPU rasterization (paper §4.2.2)")
+	w := tab(out)
+	fmt.Fprintln(w, "Page\tCPU raster (ms)\tGPU raster (ms)\tGPU/CPU")
+	for _, r := range data.([]PageLoadRow) {
+		fmt.Fprintf(w, "%s\t%.2f\t%.2f\t%.2fx\n", r.Page, r.CPUMillis, r.GPUMillis, r.GPUSlowdown)
+	}
+	return w.Flush()
+}
+
+func renderTargets(out io.Writer, data any) error {
+	fmt.Fprintln(out, "PIM target characterization (paper §3.2 criteria)")
+	w := tab(out)
+	fmt.Fprintln(w, "Target\tWorkload\tLLC MPKI\tMovement share\tTraffic (MB)\tMemory-intensive\tMovement-dominant")
+	for _, r := range data.([]TargetStatsRow) {
+		fmt.Fprintf(w, "%s\t%s\t%.1f\t%s\t%.1f\t%v\t%v\n",
+			r.Name, r.Workload, r.LLCMPKI, pct(r.MovementFraction), r.TrafficMB, r.MemoryIntensive, r.MovementDominant)
+	}
+	return w.Flush()
+}
+
+func renderTabSwitch(out io.Writer, data any) error {
+	fmt.Fprintln(out, "Tab restore latency: decompressing one 4 MiB tab (paper §4.3)")
+	w := tab(out)
+	fmt.Fprintln(w, "Mode\tLatency (ms)")
+	for _, r := range data.([]TabLatencyRow) {
+		fmt.Fprintf(w, "%s\t%.2f\n", r.Mode, r.Millis)
+	}
+	return w.Flush()
+}
+
+func renderPlan(out io.Writer, data any) error {
+	fmt.Fprintln(out, "Per-vault accelerator provisioning plan (§8.1, 3.5 mm² budget)")
+	res := data.(PlanResult)
+	w := tab(out)
+	fmt.Fprintln(w, "Target\tPlanned logic\tArea (mm²)\tEnergy savings")
+	for _, r := range res.Rows {
+		fmt.Fprintf(w, "%s\t%s\t%.2f\t-%s\n", r.Target, r.Mode, r.AreaMM2, pct(r.SavingsPC))
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "area used: %.2f of %.2f mm² (%d accelerators + the PIM core)\n",
+		res.AreaUsedMM2, res.BudgetMM2, res.Accelerated)
+	return nil
+}
+
+func renderHeadline(out io.Writer, data any) error {
+	fmt.Fprintln(out, "Headline averages across all PIM targets (paper §1/§12)")
+	res := data.(HeadlineResult)
+	fmt.Fprintf(out, "data movement share of CPU-only energy: %s (paper: 62.7%%)\n", pct(res.AvgDataMovementFraction))
+	for _, m := range []gopim.Mode{gopim.PIMCore, gopim.PIMAcc} {
+		fmt.Fprintf(out, "%s: energy -%s, speedup %.2fx avg / %.2fx max\n",
+			m, pct(res.AvgEnergyReduction[m]), res.AvgSpeedup[m], res.MaxSpeedup[m])
+	}
+	fmt.Fprintln(out, "(paper: PIM-Core -49.1% / 1.45x avg, up to 2.2x; PIM-Acc -55.4% / 1.54x avg, up to 2.5x)")
+	w := tab(out)
+	fmt.Fprintln(w, "Target\tWorkload\tDM frac\tPIM-Core ΔE\tPIM-Acc ΔE\tPIM-Core speedup\tPIM-Acc speedup")
+	for _, r := range res.PerTarget {
+		fmt.Fprintf(w, "%s\t%s\t%s\t-%s\t-%s\t%.2fx\t%.2fx\n",
+			r.Target.Name, r.Target.Workload,
+			pct(r.ByMode[gopim.CPUOnly].Energy.DataMovementFraction()),
+			pct(r.EnergyReduction(gopim.PIMCore)), pct(r.EnergyReduction(gopim.PIMAcc)),
+			r.Speedup(gopim.PIMCore), r.Speedup(gopim.PIMAcc))
+	}
+	return w.Flush()
+}

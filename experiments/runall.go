@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"gopim/internal/par"
+)
+
+// Runner is one experiment: a pure computation producing a typed payload,
+// and a renderer that formats that payload as the pimsim text report.
+// Compute functions are safe to run concurrently with each other; Render
+// never recomputes, so rendering N precomputed payloads in name order
+// produces output byte-identical to running the experiments serially.
+type Runner struct {
+	Name    string
+	Compute func(Options) (any, error)
+	Render  func(io.Writer, any) error
+}
+
+// Fig19Result bundles Figure 19's two halves into one payload.
+type Fig19Result struct {
+	Energies []Fig19Energy
+	Speedups []Fig19Speedup
+}
+
+// AblationResult bundles the four design-space sweeps into one payload.
+type AblationResult struct {
+	Vaults        []VaultRow
+	Bandwidth     []BandwidthRow
+	Coherence     []CoherenceRow
+	AccEfficiency []EfficiencyRow
+}
+
+// registry lists every experiment. Names are the figure/table IDs from
+// DESIGN.md; Runners() serves them in sorted-name order.
+var registry = []Runner{
+	{"ablation", computeAblation, renderAblation},
+	{"areas", computeAreas, renderAreas},
+	{"battery", computeBattery, renderBattery},
+	{"fig1", computeFig1, renderFig1},
+	{"fig2", computeFig2, renderFig2},
+	{"fig4", computeFig4, renderFig4},
+	{"fig6", computeFig6, renderFig6},
+	{"fig7", computeFig7, renderFig7},
+	{"fig10", computeFig10, renderFig10},
+	{"fig11", computeFig11, renderFig11},
+	{"fig12", computeFig12, renderFig12},
+	{"fig15", computeFig15, renderFig15},
+	{"fig16", computeFig16, renderFig16},
+	{"fig18", computeFig18, renderFig18},
+	{"fig19", computeFig19, renderFig19},
+	{"fig20", computeFig20, renderFig20},
+	{"fig21", computeFig21, renderFig21},
+	{"headline", computeHeadline, renderHeadline},
+	{"pageload", computePageLoad, renderPageLoad},
+	{"plan", computePlan, renderPlan},
+	{"table1", computeTable1, renderTable1},
+	{"tabswitch", computeTabSwitch, renderTabSwitch},
+	{"targets", computeTargets, renderTargets},
+}
+
+func computeFig1(o Options) (any, error)      { return Fig1(o), nil }
+func computeFig2(o Options) (any, error)      { return Fig2(o), nil }
+func computeFig4(o Options) (any, error)      { return Fig4(o) }
+func computeFig6(o Options) (any, error)      { return Fig6(o), nil }
+func computeFig7(o Options) (any, error)      { return Fig7(o), nil }
+func computeFig10(o Options) (any, error)     { return Fig10(o) }
+func computeFig11(o Options) (any, error)     { return Fig11(o) }
+func computeFig12(o Options) (any, error)     { return Fig12(o) }
+func computeFig15(o Options) (any, error)     { return Fig15(o) }
+func computeFig16(o Options) (any, error)     { return Fig16(o) }
+func computeFig18(o Options) (any, error)     { return Fig18(o), nil }
+func computeFig20(o Options) (any, error)     { return Fig20(o) }
+func computeFig21(o Options) (any, error)     { return Fig21(o) }
+func computeAreas(Options) (any, error)       { return Areas(), nil }
+func computeBattery(o Options) (any, error)   { return BatteryLife(o), nil }
+func computeHeadline(o Options) (any, error)  { return Headline(o), nil }
+func computePageLoad(o Options) (any, error)  { return PageLoad(o), nil }
+func computePlan(o Options) (any, error)      { return Plan(o), nil }
+func computeTable1(Options) (any, error)      { return Table1(), nil }
+func computeTabSwitch(o Options) (any, error) { return TabSwitchLatency(o), nil }
+func computeTargets(o Options) (any, error)   { return TargetStats(o), nil }
+
+func computeFig19(o Options) (any, error) {
+	energies, speedups := Fig19(o)
+	return Fig19Result{Energies: energies, Speedups: speedups}, nil
+}
+
+func computeAblation(o Options) (any, error) {
+	return AblationResult{
+		Vaults:        AblationVaults(o),
+		Bandwidth:     AblationBandwidth(o),
+		Coherence:     AblationCoherence(o),
+		AccEfficiency: AblationAccEfficiency(o),
+	}, nil
+}
+
+// Names returns every experiment name in sorted order.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for _, r := range registry {
+		names = append(names, r.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RunnerFor returns the named experiment's runner.
+func RunnerFor(name string) (Runner, bool) {
+	for _, r := range registry {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return Runner{}, false
+}
+
+// RunResult is one experiment's outcome from RunAll / RunNamed.
+type RunResult struct {
+	Name string
+	Data any
+	Err  error
+}
+
+// RunNamed computes the named experiments concurrently (bounded by
+// o.Workers) and returns results in the given order. Unknown names fail
+// before any work starts.
+func RunNamed(o Options, names []string) ([]RunResult, error) {
+	rs := make([]Runner, len(names))
+	for i, name := range names {
+		r, ok := RunnerFor(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown experiment %q", name)
+		}
+		rs[i] = r
+	}
+	return par.Map(o.workers(), len(rs), func(i int) RunResult {
+		data, err := rs[i].Compute(o)
+		return RunResult{Name: rs[i].Name, Data: data, Err: err}
+	}), nil
+}
+
+// RunAll computes every experiment concurrently, in sorted-name order.
+func RunAll(o Options) []RunResult {
+	res, err := RunNamed(o, Names())
+	if err != nil {
+		panic(err) // unreachable: Names() only lists registered runners
+	}
+	return res
+}
+
+// RunAllSerial is RunAll pinned to one worker: the serial reference used by
+// the determinism tests.
+func RunAllSerial(o Options) []RunResult {
+	o.Workers = 1
+	return RunAll(o)
+}
+
+// Render formats a RunAll payload with the named experiment's renderer.
+func Render(w io.Writer, name string, data any) error {
+	r, ok := RunnerFor(name)
+	if !ok {
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	return r.Render(w, data)
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"gopim"
+)
+
+// renderResults renders every experiment's payload and returns the bytes
+// keyed by name, failing on runner errors.
+func renderResults(t *testing.T, results []RunResult) map[string][]byte {
+	t.Helper()
+	out := map[string][]byte{}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Name, r.Err)
+		}
+		var buf bytes.Buffer
+		if err := Render(&buf, r.Name, r.Data); err != nil {
+			t.Fatalf("render %s: %v", r.Name, err)
+		}
+		out[r.Name] = buf.Bytes()
+	}
+	return out
+}
+
+// TestRunAllDeterministic is the concurrency regression gate: the parallel
+// engine must produce results bit-identical to itself across runs and to
+// the serial reference path, for every experiment.
+func TestRunAllDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three full experiment sweeps; skipped with -short")
+	}
+	par1 := RunAll(Options{Scale: gopim.Quick, Workers: 8})
+	par2 := RunAll(Options{Scale: gopim.Quick, Workers: 8})
+	serial := RunAllSerial(Options{Scale: gopim.Quick})
+
+	if len(par1) != len(par2) || len(par1) != len(serial) {
+		t.Fatalf("result counts differ: %d / %d / %d", len(par1), len(par2), len(serial))
+	}
+	for i := range par1 {
+		if par1[i].Name != par2[i].Name || par1[i].Name != serial[i].Name {
+			t.Fatalf("result %d order differs: %q / %q / %q", i, par1[i].Name, par2[i].Name, serial[i].Name)
+		}
+	}
+
+	// Payload-level comparison. HeadlineResult embeds kernel closures in
+	// PerTarget (funcs never DeepEqual); its numbers are covered by the
+	// rendered-bytes comparison below plus its aggregate maps here.
+	for i := range par1 {
+		name := par1[i].Name
+		a, b, s := par1[i].Data, par2[i].Data, serial[i].Data
+		if name == "headline" {
+			ha, hb, hs := a.(HeadlineResult), b.(HeadlineResult), s.(HeadlineResult)
+			for _, pair := range [][2]HeadlineResult{{ha, hb}, {ha, hs}} {
+				x, y := pair[0], pair[1]
+				if !reflect.DeepEqual(x.AvgEnergyReduction, y.AvgEnergyReduction) ||
+					!reflect.DeepEqual(x.AvgSpeedup, y.AvgSpeedup) ||
+					!reflect.DeepEqual(x.MaxSpeedup, y.MaxSpeedup) ||
+					x.AvgDataMovementFraction != y.AvgDataMovementFraction {
+					t.Errorf("headline aggregates diverge between runs")
+				}
+			}
+			continue
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: two parallel runs diverge", name)
+		}
+		if !reflect.DeepEqual(a, s) {
+			t.Errorf("%s: parallel run diverges from serial reference", name)
+		}
+	}
+
+	// Byte-level comparison of the rendered reports (covers headline's
+	// PerTarget too).
+	ra, rb, rs := renderResults(t, par1), renderResults(t, par2), renderResults(t, serial)
+	for name, text := range ra {
+		if !bytes.Equal(text, rb[name]) {
+			t.Errorf("%s: rendered output differs between parallel runs", name)
+		}
+		if !bytes.Equal(text, rs[name]) {
+			t.Errorf("%s: rendered output differs from serial reference:\nparallel:\n%s\nserial:\n%s",
+				name, text, rs[name])
+		}
+	}
+}
+
+// TestRunNamedUnknown checks the fast failure path.
+func TestRunNamedUnknown(t *testing.T) {
+	if _, err := RunNamed(Options{Scale: gopim.Quick}, []string{"fig999"}); err == nil {
+		t.Fatal("RunNamed accepted an unknown experiment name")
+	}
+}
+
+// TestNamesMatchRegistry pins the registry/name invariants the CLI relies
+// on: sorted, unique, and every name resolvable.
+func TestNamesMatchRegistry(t *testing.T) {
+	names := Names()
+	if len(names) != len(registry) {
+		t.Fatalf("Names() returned %d names for %d runners", len(names), len(registry))
+	}
+	seen := map[string]bool{}
+	for i, n := range names {
+		if i > 0 && names[i-1] >= n {
+			t.Errorf("names not sorted/unique at %q", n)
+		}
+		if seen[n] {
+			t.Errorf("duplicate name %q", n)
+		}
+		seen[n] = true
+		r, ok := RunnerFor(n)
+		if !ok || r.Compute == nil || r.Render == nil {
+			t.Errorf("runner %q incomplete", n)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"gopim"
 	"gopim/internal/core"
 	"gopim/internal/mem"
+	"gopim/internal/par"
 )
 
 // TargetStatsRow characterizes one PIM target against the paper's §3.2
@@ -24,8 +25,9 @@ type TargetStatsRow struct {
 // (LLC MPKI > 10) and movement-dominated.
 func TargetStats(o Options) []TargetStatsRow {
 	ev := core.NewEvaluator()
-	var rows []TargetStatsRow
-	for _, t := range gopim.Targets(o.Scale) {
+	targets := gopim.Targets(o.Scale)
+	return par.Map(o.workers(), len(targets), func(i int) TargetStatsRow {
+		t := targets[i]
 		res := ev.Evaluate(t)
 		cpu := res.ByMode[gopim.CPUOnly]
 		row := TargetStatsRow{
@@ -38,9 +40,8 @@ func TargetStats(o Options) []TargetStatsRow {
 		}
 		row.MemoryIntensive = row.LLCMPKI > 10
 		row.MovementDominant = row.MovementFraction > 0.5
-		rows = append(rows, row)
-	}
-	return rows
+		return row
+	})
 }
 
 // TabLatencyRow is the modelled latency of restoring one compressed tab.

@@ -4,6 +4,7 @@ import (
 	"gopim"
 	"gopim/internal/core"
 	"gopim/internal/nn"
+	"gopim/internal/par"
 	"gopim/internal/profile"
 	"gopim/internal/qgemm"
 	"gopim/internal/timing"
@@ -44,14 +45,15 @@ func Fig7(o Options) []TFRow {
 func tfBreakdown(o Options, split func(*core.Evaluator, map[string]profile.Profile) []PhaseFraction) []TFRow {
 	ev := core.NewEvaluator()
 	nets := nn.Evaluated()
-	var rows []TFRow
-	var avg TFRow
-	for _, net := range nets {
-		_, phases := nn.NetworkProfile(net, profile.SoC(), tfScale(o))
+	// Networks profile independently; the average is reduced serially.
+	rows := par.Map(o.workers(), len(nets), func(i int) TFRow {
+		_, phases := nn.NetworkProfile(nets[i], profile.SoC(), tfScale(o))
 		fr := split(ev, phases)
-		row := TFRow{Network: net.Name, Packing: fr[0].Fraction, Quantization: fr[1].Fraction, GEMM: fr[2].Fraction, Other: fr[3].Fraction}
-		rows = append(rows, row)
-		n := float64(len(nets))
+		return TFRow{Network: nets[i].Name, Packing: fr[0].Fraction, Quantization: fr[1].Fraction, GEMM: fr[2].Fraction, Other: fr[3].Fraction}
+	})
+	var avg TFRow
+	n := float64(len(nets))
+	for _, row := range rows {
 		avg.Packing += row.Packing / n
 		avg.Quantization += row.Quantization / n
 		avg.GEMM += row.GEMM / n
@@ -95,16 +97,17 @@ func Fig19(o Options) ([]Fig19Energy, []Fig19Speedup) {
 	quantT := gopim.Target{Name: "Quantization", Workload: "TensorFlow",
 		Kernel: qgemm.QuantizeKernel(dim, dim, dim, 1), Phases: []string{"quantization"}, AccArea: 0.25}
 
+	targets := []gopim.Target{packT, quantT}
+	evaluated := par.Map(o.workers(), len(targets), func(i int) gopim.Result {
+		return ev.Evaluate(targets[i])
+	})
 	var energies []Fig19Energy
-	results := map[string]gopim.Result{}
-	for _, t := range []gopim.Target{packT, quantT} {
-		res := ev.Evaluate(t)
-		results[t.Name] = res
+	for i, res := range evaluated {
 		base := res.ByMode[gopim.CPUOnly].Energy.Total()
 		for _, mode := range gopim.Modes {
 			e := res.ByMode[mode]
 			energies = append(energies, Fig19Energy{
-				Kernel: t.Name, Mode: mode,
+				Kernel: targets[i].Name, Mode: mode,
 				Normalized: e.Energy.Total() / base,
 				Energy:     e.Energy,
 			})
@@ -117,12 +120,16 @@ func Fig19(o Options) ([]Fig19Energy, []Fig19Speedup) {
 	// is the network's per-Conv2D average.
 	net := nn.ResNetV2152()
 	convs := float64(net.Convs())
-	_, cpuPhases := nn.NetworkProfile(net, profile.SoC(), tfScale(o))
+	hws := []profile.Hardware{profile.SoC(), profile.PIMCore()}
+	netPhases := par.Map(o.workers(), len(hws), func(i int) map[string]profile.Profile {
+		_, phases := nn.NetworkProfile(net, hws[i], tfScale(o))
+		return phases
+	})
+	cpuPhases, pimPhases := netPhases[0], netPhases[1]
 	soc := timing.SoC()
 	tGEMM := soc.Seconds(cpuPhases[nn.PhaseGEMM]) / convs
 	cpuPackQuant := (soc.Seconds(cpuPhases[nn.PhasePacking]) + soc.Seconds(cpuPhases[nn.PhaseQuant])) / convs
 
-	_, pimPhases := nn.NetworkProfile(net, profile.PIMCore(), tfScale(o))
 	pimPQ := map[gopim.Mode]float64{
 		gopim.PIMCore: (timing.PIMCore(4).Seconds(pimPhases[nn.PhasePacking]) +
 			timing.PIMCore(4).Seconds(pimPhases[nn.PhaseQuant])) / convs,

@@ -4,6 +4,7 @@ import (
 	"gopim"
 	"gopim/internal/core"
 	"gopim/internal/energy"
+	"gopim/internal/par"
 	"gopim/internal/profile"
 	"gopim/internal/video"
 	"gopim/internal/vp9"
@@ -44,8 +45,8 @@ func Fig11(o Options) (Fig11Result, error) {
 	ev := core.NewEvaluator()
 	_, phases := profile.Run(profile.SoC(), vp9.DecodeKernel(clip))
 	res := Fig11Result{ByPhase: map[string]energy.Breakdown{}}
-	for name, p := range phases {
-		b := ev.CPUPhaseEnergy(p)
+	for _, name := range sortedPhaseNames(phases) {
+		b := ev.CPUPhaseEnergy(phases[name])
 		res.ByPhase[name] = b
 		res.Total = res.Total.Add(b)
 	}
@@ -78,7 +79,7 @@ type HWTrafficRow struct {
 	TotalMB    float64
 }
 
-func hwRows(p vp9.HWParams, model func(w, h int, c bool, p vp9.HWParams) []vp9.TrafficItem) []HWTrafficRow {
+func hwRows(workers int, p vp9.HWParams, model func(w, h int, c bool, p vp9.HWParams) []vp9.TrafficItem) []HWTrafficRow {
 	configs := []struct {
 		name string
 		w, h int
@@ -89,15 +90,14 @@ func hwRows(p vp9.HWParams, model func(w, h int, c bool, p vp9.HWParams) []vp9.T
 		{"4K", video.K4Width, video.K4Height, true},
 		{"4K", video.K4Width, video.K4Height, false},
 	}
-	var rows []HWTrafficRow
-	for _, c := range configs {
+	return par.Map(workers, len(configs), func(i int) HWTrafficRow {
+		c := configs[i]
 		items := model(c.w, c.h, c.comp, p)
-		rows = append(rows, HWTrafficRow{
+		return HWTrafficRow{
 			Resolution: c.name, Compressed: c.comp, Items: items,
 			TotalMB: vp9.TotalTraffic(items) / 1e6,
-		})
-	}
-	return rows
+		}
+	})
 }
 
 // Fig12 reproduces Figure 12: hardware decoder off-chip traffic.
@@ -106,7 +106,7 @@ func Fig12(o Options) ([]HWTrafficRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	return hwRows(vp9.MeasureHWParams(clip), vp9.HWDecodeTraffic), nil
+	return hwRows(o.workers(), vp9.MeasureHWParams(clip), vp9.HWDecodeTraffic), nil
 }
 
 // Fig16 reproduces Figure 16: hardware encoder off-chip traffic.
@@ -115,7 +115,7 @@ func Fig16(o Options) ([]HWTrafficRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	return hwRows(vp9.MeasureHWParams(clip), vp9.HWEncodeTraffic), nil
+	return hwRows(o.workers(), vp9.MeasureHWParams(clip), vp9.HWEncodeTraffic), nil
 }
 
 // Fig20Row is one bar pair of Figure 20: a software video kernel under one
@@ -146,13 +146,14 @@ func Fig20(o Options) ([]Fig20Row, error) {
 			targets = append(targets, t)
 		}
 	}
-	var rows []Fig20Row
-	for _, t := range targets {
+	perTarget := par.Map(o.workers(), len(targets), func(i int) []Fig20Row {
+		t := targets[i]
 		res := ev.Evaluate(t)
 		base := res.ByMode[gopim.CPUOnly]
+		var out []Fig20Row
 		for _, mode := range gopim.Modes {
 			e := res.ByMode[mode]
-			rows = append(rows, Fig20Row{
+			out = append(out, Fig20Row{
 				Kernel: t.Name, Mode: mode,
 				NormEnergy:    e.Energy.Total() / base.Energy.Total(),
 				NormRuntime:   e.Seconds / base.Seconds,
@@ -161,6 +162,11 @@ func Fig20(o Options) ([]Fig20Row, error) {
 				EnergySavings: res.EnergyReduction(mode),
 			})
 		}
+		return out
+	})
+	var rows []Fig20Row
+	for _, r := range perTarget {
+		rows = append(rows, r...)
 	}
 	return rows, nil
 }

@@ -104,13 +104,14 @@ func runScroll(ctx *profile.Ctx, page PageSpec, frames int) {
 		startRow := rng.Intn(maxInt(ViewportH/texture.TileH-tileRows, 1))
 		for ty := startRow; ty < startRow+tileRows; ty++ {
 			for txi := 0; txi < tx; txi++ {
+				srcOff := (ty*texture.TileH)*layer.Stride + txi*texture.TileRowB
+				dstOff := (ty*tx + txi) * texture.TileBytes
+				ctx.CopySpanV(layerBuf, srcOff, tileBuf, dstOff,
+					texture.TileRowB, texture.TileH, layer.Stride, texture.TileRowB)
+				ctx.Ops(4 * texture.TileH)
 				for row := 0; row < texture.TileH; row++ {
-					srcOff := (ty*texture.TileH+row)*layer.Stride + txi*texture.TileRowB
-					dstOff := (ty*tx+txi)*texture.TileBytes + row*texture.TileRowB
-					ctx.LoadV(layerBuf, srcOff, texture.TileRowB)
-					ctx.StoreV(tileBuf, dstOff, texture.TileRowB)
-					ctx.Ops(4)
-					copy(tileBuf.Data[dstOff:dstOff+texture.TileRowB], layerBuf.Data[srcOff:srcOff+texture.TileRowB])
+					s, d := srcOff+row*layer.Stride, dstOff+row*texture.TileRowB
+					copy(tileBuf.Data[d:d+texture.TileRowB], layerBuf.Data[s:s+texture.TileRowB])
 				}
 			}
 		}

@@ -11,6 +11,7 @@ package cache
 
 import (
 	"fmt"
+	"sort"
 
 	"gopim/internal/mem"
 )
@@ -50,7 +51,8 @@ func (s Stats) MPKI(instructions uint64) float64 {
 }
 
 // Cache is a single set-associative write-back, write-allocate cache with
-// LRU replacement. It is not safe for concurrent use.
+// LRU replacement. It is not safe for concurrent use; concurrent simulation
+// gives each unit of work its own cache instance (see internal/par).
 type Cache struct {
 	cfg      Config
 	sets     int
@@ -60,8 +62,17 @@ type Cache struct {
 	valid    []bool
 	dirty    []bool
 	lastUse  []uint64
-	tick     uint64
-	stats    Stats
+	// tick is the LRU clock. It increments once per access; on the (in
+	// practice unreachable) wrap to zero the lastUse values are compacted
+	// order-preservingly so LRU decisions survive 2^64 accesses.
+	tick uint64
+	// mru is the line index of the most recent hit or fill. Consecutive
+	// sub-line accesses to the same 64 B line — the common case in
+	// byte-wise kernels like blitting and LZO — short-circuit here and
+	// skip the set scan. Pure fast path: stats and LRU state advance
+	// exactly as a scan hit would.
+	mru   int
+	stats Stats
 }
 
 // New builds a cache from cfg. It panics on a malformed configuration, since
@@ -111,6 +122,7 @@ func (c *Cache) Reset() {
 		c.dirty[i] = false
 	}
 	c.tick = 0
+	c.mru = 0
 	c.stats = Stats{}
 }
 
@@ -119,15 +131,27 @@ func (c *Cache) Reset() {
 // address (wbAddr) with writeback=true.
 func (c *Cache) Access(addr uint64, write bool) (hit bool, writeback bool, wbAddr uint64) {
 	line := addr >> c.lineBits
-	set := int(line) & (c.sets - 1)
-	base := set * c.ways
-	c.tick++
+	c.bumpTick()
 	c.stats.Accesses++
 	if write {
 		c.stats.Writes++
 	} else {
 		c.stats.Reads++
 	}
+
+	// MRU filter: a repeat of the last-touched line needs no set scan.
+	// tags hold full line addresses, so a tag match implies a set match.
+	if m := c.mru; c.valid[m] && c.tags[m] == line {
+		c.lastUse[m] = c.tick
+		if write {
+			c.dirty[m] = true
+		}
+		c.stats.Hits++
+		return true, false, 0
+	}
+
+	set := int(line) & (c.sets - 1)
+	base := set * c.ways
 
 	// Hit path.
 	victim := base
@@ -137,6 +161,7 @@ func (c *Cache) Access(addr uint64, write bool) (hit bool, writeback bool, wbAdd
 			if write {
 				c.dirty[i] = true
 			}
+			c.mru = i
 			c.stats.Hits++
 			return true, false, 0
 		}
@@ -158,7 +183,40 @@ func (c *Cache) Access(addr uint64, write bool) (hit bool, writeback bool, wbAdd
 	c.valid[victim] = true
 	c.dirty[victim] = write
 	c.lastUse[victim] = c.tick
+	c.mru = victim
 	return false, writeback, wbAddr
+}
+
+// bumpTick advances the LRU clock, renormalizing recency state if the
+// uint64 wraps. Long parallel sweeps push far more accesses through one
+// cache instance than before, so the wrap is guarded rather than assumed
+// away: without it, a post-wrap tick of 0 would make freshly-used lines
+// look least-recently used and silently corrupt victim selection.
+func (c *Cache) bumpTick() {
+	c.tick++
+	if c.tick != 0 {
+		return
+	}
+	c.renormalizeLRU()
+}
+
+// renormalizeLRU compacts lastUse values to 1..n preserving their relative
+// order, and restarts the clock above them. Costs O(lines log lines) once
+// per 2^64 accesses.
+func (c *Cache) renormalizeLRU() {
+	order := make([]int, 0, len(c.lastUse))
+	for i := range c.lastUse {
+		if c.valid[i] {
+			order = append(order, i)
+		} else {
+			c.lastUse[i] = 0
+		}
+	}
+	sort.Slice(order, func(a, b int) bool { return c.lastUse[order[a]] < c.lastUse[order[b]] })
+	for rank, i := range order {
+		c.lastUse[i] = uint64(rank) + 1
+	}
+	c.tick = uint64(len(order)) + 1
 }
 
 // Contains reports whether the line holding addr is resident. It does not

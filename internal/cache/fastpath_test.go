@@ -1,0 +1,202 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"gopim/internal/dram"
+)
+
+// refCache is an independent set-associative LRU model used to check that
+// the MRU fast path and the tick-wrap renormalization never change
+// observable behaviour. It keeps each set as a recency-ordered list, so it
+// has no MRU shortcut and no finite clock to wrap.
+type refCache struct {
+	sets     int
+	ways     int
+	lineBits uint
+	lists    [][]refLine // per set, most-recent first
+}
+
+type refLine struct {
+	tag   uint64
+	dirty bool
+}
+
+func newRefCache(cfg Config) *refCache {
+	c := New(cfg) // reuse geometry validation
+	return &refCache{
+		sets:     c.sets,
+		ways:     c.ways,
+		lineBits: c.lineBits,
+		lists:    make([][]refLine, c.sets),
+	}
+}
+
+func (r *refCache) access(addr uint64, write bool) (hit, writeback bool, wbAddr uint64) {
+	line := addr >> r.lineBits
+	set := int(line) & (r.sets - 1)
+	list := r.lists[set]
+	for i, l := range list {
+		if l.tag == line {
+			l.dirty = l.dirty || write
+			r.lists[set] = append([]refLine{l}, append(append([]refLine{}, list[:i]...), list[i+1:]...)...)
+			return true, false, 0
+		}
+	}
+	if len(list) == r.ways {
+		victim := list[len(list)-1]
+		list = list[:len(list)-1]
+		if victim.dirty {
+			writeback = true
+			wbAddr = victim.tag << r.lineBits
+		}
+	}
+	r.lists[set] = append([]refLine{{tag: line, dirty: write}}, list...)
+	return false, writeback, wbAddr
+}
+
+// randomStream drives cache and reference with the same accesses and fails
+// on the first divergence in (hit, writeback, wbAddr) or final stats.
+func randomStream(t *testing.T, c *Cache, seed int64, accesses int) {
+	t.Helper()
+	ref := newRefCache(c.Config())
+	rng := rand.New(rand.NewSource(seed))
+	var hits, misses, wbs uint64
+	for i := 0; i < accesses; i++ {
+		var addr uint64
+		switch rng.Intn(4) {
+		case 0:
+			// Repeat-heavy: sub-line neighbours of the previous access
+			// exercise the MRU filter.
+			addr = uint64(rng.Intn(256))
+		case 1:
+			addr = uint64(rng.Intn(4)) * 512 // same-set conflicts
+		default:
+			addr = uint64(rng.Intn(1 << 14))
+		}
+		write := rng.Intn(3) == 0
+		hit, wb, wbAddr := c.Access(addr, write)
+		rHit, rWb, rWbAddr := ref.access(addr, write)
+		if hit != rHit || wb != rWb || wbAddr != rWbAddr {
+			t.Fatalf("access %d (addr %#x write %v): got (%v %v %#x), reference (%v %v %#x)",
+				i, addr, write, hit, wb, wbAddr, rHit, rWb, rWbAddr)
+		}
+		if hit {
+			hits++
+		} else {
+			misses++
+		}
+		if wb {
+			wbs++
+		}
+	}
+	s := c.Stats()
+	if s.Hits != hits || s.Misses != misses || s.Writebacks != wbs {
+		t.Fatalf("stats %+v disagree with observed %d hits / %d misses / %d writebacks",
+			s, hits, misses, wbs)
+	}
+}
+
+func TestAccessMatchesReferenceModel(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		randomStream(t, small(), seed, 20000)
+	}
+}
+
+func TestAccessMatchesReferenceAcrossTickWrap(t *testing.T) {
+	c := small()
+	// Park the clock just below the wrap so the stream crosses the
+	// renormalization mid-run.
+	c.tick = ^uint64(0) - 500
+	ref := newRefCache(c.Config())
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		addr := uint64(rng.Intn(1 << 13))
+		write := rng.Intn(3) == 0
+		hit, wb, wbAddr := c.Access(addr, write)
+		rHit, rWb, rWbAddr := ref.access(addr, write)
+		if hit != rHit || wb != rWb || wbAddr != rWbAddr {
+			t.Fatalf("access %d (addr %#x write %v) near tick wrap: got (%v %v %#x), reference (%v %v %#x)",
+				i, addr, write, hit, wb, wbAddr, rHit, rWb, rWbAddr)
+		}
+	}
+	if c.tick > 1<<32 {
+		t.Fatalf("tick %d did not wrap/renormalize", c.tick)
+	}
+}
+
+func TestTickWrapPreservesLRUOrder(t *testing.T) {
+	c := small()
+	// Three lines in set 0 of the 8-set cache (stride 512), two ways.
+	a, b, d, e := uint64(0), uint64(512), uint64(1024), uint64(1536)
+	c.Access(b, false)
+	c.tick = ^uint64(0) - 1
+	c.Access(a, false) // a now MRU at tick = max
+	c.Access(d, false) // clock wraps here; must still evict b, not a
+	if !c.Contains(a) {
+		t.Error("a evicted across tick wrap; it was MRU")
+	}
+	if c.Contains(b) {
+		t.Error("b survived; it was LRU at the wrap")
+	}
+	c.Access(e, false) // and recency must keep working after the wrap
+	if !c.Contains(d) {
+		t.Error("d evicted; a was older")
+	}
+	if c.Contains(a) {
+		t.Error("a survived second eviction; it was LRU after the wrap")
+	}
+}
+
+// twoHierarchies builds identical two-level hierarchies with row-meter
+// sinks for equivalence tests.
+func twoHierarchies() (*Hierarchy, *dram.RowMeter, *Hierarchy, *dram.RowMeter) {
+	mk := func() (*Hierarchy, *dram.RowMeter) {
+		meter := dram.NewRowMeter()
+		l1 := New(Config{Name: "L1", Size: 1 << 10, Ways: 2})
+		l2 := New(Config{Name: "L2", Size: 4 << 10, Ways: 4})
+		return NewHierarchy(l1, l2, meter), meter
+	}
+	ha, ma := mk()
+	hb, mb := mk()
+	return ha, ma, hb, mb
+}
+
+func TestSpanMatchesPerRowLoop(t *testing.T) {
+	ha, ma, hb, mb := twoHierarchies()
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		addr := uint64(rng.Intn(1 << 15))
+		rowBytes := 1 + rng.Intn(300)
+		rows := 1 + rng.Intn(40)
+		stride := uint64(rng.Intn(512))
+		write := rng.Intn(2) == 0
+
+		if write {
+			ha.StoreSpan(addr, rowBytes, rows, stride)
+		} else {
+			ha.LoadSpan(addr, rowBytes, rows, stride)
+		}
+		a := addr
+		for r := 0; r < rows; r++ {
+			if write {
+				hb.Store(a, rowBytes)
+			} else {
+				hb.Load(a, rowBytes)
+			}
+			a += stride
+		}
+
+		if ha.L1.Stats() != hb.L1.Stats() {
+			t.Fatalf("iter %d: L1 stats diverge: span %+v, loop %+v", i, ha.L1.Stats(), hb.L1.Stats())
+		}
+		if ha.L2.Stats() != hb.L2.Stats() {
+			t.Fatalf("iter %d: L2 stats diverge: span %+v, loop %+v", i, ha.L2.Stats(), hb.L2.Stats())
+		}
+		if ma.Traffic() != mb.Traffic() || ma.RowStats() != mb.RowStats() {
+			t.Fatalf("iter %d: DRAM stats diverge: span %+v/%+v, loop %+v/%+v",
+				i, ma.Traffic(), ma.RowStats(), mb.Traffic(), mb.RowStats())
+		}
+	}
+}

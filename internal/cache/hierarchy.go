@@ -1,6 +1,9 @@
 package cache
 
-import "gopim/internal/mem"
+import (
+	"gopim/internal/dram"
+	"gopim/internal/mem"
+)
 
 // MemorySink receives line-granularity traffic that misses the whole cache
 // hierarchy (demand fills and writebacks). Implementations are DRAM models.
@@ -23,6 +26,11 @@ type Hierarchy struct {
 	L2  *Cache
 	Mem MemorySink
 
+	// rowMeter holds Mem's concrete type when it is the standard
+	// *dram.RowMeter, so the per-line access path calls it directly
+	// instead of through interface dispatch. Behaviour is identical.
+	rowMeter *dram.RowMeter
+
 	lineSize uint64
 }
 
@@ -31,7 +39,9 @@ func NewHierarchy(l1, l2 *Cache, sink MemorySink) *Hierarchy {
 	if l1 == nil || sink == nil {
 		panic("cache: hierarchy needs an L1 and a memory sink")
 	}
-	return &Hierarchy{L1: l1, L2: l2, Mem: sink, lineSize: uint64(l1.cfg.LineSize)}
+	h := &Hierarchy{L1: l1, L2: l2, Mem: sink, lineSize: uint64(l1.cfg.LineSize)}
+	h.rowMeter, _ = sink.(*dram.RowMeter)
+	return h
 }
 
 // Load implements mem.Tracer.
@@ -39,6 +49,30 @@ func (h *Hierarchy) Load(addr uint64, n int) { h.span(addr, n, false) }
 
 // Store implements mem.Tracer.
 func (h *Hierarchy) Store(addr uint64, n int) { h.span(addr, n, true) }
+
+// LoadSpan records `rows` reads of rowBytes each: the first at addr, each
+// subsequent one stride bytes later. It is exactly equivalent to the loop
+//
+//	for r := 0; r < rows; r++ { h.Load(addr + r*stride, rowBytes) }
+//
+// — same line events in the same order, so all modeled statistics are
+// bit-identical — but costs one call for a whole rectangle (a bitmap rect,
+// a texture tile, a packed panel), which matters in kernels that would
+// otherwise issue one call per row or per element.
+func (h *Hierarchy) LoadSpan(addr uint64, rowBytes, rows int, stride uint64) {
+	for r := 0; r < rows; r++ {
+		h.span(addr, rowBytes, false)
+		addr += stride
+	}
+}
+
+// StoreSpan is LoadSpan for writes.
+func (h *Hierarchy) StoreSpan(addr uint64, rowBytes, rows int, stride uint64) {
+	for r := 0; r < rows; r++ {
+		h.span(addr, rowBytes, true)
+		addr += stride
+	}
+}
 
 func (h *Hierarchy) span(addr uint64, n int, write bool) {
 	if n <= 0 {
@@ -61,26 +95,42 @@ func (h *Hierarchy) access(line uint64, write bool) {
 		if h.L2 != nil {
 			_, wb2, wb2Addr := h.L2.Access(wbAddr, true)
 			if wb2 {
-				h.Mem.WriteLine(wb2Addr)
+				h.writeLine(wb2Addr)
 			}
 		} else {
-			h.Mem.WriteLine(wbAddr)
+			h.writeLine(wbAddr)
 		}
 	}
 	if hit {
 		return
 	}
 	if h.L2 == nil {
-		h.Mem.ReadLine(line)
+		h.readLine(line)
 		return
 	}
 	hit2, wb2, wb2Addr := h.L2.Access(line, false)
 	if wb2 {
-		h.Mem.WriteLine(wb2Addr)
+		h.writeLine(wb2Addr)
 	}
 	if !hit2 {
-		h.Mem.ReadLine(line)
+		h.readLine(line)
 	}
+}
+
+func (h *Hierarchy) readLine(addr uint64) {
+	if h.rowMeter != nil {
+		h.rowMeter.ReadLine(addr)
+		return
+	}
+	h.Mem.ReadLine(addr)
+}
+
+func (h *Hierarchy) writeLine(addr uint64) {
+	if h.rowMeter != nil {
+		h.rowMeter.WriteLine(addr)
+		return
+	}
+	h.Mem.WriteLine(addr)
 }
 
 // Reset clears both cache levels. The memory sink is left untouched.

@@ -134,9 +134,7 @@ func TraceFill(ctx *profile.Ctx, dstBuf *mem.Buffer, dst *gfx.Bitmap, r gfx.Rect
 	}
 	Fill(dst, r, c)
 	rowB := r.Dx() * gfx.BytesPerPixel
-	for row := r.MinY; row < r.MaxY; row++ {
-		ctx.StoreV(dstBuf, row*dst.Stride+r.MinX*gfx.BytesPerPixel, rowB)
-	}
+	ctx.StoreSpanV(dstBuf, r.MinY*dst.Stride+r.MinX*gfx.BytesPerPixel, rowB, r.Dy(), dst.Stride)
 	ctx.SIMD(r.Dx() * r.Dy() / 4)
 }
 
@@ -148,11 +146,8 @@ func TraceCopy(ctx *profile.Ctx, dstBuf *mem.Buffer, dst *gfx.Bitmap, srcBuf *me
 	}
 	CopyRect(dst, r.MinX, r.MinY, src, r.MinX, r.MinY, r.Dx(), r.Dy())
 	rowB := r.Dx() * gfx.BytesPerPixel
-	for row := r.MinY; row < r.MaxY; row++ {
-		off := row*dst.Stride + r.MinX*gfx.BytesPerPixel
-		ctx.LoadV(srcBuf, off, rowB)
-		ctx.StoreV(dstBuf, off, rowB)
-	}
+	off := r.MinY*dst.Stride + r.MinX*gfx.BytesPerPixel
+	ctx.CopySpanV(srcBuf, off, dstBuf, off, rowB, r.Dy(), dst.Stride, dst.Stride)
 	ctx.SIMD(r.Dx() * r.Dy() / 8)
 }
 
@@ -165,11 +160,7 @@ func TraceBlend(ctx *profile.Ctx, dstBuf *mem.Buffer, dst *gfx.Bitmap, srcBuf *m
 	}
 	BlendSrcOver(dst, r.MinX, r.MinY, src, r.MinX, r.MinY, r.Dx(), r.Dy())
 	rowB := r.Dx() * gfx.BytesPerPixel
-	for row := r.MinY; row < r.MaxY; row++ {
-		off := row*dst.Stride + r.MinX*gfx.BytesPerPixel
-		ctx.LoadV(srcBuf, off, rowB)
-		ctx.LoadV(dstBuf, off, rowB)
-		ctx.StoreV(dstBuf, off, rowB)
-	}
+	off := r.MinY*dst.Stride + r.MinX*gfx.BytesPerPixel
+	ctx.BlendSpanV(srcBuf, off, dstBuf, off, rowB, r.Dy(), dst.Stride, dst.Stride)
 	ctx.SIMD(r.Dx() * r.Dy() * 5 / 2) // unpack, multiply, add, shift, repack
 }

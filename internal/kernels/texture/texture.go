@@ -123,21 +123,33 @@ func runOnce(ctx *profile.Ctx, w, h int, seed uint32) {
 	// movement belongs to the rasterizer, so it is a separate phase here.
 	ctx.SetPhase("rasterize")
 	src.FillPattern(seed)
-	for y := 0; y < h; y++ {
-		ctx.StoreV(linear, src.RowOffset(y), w*gfx.BytesPerPixel)
-	}
+	ctx.StoreSpanV(linear, src.RowOffset(0), w*gfx.BytesPerPixel, h, src.Stride)
 	ctx.SIMD(w * h / 4) // pattern generation, 4 px per vector op
 
 	// The tiling pass itself: read each 128-byte row segment of a tile from
 	// the linear bitmap (strided) and write it into the tile (sequential).
+	// One span call per tile covers all its row segments.
 	ctx.SetPhase("texture tiling")
-	tx, _ := TilesFor(w, h)
-	forEachTileRow(w, h, func(tileX, tileY, row, srcOff, n int) {
-		tileIdx := tileY*tx + tileX
-		dstOff := tileIdx*TileBytes + row*TileRowB
-		ctx.LoadV(linear, srcOff, n)
-		ctx.StoreV(tiled, dstOff, n)
-		ctx.Ops(4) // tile address computation: shifts, masks, adds
-		copy(tiled.Data[dstOff:dstOff+n], linear.Data[srcOff:srcOff+n])
-	})
+	tx, ty := TilesFor(w, h)
+	stride := w * gfx.BytesPerPixel
+	for tileY := 0; tileY < ty; tileY++ {
+		rows := TileH
+		if tileY*TileH+rows > h {
+			rows = h - tileY*TileH
+		}
+		for tileX := 0; tileX < tx; tileX++ {
+			n := TileRowB
+			if tileX*TileW+TileW > w {
+				n = (w - tileX*TileW) * gfx.BytesPerPixel
+			}
+			srcOff := (tileY*TileH)*stride + tileX*TileRowB
+			dstOff := (tileY*tx + tileX) * TileBytes
+			ctx.CopySpanV(linear, srcOff, tiled, dstOff, n, rows, stride, TileRowB)
+			ctx.Ops(4 * rows) // tile address computation: shifts, masks, adds
+			for row := 0; row < rows; row++ {
+				s, d := srcOff+row*stride, dstOff+row*TileRowB
+				copy(tiled.Data[d:d+n], linear.Data[s:s+n])
+			}
+		}
+	}
 }

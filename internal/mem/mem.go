@@ -29,6 +29,21 @@ type Tracer interface {
 	Store(addr uint64, n int)
 }
 
+// SpanTracer extends Tracer with strided-rectangle entry points: one call
+// covering `rows` spans of rowBytes each, stride bytes apart. The contract
+// is strict equivalence — LoadSpan(addr, rowBytes, rows, stride) must
+// record exactly the events of rows successive Load calls, in the same
+// order — so implementations may use it purely as a batching fast lane
+// (fewer dispatches, hoisted per-call work) without changing any modeled
+// statistic. cache.Hierarchy implements it.
+type SpanTracer interface {
+	Tracer
+	// LoadSpan records rows reads of rowBytes each, stride bytes apart.
+	LoadSpan(addr uint64, rowBytes, rows int, stride uint64)
+	// StoreSpan records rows writes of rowBytes each, stride bytes apart.
+	StoreSpan(addr uint64, rowBytes, rows int, stride uint64)
+}
+
 // NopTracer discards all accesses. It is useful for running a kernel purely
 // for its functional result.
 type NopTracer struct{}
@@ -38,6 +53,12 @@ func (NopTracer) Load(addr uint64, n int) {}
 
 // Store implements Tracer.
 func (NopTracer) Store(addr uint64, n int) {}
+
+// LoadSpan implements SpanTracer.
+func (NopTracer) LoadSpan(addr uint64, rowBytes, rows int, stride uint64) {}
+
+// StoreSpan implements SpanTracer.
+func (NopTracer) StoreSpan(addr uint64, rowBytes, rows int, stride uint64) {}
 
 // Space is a simulated physical address space. The zero value is not usable;
 // call NewSpace. Space is not safe for concurrent use.

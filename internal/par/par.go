@@ -1,0 +1,87 @@
+// Package par provides the bounded worker pool used to parallelize the
+// experiment pipeline. All fan-out in this codebase follows one rule: each
+// unit of work owns its model state (mem.Space, cache.Hierarchy, energy
+// accumulators) and writes only to its own index of a result slice, so a
+// parallel run computes bit-identical results to a serial one.
+//
+// Workers(0) resolves to GOMAXPROCS, and ForEach/Map with workers <= 1 run
+// inline in index order — that degenerate case IS the serial reference
+// path, not an approximation of it.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count override: values > 0 are used as given,
+// anything else (0 or negative) means GOMAXPROCS.
+func Workers(override int) int {
+	if override > 0 {
+		return override
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach runs fn(i) for every i in [0, n) using at most workers
+// goroutines. Indices are handed out through a shared counter, so uneven
+// work items balance across workers. With workers <= 1 (or n == 1) it runs
+// inline, in index order, on the calling goroutine.
+//
+// A panic in fn propagates to the caller after all workers have stopped,
+// matching the behaviour of the same panic in a serial loop.
+func ForEach(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicOne sync.Once
+		panicked any
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOne.Do(func() { panicked = r })
+					// Drain remaining indices so sibling workers exit
+					// promptly instead of starting doomed work.
+					next.Store(int64(n))
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}
+
+// Map runs fn(i) for every i in [0, n) on a bounded pool and collects the
+// results into an index-addressed slice: out[i] is always fn(i), whatever
+// order the pool ran them in.
+func Map[T any](workers, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	ForEach(workers, n, func(i int) { out[i] = fn(i) })
+	return out
+}

@@ -358,3 +358,87 @@ func (c *Ctx) StoreV(b *mem.Buffer, off, n int) {
 	c.refs += (uint64(n) + c.vectorRef - 1) / c.vectorRef
 	c.hier.Store(b.Addr(off), n)
 }
+
+// Span-coalescing entry points. Each batches a whole strided rectangle —
+// `rows` spans of rowBytes each, stride bytes apart — into one call, and is
+// defined as exactly equivalent to the corresponding per-row loop: same
+// instruction counting, same cache-line events in the same order. They
+// exist purely to cut per-call overhead in row-structured kernels (blit
+// rectangles, texture tiles, packed GEMM panels, MC reference windows).
+
+// LoadSpan records rows scalar-width reads of rowBytes each, stride bytes
+// apart — equivalent to rows Load calls.
+func (c *Ctx) LoadSpan(b *mem.Buffer, off, rowBytes, rows, stride int) {
+	if rowBytes <= 0 || rows <= 0 {
+		return
+	}
+	c.refs += uint64(rows) * ((uint64(rowBytes) + c.scalarRef - 1) / c.scalarRef)
+	c.hier.LoadSpan(b.Addr(off), rowBytes, rows, uint64(stride))
+}
+
+// StoreSpan records rows scalar-width writes of rowBytes each, stride
+// bytes apart — equivalent to rows Store calls.
+func (c *Ctx) StoreSpan(b *mem.Buffer, off, rowBytes, rows, stride int) {
+	if rowBytes <= 0 || rows <= 0 {
+		return
+	}
+	c.refs += uint64(rows) * ((uint64(rowBytes) + c.scalarRef - 1) / c.scalarRef)
+	c.hier.StoreSpan(b.Addr(off), rowBytes, rows, uint64(stride))
+}
+
+// LoadSpanV records rows vector-width reads of rowBytes each, stride bytes
+// apart — equivalent to rows LoadV calls.
+func (c *Ctx) LoadSpanV(b *mem.Buffer, off, rowBytes, rows, stride int) {
+	if rowBytes <= 0 || rows <= 0 {
+		return
+	}
+	c.refs += uint64(rows) * ((uint64(rowBytes) + c.vectorRef - 1) / c.vectorRef)
+	c.hier.LoadSpan(b.Addr(off), rowBytes, rows, uint64(stride))
+}
+
+// StoreSpanV records rows vector-width writes of rowBytes each, stride
+// bytes apart — equivalent to rows StoreV calls.
+func (c *Ctx) StoreSpanV(b *mem.Buffer, off, rowBytes, rows, stride int) {
+	if rowBytes <= 0 || rows <= 0 {
+		return
+	}
+	c.refs += uint64(rows) * ((uint64(rowBytes) + c.vectorRef - 1) / c.vectorRef)
+	c.hier.StoreSpan(b.Addr(off), rowBytes, rows, uint64(stride))
+}
+
+// CopySpanV records a rectangle copy: per row, a vector-width read of
+// rowBytes at src/srcOff and a vector-width write at dst/dstOff, the
+// offsets advancing by their strides. The read/write interleaving per row
+// is preserved (it determines eviction order), so the call is equivalent
+// to the per-row LoadV+StoreV loop it replaces.
+func (c *Ctx) CopySpanV(src *mem.Buffer, srcOff int, dst *mem.Buffer, dstOff int, rowBytes, rows, srcStride, dstStride int) {
+	if rowBytes <= 0 || rows <= 0 {
+		return
+	}
+	c.refs += uint64(rows) * 2 * ((uint64(rowBytes) + c.vectorRef - 1) / c.vectorRef)
+	sa, da := src.Addr(srcOff), dst.Addr(dstOff)
+	for r := 0; r < rows; r++ {
+		c.hier.Load(sa, rowBytes)
+		c.hier.Store(da, rowBytes)
+		sa += uint64(srcStride)
+		da += uint64(dstStride)
+	}
+}
+
+// BlendSpanV records a read-modify-write rectangle: per row, vector-width
+// reads of the src and dst rows followed by a write of the dst row — the
+// access pattern of source-over alpha blending.
+func (c *Ctx) BlendSpanV(src *mem.Buffer, srcOff int, dst *mem.Buffer, dstOff int, rowBytes, rows, srcStride, dstStride int) {
+	if rowBytes <= 0 || rows <= 0 {
+		return
+	}
+	c.refs += uint64(rows) * 3 * ((uint64(rowBytes) + c.vectorRef - 1) / c.vectorRef)
+	sa, da := src.Addr(srcOff), dst.Addr(dstOff)
+	for r := 0; r < rows; r++ {
+		c.hier.Load(sa, rowBytes)
+		c.hier.Load(da, rowBytes)
+		c.hier.Store(da, rowBytes)
+		sa += uint64(srcStride)
+		da += uint64(dstStride)
+	}
+}

@@ -1,0 +1,86 @@
+package profile
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestCtxSpanMethodsMatchPerRowLoops checks the contract the span entry
+// points document: each one is exactly equivalent — same ref counting, same
+// cache/DRAM events in the same order — to the per-row loop it replaces.
+func TestCtxSpanMethodsMatchPerRowLoops(t *testing.T) {
+	for _, hw := range []Hardware{SoC(), PIMCore(), PIMAcc()} {
+		span := NewCtx(hw)
+		loop := NewCtx(hw)
+		const size = 1 << 16
+		sa, sb := span.Alloc("a", size), span.Alloc("b", size)
+		la, lb := loop.Alloc("a", size), loop.Alloc("b", size)
+
+		rng := rand.New(rand.NewSource(5))
+		for i := 0; i < 300; i++ {
+			rowBytes := 1 + rng.Intn(256)
+			rows := 1 + rng.Intn(8)
+			stride := rowBytes + rng.Intn(512)
+			off := rng.Intn(size - (rows-1)*stride - rowBytes)
+			off2 := rng.Intn(size - (rows-1)*stride - rowBytes)
+
+			switch rng.Intn(6) {
+			case 0:
+				span.LoadSpan(sa, off, rowBytes, rows, stride)
+				for r := 0; r < rows; r++ {
+					loop.Load(la, off+r*stride, rowBytes)
+				}
+			case 1:
+				span.StoreSpan(sa, off, rowBytes, rows, stride)
+				for r := 0; r < rows; r++ {
+					loop.Store(la, off+r*stride, rowBytes)
+				}
+			case 2:
+				span.LoadSpanV(sa, off, rowBytes, rows, stride)
+				for r := 0; r < rows; r++ {
+					loop.LoadV(la, off+r*stride, rowBytes)
+				}
+			case 3:
+				span.StoreSpanV(sb, off, rowBytes, rows, stride)
+				for r := 0; r < rows; r++ {
+					loop.StoreV(lb, off+r*stride, rowBytes)
+				}
+			case 4:
+				span.CopySpanV(sa, off, sb, off2, rowBytes, rows, stride, stride)
+				for r := 0; r < rows; r++ {
+					loop.LoadV(la, off+r*stride, rowBytes)
+					loop.StoreV(lb, off2+r*stride, rowBytes)
+				}
+			case 5:
+				span.BlendSpanV(sa, off, sb, off2, rowBytes, rows, stride, stride)
+				for r := 0; r < rows; r++ {
+					loop.LoadV(la, off+r*stride, rowBytes)
+					loop.LoadV(lb, off2+r*stride, rowBytes)
+					loop.StoreV(lb, off2+r*stride, rowBytes)
+				}
+			}
+		}
+
+		spanTotal, _ := span.Finish()
+		loopTotal, _ := loop.Finish()
+		if spanTotal != loopTotal {
+			t.Errorf("%s: span profile %+v != per-row profile %+v", hw.Name, spanTotal, loopTotal)
+		}
+	}
+}
+
+// TestSpanZeroAndNegativeSizesAreNoOps mirrors the guards in the scalar
+// entry points.
+func TestSpanZeroAndNegativeSizesAreNoOps(t *testing.T) {
+	ctx := NewCtx(SoC())
+	b := ctx.Alloc("b", 4096)
+	ctx.LoadSpan(b, 0, 0, 4, 64)
+	ctx.StoreSpan(b, 0, 16, 0, 64)
+	ctx.LoadSpanV(b, 0, -1, 4, 64)
+	ctx.CopySpanV(b, 0, b, 2048, 16, -2, 64, 64)
+	ctx.BlendSpanV(b, 0, b, 2048, 0, 3, 64, 64)
+	total, _ := ctx.Finish()
+	if total != (Profile{}) {
+		t.Errorf("degenerate spans produced activity: %+v", total)
+	}
+}

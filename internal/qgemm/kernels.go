@@ -44,11 +44,11 @@ func packOnce(ctx *profile.Ctx, m, k, n int, seed int64) {
 	PackLHSInto(lhsPacked.Data, lhs)
 	lhsPanels := (m + MR - 1) / MR
 	for panel := 0; panel < lhsPanels; panel++ {
-		for r := 0; r < MR; r++ {
-			if panel*MR+r < m {
-				ctx.LoadV(lhsBuf, (panel*MR+r)*k, k)
-			}
+		rows := MR
+		if panel*MR+rows > m {
+			rows = m - panel*MR
 		}
+		ctx.LoadSpanV(lhsBuf, panel*MR*k, k, rows, k)
 		ctx.StoreV(lhsPacked, panel*k*MR, k*MR)
 		ctx.Ops(k) // interleaving index arithmetic
 	}
@@ -143,9 +143,7 @@ func TraceRHSPack(ctx *profile.Ctx, rhsBuf, rhsPacked *mem.Buffer, k, n int) {
 			k1 = k
 		}
 		for panel := 0; panel < rhsPanels; panel++ {
-			for kk := k0; kk < k1; kk++ {
-				ctx.Load(rhsBuf, kk*n+panel*NR, NR)
-			}
+			ctx.LoadSpan(rhsBuf, k0*n+panel*NR, NR, k1-k0, n)
 			ctx.StoreV(rhsPacked, panel*k*NR+k0*NR, (k1-k0)*NR)
 			ctx.Ops(k1 - k0)
 		}

@@ -95,14 +95,20 @@ func traceSubPelBlock(ctx *profile.Ctx, ref frameBuffers, pred *mem.Buffer, bx, 
 	intY, _ := floorDiv(mv.Y, MVPrecision)
 	w := bs + mcApron
 	h := bs + mcApron
-	for r := 0; r < h; r++ {
-		y := clampInt(by+intY+r-mcApron/2, 0, ref.h-1)
-		x := clampInt(bx+intX-mcApron/2, 0, ref.w-1)
-		n := w
-		if x+n > ref.w {
-			n = ref.w - x
+	x := clampInt(bx+intX-mcApron/2, 0, ref.w-1)
+	n := w
+	if x+n > ref.w {
+		n = ref.w - x
+	}
+	if y0 := by + intY - mcApron/2; y0 >= 0 && y0+h <= ref.h {
+		// Interior block: rows are uniform, one span covers the window.
+		ctx.LoadSpanV(ref.y, y0*ref.w+x, n, h, ref.w)
+	} else {
+		// Frame edge: vertical clamping repeats boundary rows.
+		for r := 0; r < h; r++ {
+			y := clampInt(by+intY+r-mcApron/2, 0, ref.h-1)
+			ctx.LoadV(ref.y, y*ref.w+x, n)
 		}
-		ctx.LoadV(ref.y, y*ref.w+x, n)
 	}
 	// Horizontal + vertical 8-tap passes.
 	ctx.SIMD(bs*h*8/4 + bs*bs*8/4)
@@ -118,14 +124,18 @@ func traceFullPelMB(ctx *profile.Ctx, ref frameBuffers, pred *mem.Buffer, bx, by
 func traceFullPelBlock(ctx *profile.Ctx, ref frameBuffers, pred *mem.Buffer, bx, by int, mv MV, bs int) {
 	intX, _ := floorDiv(mv.X, MVPrecision)
 	intY, _ := floorDiv(mv.Y, MVPrecision)
-	for r := 0; r < bs; r++ {
-		y := clampInt(by+intY+r, 0, ref.h-1)
-		x := clampInt(bx+intX, 0, ref.w-1)
-		n := bs
-		if x+n > ref.w {
-			n = ref.w - x
+	x := clampInt(bx+intX, 0, ref.w-1)
+	n := bs
+	if x+n > ref.w {
+		n = ref.w - x
+	}
+	if y0 := by + intY; y0 >= 0 && y0+bs <= ref.h {
+		ctx.LoadSpanV(ref.y, y0*ref.w+x, n, bs, ref.w)
+	} else {
+		for r := 0; r < bs; r++ {
+			y := clampInt(by+intY+r, 0, ref.h-1)
+			ctx.LoadV(ref.y, y*ref.w+x, n)
 		}
-		ctx.LoadV(ref.y, y*ref.w+x, n)
 	}
 	ctx.StoreV(pred, 0, bs*bs)
 	ctx.Ops(bs)
@@ -275,9 +285,7 @@ func MEKernel(clip *CodedClip) profile.Kernel {
 					for mbx := 0; mbx < mbCols; mbx++ {
 						bx, by := mbx*MBSize, mby*MBSize
 						// Current block is read once and stays resident.
-						for r := 0; r < MBSize; r++ {
-							ctx.LoadV(cur.y, (by+r)*cur.w+bx, MBSize)
-						}
+						ctx.LoadSpanV(cur.y, by*cur.w+bx, MBSize, MBSize, cur.w)
 						for ri := 0; ri < 3; ri++ {
 							before := st.SADs
 							whole, _ := DiamondSearch(clip.Frames[n], realRefs[ri], bx, by, [2]int{0, 0}, clip.Cfg.SearchRange, &st)
@@ -289,9 +297,7 @@ func MEKernel(clip *CodedClip) profile.Kernel {
 								dy := int(s%5) - 2
 								y := clampInt(by+whole[1]+dy*3, 0, refs[ri].h-MBSize)
 								x := clampInt(bx+whole[0]+int(s%3)-1, 0, refs[ri].w-MBSize)
-								for r := 0; r < MBSize; r += 4 {
-									ctx.LoadV(refs[ri].y, (y+r)*refs[ri].w+x, MBSize)
-								}
+								ctx.LoadSpanV(refs[ri].y, y*refs[ri].w+x, MBSize, MBSize/4, 4*refs[ri].w)
 								ctx.SIMD(MBSize * MBSize / 4 / 4) // SAD rows sampled
 							}
 							ctx.SIMD(int(sads) * MBSize * MBSize / 4)

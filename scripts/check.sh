@@ -1,0 +1,11 @@
+#!/bin/sh
+# Full verification gate: vet, build, and the complete test suite under the
+# race detector. The determinism tests in experiments/ run three full
+# experiment sweeps, so give the suite a generous timeout.
+set -eux
+
+cd "$(dirname "$0")/.."
+
+go vet ./...
+go build ./...
+go test -race -timeout 45m ./...
