@@ -24,11 +24,13 @@ import (
 
 	"gopim"
 	"gopim/experiments"
+	"gopim/internal/trace"
 )
 
 func main() {
 	scaleFlag := flag.String("scale", "quick", "input scale: quick or standard")
 	workersFlag := flag.Int("workers", 0, "max concurrent workers (0 = GOMAXPROCS, 1 = serial)")
+	traceFlag := flag.String("tracecache", "on", "kernel trace cache: on (capture once, replay per config) or off (direct execution)")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -43,6 +45,15 @@ func main() {
 		os.Exit(2)
 	}
 	opts := experiments.Options{Scale: scale, Workers: *workersFlag}
+	switch *traceFlag {
+	case "on":
+		opts.Traces = trace.NewCache()
+	case "off":
+		// Direct execution: the reference path, byte-identical by design.
+	default:
+		fmt.Fprintf(os.Stderr, "pimsim: unknown tracecache mode %q (want on or off)\n", *traceFlag)
+		os.Exit(2)
+	}
 
 	names := flag.Args()
 	parallel := false

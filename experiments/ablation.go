@@ -25,7 +25,7 @@ func ablationProfiles(o Options) (cpu, pim profile.Profile, t gopim.Target) {
 	// The two hardware flavors profile independently.
 	hws := []profile.Hardware{profile.SoC(), profile.PIMCore()}
 	sel := par.Map(o.workers(), len(hws), func(i int) profile.Profile {
-		_, phases := profile.Run(hws[i], t.Kernel)
+		_, phases := o.run(hws[i], t.Kernel)
 		var s profile.Profile
 		for _, name := range t.Phases {
 			s = s.Add(phases[name])

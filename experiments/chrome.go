@@ -3,7 +3,6 @@ package experiments
 import (
 	"gopim"
 	"gopim/internal/browser"
-	"gopim/internal/core"
 	"gopim/internal/energy"
 	"gopim/internal/par"
 	"gopim/internal/profile"
@@ -25,12 +24,12 @@ func Fig1(o Options) []Fig1Row {
 	if o.Scale == gopim.Standard {
 		frames = 12
 	}
-	ev := core.NewEvaluator()
+	ev := o.evaluator()
 	pages := browser.ScrollPages()
 	// Each page's kernel owns its address space and hierarchy, so pages
 	// profile concurrently; the average is reduced serially in page order.
 	rows := par.Map(o.workers(), len(pages), func(i int) Fig1Row {
-		_, phases := profile.Run(profile.SoC(), browser.ScrollKernel(pages[i], frames))
+		_, phases := o.run(profile.SoC(), browser.ScrollKernel(pages[i], frames))
 		fr := fractionsOf(ev, phases, []string{browser.PhaseTiling, browser.PhaseBlitting}, "Other")
 		return Fig1Row{Page: pages[i].Name, TextureTiling: fr[0].Fraction, ColorBlitting: fr[1].Fraction, Other: fr[2].Fraction}
 	})
@@ -68,8 +67,8 @@ func Fig2(o Options) Fig2Result {
 	if o.Scale == gopim.Standard {
 		frames = 12
 	}
-	ev := core.NewEvaluator()
-	total, phases := profile.Run(profile.SoC(), browser.ScrollKernel(browser.GoogleDocs(), frames))
+	ev := o.evaluator()
+	total, phases := o.run(profile.SoC(), browser.ScrollKernel(browser.GoogleDocs(), frames))
 
 	res := Fig2Result{ByPhase: map[string]energy.Breakdown{}}
 	for _, name := range sortedPhaseNames(phases) {

@@ -17,6 +17,7 @@ import (
 	"gopim/internal/par"
 	"gopim/internal/profile"
 	"gopim/internal/timing"
+	"gopim/internal/trace"
 )
 
 // Options parameterizes all experiment runners.
@@ -27,10 +28,29 @@ type Options struct {
 	// GOMAXPROCS; 1 forces the serial reference path. Results are
 	// bit-identical at any worker count.
 	Workers int
+	// Traces, when non-nil, is the capture-once/replay-many kernel trace
+	// cache shared by every runner in a sweep: each keyed kernel executes
+	// once per process and all further (kernel, hardware) profiles replay
+	// its trace, bit-identical to direct execution. Nil profiles every
+	// kernel directly (the reference path).
+	Traces *trace.Cache
 }
 
 // workers resolves the effective worker count.
 func (o Options) workers() int { return par.Workers(o.Workers) }
+
+// run profiles a kernel through the shared trace cache; with no cache
+// attached it is exactly profile.Run.
+func (o Options) run(hw profile.Hardware, k profile.Kernel) (profile.Profile, map[string]profile.Profile) {
+	return o.Traces.Profile(hw, k)
+}
+
+// evaluator returns a default evaluator wired to the shared trace cache.
+func (o Options) evaluator() *core.Evaluator {
+	ev := core.NewEvaluator()
+	ev.Traces = o.Traces
+	return ev
+}
 
 // PhaseFraction is one slice of a stacked-bar figure.
 type PhaseFraction struct {

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"gopim/internal/browser"
-	"gopim/internal/core"
 	"gopim/internal/par"
 	"gopim/internal/profile"
 	"gopim/internal/timing"
@@ -28,12 +27,12 @@ type PageLoadRow struct {
 // observation that GPU rasterization slows text-heavy page loads — the
 // reason PIM-assisted texture tiling beats moving rasterization to the GPU.
 func PageLoad(o Options) []PageLoadRow {
-	ev := core.NewEvaluator()
+	ev := o.evaluator()
 	soc := timing.SoC()
 	pages := browser.ScrollPages()
 	return par.Map(o.workers(), len(pages), func(i int) PageLoadRow {
 		page := pages[i]
-		_, phases := profile.Run(profile.SoC(), browser.LoadKernel(page))
+		_, phases := o.run(profile.SoC(), browser.LoadKernel(page))
 		var total, raster float64
 		for _, name := range sortedPhaseNames(phases) {
 			t := soc.Seconds(phases[name])

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"gopim"
-	"gopim/internal/core"
 	"gopim/internal/dram"
 	"gopim/internal/par"
 )
@@ -23,7 +22,7 @@ type Fig18Row struct {
 // kernels (texture tiling, color blitting, compression, decompression)
 // under CPU-only, PIM-core and PIM-accelerator execution.
 func Fig18(o Options) []Fig18Row {
-	ev := core.NewEvaluator()
+	ev := o.evaluator()
 	var targets []gopim.Target
 	for _, t := range gopim.Targets(o.Scale) {
 		if t.Workload == "Chrome" {
@@ -103,7 +102,7 @@ type HeadlineResult struct {
 // Headline evaluates every PIM target and aggregates the paper's headline
 // averages.
 func Headline(o Options) HeadlineResult {
-	ev := core.NewEvaluator()
+	ev := o.evaluator()
 	res := HeadlineResult{
 		AvgEnergyReduction: map[gopim.Mode]float64{},
 		AvgSpeedup:         map[gopim.Mode]float64{},

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"gopim"
-	"gopim/internal/core"
 	"gopim/internal/mem"
 	"gopim/internal/par"
 )
@@ -24,7 +23,7 @@ type TargetStatsRow struct {
 // §3.2 criteria values: all of the paper's targets must be memory-intensive
 // (LLC MPKI > 10) and movement-dominated.
 func TargetStats(o Options) []TargetStatsRow {
-	ev := core.NewEvaluator()
+	ev := o.evaluator()
 	targets := gopim.Targets(o.Scale)
 	return par.Map(o.workers(), len(targets), func(i int) TargetStatsRow {
 		t := targets[i]
@@ -57,7 +56,7 @@ type TabLatencyRow struct {
 // demand misses do not pay the decompression on the critical path; here we
 // report just the decompression latency per mode.
 func TabSwitchLatency(o Options) []TabLatencyRow {
-	ev := core.NewEvaluator()
+	ev := o.evaluator()
 	var target gopim.Target
 	for _, t := range gopim.Targets(o.Scale) {
 		if t.Name == "Decompression" {
@@ -100,7 +99,7 @@ type PlanResult struct {
 // targets earn fixed-function logic within the 3.5 mm² budget, and which
 // fall back to the shared PIM core.
 func Plan(o Options) PlanResult {
-	ev := core.NewEvaluator()
+	ev := o.evaluator()
 	plan := ev.PlanOffload(gopim.Targets(o.Scale), timingBudget())
 	out := PlanResult{
 		AreaUsedMM2: plan.AreaUsedMM2,

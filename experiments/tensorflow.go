@@ -43,11 +43,11 @@ func Fig7(o Options) []TFRow {
 }
 
 func tfBreakdown(o Options, split func(*core.Evaluator, map[string]profile.Profile) []PhaseFraction) []TFRow {
-	ev := core.NewEvaluator()
+	ev := o.evaluator()
 	nets := nn.Evaluated()
 	// Networks profile independently; the average is reduced serially.
 	rows := par.Map(o.workers(), len(nets), func(i int) TFRow {
-		_, phases := nn.NetworkProfile(nets[i], profile.SoC(), tfScale(o))
+		_, phases := nn.NetworkProfileWith(o.run, nets[i], profile.SoC(), tfScale(o))
 		fr := split(ev, phases)
 		return TFRow{Network: nets[i].Name, Packing: fr[0].Fraction, Quantization: fr[1].Fraction, GEMM: fr[2].Fraction, Other: fr[3].Fraction}
 	})
@@ -90,7 +90,7 @@ func Fig19(o Options) ([]Fig19Energy, []Fig19Speedup) {
 	if o.Scale == gopim.Standard {
 		dim = 1024
 	}
-	ev := core.NewEvaluator()
+	ev := o.evaluator()
 
 	packT := gopim.Target{Name: "Packing", Workload: "TensorFlow",
 		Kernel: qgemm.PackKernel(dim, dim, dim, 1), Phases: []string{"packing"}, AccArea: 0.25}
@@ -122,7 +122,7 @@ func Fig19(o Options) ([]Fig19Energy, []Fig19Speedup) {
 	convs := float64(net.Convs())
 	hws := []profile.Hardware{profile.SoC(), profile.PIMCore()}
 	netPhases := par.Map(o.workers(), len(hws), func(i int) map[string]profile.Profile {
-		_, phases := nn.NetworkProfile(net, hws[i], tfScale(o))
+		_, phases := nn.NetworkProfileWith(o.run, net, hws[i], tfScale(o))
 		return phases
 	})
 	cpuPhases, pimPhases := netPhases[0], netPhases[1]

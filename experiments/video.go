@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"gopim"
-	"gopim/internal/core"
 	"gopim/internal/energy"
 	"gopim/internal/par"
 	"gopim/internal/profile"
@@ -21,8 +20,8 @@ func Fig10(o Options) ([]PhaseFraction, error) {
 	if err != nil {
 		return nil, err
 	}
-	ev := core.NewEvaluator()
-	_, phases := profile.Run(profile.SoC(), vp9.DecodeKernel(clip))
+	ev := o.evaluator()
+	_, phases := o.run(profile.SoC(), vp9.DecodeKernel(clip))
 	order := []string{vp9.PhaseSubPel, vp9.PhaseOtherMC, vp9.PhaseDeblock, vp9.PhaseEntropy, vp9.PhaseInvXfrm}
 	return fractionsOf(ev, phases, order, "Other"), nil
 }
@@ -42,8 +41,8 @@ func Fig11(o Options) (Fig11Result, error) {
 	if err != nil {
 		return Fig11Result{}, err
 	}
-	ev := core.NewEvaluator()
-	_, phases := profile.Run(profile.SoC(), vp9.DecodeKernel(clip))
+	ev := o.evaluator()
+	_, phases := o.run(profile.SoC(), vp9.DecodeKernel(clip))
 	res := Fig11Result{ByPhase: map[string]energy.Breakdown{}}
 	for _, name := range sortedPhaseNames(phases) {
 		b := ev.CPUPhaseEnergy(phases[name])
@@ -64,8 +63,8 @@ func Fig15(o Options) ([]PhaseFraction, error) {
 	if err != nil {
 		return nil, err
 	}
-	ev := core.NewEvaluator()
-	_, phases := profile.Run(profile.SoC(), vp9.EncodeKernel(clip))
+	ev := o.evaluator()
+	_, phases := o.run(profile.SoC(), vp9.EncodeKernel(clip))
 	order := []string{vp9.PhaseME, vp9.PhaseIntraPred, vp9.PhaseTransform, vp9.PhaseQuant, vp9.PhaseDeblock}
 	return fractionsOf(ev, phases, order, "Other"), nil
 }
@@ -139,7 +138,7 @@ func Fig20(o Options) ([]Fig20Row, error) {
 		return nil, err
 	}
 	_ = clip // targets share the cached evaluation clip
-	ev := core.NewEvaluator()
+	ev := o.evaluator()
 	var targets []gopim.Target
 	for _, t := range gopim.Targets(o.Scale) {
 		if t.Workload == "Video Playback" || t.Workload == "Video Capture" {

@@ -29,6 +29,7 @@ var LoadPhases = []string{PhaseParse, PhaseLayout, PhaseBlitting, PhaseTiling, P
 func LoadKernel(page PageSpec) profile.Kernel {
 	return profile.KernelFunc{
 		KernelName: fmt.Sprintf("load %s", page.Name),
+		Key:        fmt.Sprintf("load %+v", page),
 		Fn:         func(ctx *profile.Ctx) { runLoad(ctx, page) },
 	}
 }

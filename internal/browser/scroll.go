@@ -36,6 +36,7 @@ const (
 func ScrollKernel(page PageSpec, frames int) profile.Kernel {
 	return profile.KernelFunc{
 		KernelName: fmt.Sprintf("scroll %s", page.Name),
+		Key:        fmt.Sprintf("scroll %+v f%d", page, frames),
 		Fn:         func(ctx *profile.Ctx) { runScroll(ctx, page, frames) },
 	}
 }

@@ -180,6 +180,7 @@ func moveToBack(s []int, v int) []int {
 func CompressKernel(nPages int, seed int64) profile.Kernel {
 	return profile.KernelFunc{
 		KernelName: fmt.Sprintf("compression %d pages", nPages),
+		Key:        fmt.Sprintf("lzo-compress %d s%d", nPages, seed),
 		Fn:         func(ctx *profile.Ctx) { runCompress(ctx, nPages, seed) },
 	}
 }
@@ -218,6 +219,7 @@ func runCompress(ctx *profile.Ctx, nPages int, seed int64) {
 func DecompressKernel(nPages int, seed int64) profile.Kernel {
 	return profile.KernelFunc{
 		KernelName: fmt.Sprintf("decompression %d pages", nPages),
+		Key:        fmt.Sprintf("lzo-decompress %d s%d", nPages, seed),
 		Fn:         func(ctx *profile.Ctx) { runDecompress(ctx, nPages, seed) },
 	}
 }

@@ -24,6 +24,12 @@ type Config struct {
 	LineSize int    // line size in bytes; 0 means mem.LineSize
 }
 
+// Key returns a string uniquely identifying the configuration, for use in
+// memoization keys (the trace cache keys replay results by hardware).
+func (c Config) Key() string {
+	return fmt.Sprintf("%s/%d/%d/%d", c.Name, c.Size, c.Ways, c.LineSize)
+}
+
 // Stats aggregates the events observed by one cache.
 type Stats struct {
 	Accesses   uint64 // total line-granularity accesses

@@ -14,6 +14,7 @@ import (
 	"gopim/internal/energy"
 	"gopim/internal/profile"
 	"gopim/internal/timing"
+	"gopim/internal/trace"
 )
 
 // Mode selects where a PIM target executes.
@@ -127,6 +128,12 @@ func (r Result) Speedup(mode Mode) float64 {
 type Evaluator struct {
 	Params    energy.Params
 	Coherence CoherenceModel
+
+	// Traces, when non-nil, is a shared capture-once/replay-many kernel
+	// trace cache: each keyed kernel executes once and every further
+	// (kernel, hardware) profile is replayed from its trace, bit-identical
+	// to a direct run. Nil profiles every kernel directly.
+	Traces *trace.Cache
 }
 
 // NewEvaluator returns an evaluator with the default parameters.
@@ -134,12 +141,20 @@ func NewEvaluator() *Evaluator {
 	return &Evaluator{Params: energy.Default(), Coherence: DefaultCoherence()}
 }
 
+// run profiles kernel on hw through the trace cache when one is attached.
+func (e *Evaluator) run(hw profile.Hardware, kernel profile.Kernel) (profile.Profile, map[string]profile.Profile) {
+	if e.Traces != nil {
+		return e.Traces.Profile(hw, kernel)
+	}
+	return profile.Run(hw, kernel)
+}
+
 // Evaluate profiles the target's kernel on the SoC and on PIM hardware and
 // models all three execution modes.
 func (e *Evaluator) Evaluate(t Target) Result {
 	res := Result{Target: t, ByMode: map[Mode]Evaluation{}}
 
-	cpuTotal, cpuPhases := profile.Run(profile.SoC(), t.Kernel)
+	cpuTotal, cpuPhases := e.run(profile.SoC(), t.Kernel)
 	cpuProf := selectPhases(cpuTotal, cpuPhases, t.Phases)
 	cpuSec := timing.SoC().Seconds(cpuProf)
 	res.ByMode[CPUOnly] = Evaluation{
@@ -150,7 +165,7 @@ func (e *Evaluator) Evaluate(t Target) Result {
 		Seconds: cpuSec,
 	}
 
-	pimTotal, pimPhases := profile.Run(profile.PIMCore(), t.Kernel)
+	pimTotal, pimPhases := e.run(profile.PIMCore(), t.Kernel)
 	pimProf := selectPhases(pimTotal, pimPhases, t.Phases)
 	coh := e.Coherence.Overhead(pimProf)
 	coreSec := timing.PIMCore(t.vaults()).Seconds(pimProf) + coh.Latency
@@ -162,7 +177,7 @@ func (e *Evaluator) Evaluate(t Target) Result {
 		Seconds: coreSec,
 	}
 
-	accTotal, accPhases := profile.Run(profile.PIMAcc(), t.Kernel)
+	accTotal, accPhases := e.run(profile.PIMAcc(), t.Kernel)
 	accProf := selectPhases(accTotal, accPhases, t.Phases)
 	accSec := timing.PIMAcc(t.accUnits()).Seconds(accProf) + coh.Latency
 	res.ByMode[PIMAcc] = Evaluation{

@@ -93,6 +93,7 @@ func checkBlock(b *gfx.Bitmap, x, y, w, h int) {
 func Kernel(size, nOps int, seed int64) profile.Kernel {
 	return profile.KernelFunc{
 		KernelName: fmt.Sprintf("color blitting %dx%d", size, size),
+		Key:        fmt.Sprintf("blit %d n%d s%d", size, nOps, seed),
 		Fn: func(ctx *profile.Ctx) {
 			run(ctx, size, nOps, seed)
 		},

@@ -106,6 +106,7 @@ func forEachTileRow(w, h int, fn func(tileX, tileY, row, srcOff, n int)) {
 func Kernel(w, h, repeat int) profile.Kernel {
 	return profile.KernelFunc{
 		KernelName: fmt.Sprintf("texture tiling %dx%d", w, h),
+		Key:        fmt.Sprintf("texture %dx%d r%d", w, h, repeat),
 		Fn: func(ctx *profile.Ctx) {
 			for r := 0; r < repeat; r++ {
 				runOnce(ctx, w, h, uint32(r+1))

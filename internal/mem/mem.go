@@ -120,6 +120,14 @@ func (b *Buffer) Addr(off int) uint64 {
 	return b.Base + uint64(off)
 }
 
+// BufferAt returns a detached buffer handle at a fixed base address with no
+// backing data. Trace replay re-issues recorded accesses through such
+// handles: the cache models only consume addresses, so the original data
+// never needs to be materialized.
+func BufferAt(name string, base uint64) *Buffer {
+	return &Buffer{Name: name, Base: base}
+}
+
 // Len returns the buffer length in bytes.
 func (b *Buffer) Len() int { return len(b.Data) }
 

@@ -32,6 +32,7 @@ func LayerKernel(l Layer, scale int) profile.Kernel {
 	m, k, n := l.GEMMShape(scale)
 	return profile.KernelFunc{
 		KernelName: fmt.Sprintf("%s (%dx%dx%d)", l.Name, m, k, n),
+		Key:        fmt.Sprintf("nn-layer %dx%dx%d", m, k, n),
 		Fn:         func(ctx *profile.Ctx) { runLayer(ctx, m, k, n) },
 	}
 }
@@ -157,13 +158,20 @@ func copyInt32(dst []byte, src []int32) {
 // scale divisor, returning the total and the per-phase breakdown. Each
 // unique layer shape is profiled once and scaled by its repeat count.
 func NetworkProfile(net Network, hw profile.Hardware, scale int) (profile.Profile, map[string]profile.Profile) {
+	return NetworkProfileWith(profile.Run, net, hw, scale)
+}
+
+// NetworkProfileWith is NetworkProfile with the per-layer kernel execution
+// routed through run (e.g. a trace-cache-backed runner, so layer shapes
+// shared between networks profile once per process).
+func NetworkProfileWith(run profile.Runner, net Network, hw profile.Hardware, scale int) (profile.Profile, map[string]profile.Profile) {
 	if scale < 1 {
 		scale = 1
 	}
 	phases := map[string]profile.Profile{}
 	var total profile.Profile
 	for _, l := range net.Layers {
-		_, layerPhases := profile.Run(hw, LayerKernel(l, scale))
+		_, layerPhases := run(hw, LayerKernel(l, scale))
 		for name, p := range layerPhases {
 			if name == phaseGenerate {
 				continue

@@ -178,7 +178,12 @@ type Kernel interface {
 // KernelFunc adapts a function to the Kernel interface.
 type KernelFunc struct {
 	KernelName string
-	Fn         func(*Ctx)
+	// Key, when non-empty, uniquely identifies the kernel's work: the name
+	// plus every parameter that affects the instrumentation stream it emits
+	// (sizes, iteration counts, input content). The trace cache memoizes on
+	// it; kernels with an empty Key always execute directly.
+	Key string
+	Fn  func(*Ctx)
 }
 
 // Name implements Kernel.
@@ -187,11 +192,75 @@ func (k KernelFunc) Name() string { return k.KernelName }
 // Run implements Kernel.
 func (k KernelFunc) Run(ctx *Ctx) { k.Fn(ctx) }
 
+// CacheKey implements Keyed.
+func (k KernelFunc) CacheKey() string { return k.Key }
+
+// Keyed is implemented by kernels whose instrumentation stream is a pure
+// function of a stable identity string, making them safe to memoize.
+type Keyed interface {
+	CacheKey() string
+}
+
+// KeyOf returns the kernel's cache key, or "" if the kernel does not
+// declare one (and must therefore run directly every time).
+func KeyOf(k Kernel) string {
+	if kk, ok := k.(Keyed); ok {
+		return kk.CacheKey()
+	}
+	return ""
+}
+
+// Runner is the signature shared by Run and trace-cache-backed variants,
+// letting instrumentation consumers (e.g. per-layer network profiling) be
+// parameterized over how kernels execute.
+type Runner func(hw Hardware, kernel Kernel) (Profile, map[string]Profile)
+
 // Run profiles kernel on hw and returns the total profile together with
 // per-phase profiles (keyed by the phase labels the kernel set; kernels that
 // never call SetPhase produce a single phase named "" in the map).
 func Run(hw Hardware, kernel Kernel) (Profile, map[string]Profile) {
 	ctx := NewCtx(hw)
+	kernel.Run(ctx)
+	return ctx.Finish()
+}
+
+// AccessOp classifies one recorded memory event for trace capture.
+type AccessOp uint8
+
+// Access operations recorded through TraceSink. The scalar/vector split
+// must be preserved in the trace because the replay hardware's reference
+// widths, not the recording hardware's, determine MemRefs on replay.
+const (
+	OpLoad   AccessOp = iota // scalar-width read (Load / LoadSpan)
+	OpStore                  // scalar-width write (Store / StoreSpan)
+	OpLoadV                  // vector-width read (LoadV / LoadSpanV)
+	OpStoreV                 // vector-width write (StoreV / StoreSpanV)
+	OpCopyV                  // CopySpanV: per-row read src, write dst
+	OpBlendV                 // BlendSpanV: per-row read src, read dst, write dst
+)
+
+// TraceSink receives the instrumentation stream of one kernel execution.
+// Events arrive in program order, after the Ctx guard conditions (so a
+// recorded event always had an effect), and carry raw byte geometry —
+// never derived reference counts, which are hardware-dependent.
+type TraceSink interface {
+	// Phase marks a phase transition (only called when the phase changes).
+	Phase(name string)
+	// Count records Ops/SIMD/Refs counter increments.
+	Count(ops, simd, refs uint64)
+	// Span records a strided access rectangle: rows of rowBytes each,
+	// stride bytes apart, starting at off in b. Single accesses are
+	// recorded as rows=1, stride=0.
+	Span(op AccessOp, b *mem.Buffer, off, rowBytes, rows, stride int)
+	// Span2 records a two-buffer rectangle (copy or blend).
+	Span2(op AccessOp, src *mem.Buffer, srcOff int, dst *mem.Buffer, dstOff int, rowBytes, rows, srcStride, dstStride int)
+}
+
+// Record profiles kernel on hw exactly like Run while streaming every
+// instrumentation event into sink.
+func Record(hw Hardware, kernel Kernel, sink TraceSink) (Profile, map[string]Profile) {
+	ctx := NewCtx(hw)
+	ctx.sink = sink
 	kernel.Run(ctx)
 	return ctx.Finish()
 }
@@ -213,6 +282,10 @@ type Ctx struct {
 	phaseOrder []string
 	phases     map[string]Profile
 	lastSnap   Profile
+
+	// sink, when non-nil, receives every instrumentation event (set by
+	// Record; nil for Run and for replays).
+	sink TraceSink
 }
 
 // NewCtx builds a fresh context for hw.
@@ -250,6 +323,9 @@ func (c *Ctx) Alloc(name string, n int) *mem.Buffer { return c.Space.Alloc(name,
 func (c *Ctx) SetPhase(name string) {
 	if name == c.phase {
 		return
+	}
+	if c.sink != nil {
+		c.sink.Phase(name)
 	}
 	c.flushPhase()
 	c.phase = name
@@ -311,16 +387,39 @@ func (c *Ctx) SortedPhases() []string {
 }
 
 // Ops records n scalar ALU/branch operations.
-func (c *Ctx) Ops(n int) { c.ops += uint64(n) }
+func (c *Ctx) Ops(n int) {
+	c.ops += uint64(n)
+	if c.sink != nil {
+		c.sink.Count(uint64(n), 0, 0)
+	}
+}
 
 // Refs records n load/store instructions that are known to stay
 // cache-resident (e.g. re-reads of a blocked operand panel inside a GEMM
 // inner loop). They contribute to instruction count and L1 energy but do
 // not traverse the cache model.
-func (c *Ctx) Refs(n int) { c.refs += uint64(n) }
+func (c *Ctx) Refs(n int) {
+	c.refs += uint64(n)
+	if c.sink != nil {
+		c.sink.Count(0, 0, uint64(n))
+	}
+}
 
 // SIMD records n vector ALU operations.
-func (c *Ctx) SIMD(n int) { c.simd += uint64(n) }
+func (c *Ctx) SIMD(n int) {
+	c.simd += uint64(n)
+	if c.sink != nil {
+		c.sink.Count(0, uint64(n), 0)
+	}
+}
+
+// AddCounters bulk-adds pre-aggregated counter values. It is the replay
+// entry point for coalesced Count events; kernels use Ops/SIMD/Refs.
+func (c *Ctx) AddCounters(ops, simd, refs uint64) {
+	c.ops += ops
+	c.simd += simd
+	c.refs += refs
+}
 
 // Load records a scalar-width read of n bytes at offset off in b.
 func (c *Ctx) Load(b *mem.Buffer, off, n int) {
@@ -329,6 +428,9 @@ func (c *Ctx) Load(b *mem.Buffer, off, n int) {
 	}
 	c.refs += (uint64(n) + c.scalarRef - 1) / c.scalarRef
 	c.hier.Load(b.Addr(off), n)
+	if c.sink != nil {
+		c.sink.Span(OpLoad, b, off, n, 1, 0)
+	}
 }
 
 // Store records a scalar-width write of n bytes at offset off in b.
@@ -338,6 +440,9 @@ func (c *Ctx) Store(b *mem.Buffer, off, n int) {
 	}
 	c.refs += (uint64(n) + c.scalarRef - 1) / c.scalarRef
 	c.hier.Store(b.Addr(off), n)
+	if c.sink != nil {
+		c.sink.Span(OpStore, b, off, n, 1, 0)
+	}
 }
 
 // LoadV records a vector-width (bulk) read of n bytes, as a SIMD memcopy
@@ -348,6 +453,9 @@ func (c *Ctx) LoadV(b *mem.Buffer, off, n int) {
 	}
 	c.refs += (uint64(n) + c.vectorRef - 1) / c.vectorRef
 	c.hier.Load(b.Addr(off), n)
+	if c.sink != nil {
+		c.sink.Span(OpLoadV, b, off, n, 1, 0)
+	}
 }
 
 // StoreV records a vector-width (bulk) write of n bytes.
@@ -357,6 +465,9 @@ func (c *Ctx) StoreV(b *mem.Buffer, off, n int) {
 	}
 	c.refs += (uint64(n) + c.vectorRef - 1) / c.vectorRef
 	c.hier.Store(b.Addr(off), n)
+	if c.sink != nil {
+		c.sink.Span(OpStoreV, b, off, n, 1, 0)
+	}
 }
 
 // Span-coalescing entry points. Each batches a whole strided rectangle —
@@ -374,6 +485,9 @@ func (c *Ctx) LoadSpan(b *mem.Buffer, off, rowBytes, rows, stride int) {
 	}
 	c.refs += uint64(rows) * ((uint64(rowBytes) + c.scalarRef - 1) / c.scalarRef)
 	c.hier.LoadSpan(b.Addr(off), rowBytes, rows, uint64(stride))
+	if c.sink != nil {
+		c.sink.Span(OpLoad, b, off, rowBytes, rows, stride)
+	}
 }
 
 // StoreSpan records rows scalar-width writes of rowBytes each, stride
@@ -384,6 +498,9 @@ func (c *Ctx) StoreSpan(b *mem.Buffer, off, rowBytes, rows, stride int) {
 	}
 	c.refs += uint64(rows) * ((uint64(rowBytes) + c.scalarRef - 1) / c.scalarRef)
 	c.hier.StoreSpan(b.Addr(off), rowBytes, rows, uint64(stride))
+	if c.sink != nil {
+		c.sink.Span(OpStore, b, off, rowBytes, rows, stride)
+	}
 }
 
 // LoadSpanV records rows vector-width reads of rowBytes each, stride bytes
@@ -394,6 +511,9 @@ func (c *Ctx) LoadSpanV(b *mem.Buffer, off, rowBytes, rows, stride int) {
 	}
 	c.refs += uint64(rows) * ((uint64(rowBytes) + c.vectorRef - 1) / c.vectorRef)
 	c.hier.LoadSpan(b.Addr(off), rowBytes, rows, uint64(stride))
+	if c.sink != nil {
+		c.sink.Span(OpLoadV, b, off, rowBytes, rows, stride)
+	}
 }
 
 // StoreSpanV records rows vector-width writes of rowBytes each, stride
@@ -404,6 +524,9 @@ func (c *Ctx) StoreSpanV(b *mem.Buffer, off, rowBytes, rows, stride int) {
 	}
 	c.refs += uint64(rows) * ((uint64(rowBytes) + c.vectorRef - 1) / c.vectorRef)
 	c.hier.StoreSpan(b.Addr(off), rowBytes, rows, uint64(stride))
+	if c.sink != nil {
+		c.sink.Span(OpStoreV, b, off, rowBytes, rows, stride)
+	}
 }
 
 // CopySpanV records a rectangle copy: per row, a vector-width read of
@@ -423,6 +546,9 @@ func (c *Ctx) CopySpanV(src *mem.Buffer, srcOff int, dst *mem.Buffer, dstOff int
 		sa += uint64(srcStride)
 		da += uint64(dstStride)
 	}
+	if c.sink != nil {
+		c.sink.Span2(OpCopyV, src, srcOff, dst, dstOff, rowBytes, rows, srcStride, dstStride)
+	}
 }
 
 // BlendSpanV records a read-modify-write rectangle: per row, vector-width
@@ -440,5 +566,8 @@ func (c *Ctx) BlendSpanV(src *mem.Buffer, srcOff int, dst *mem.Buffer, dstOff in
 		c.hier.Store(da, rowBytes)
 		sa += uint64(srcStride)
 		da += uint64(dstStride)
+	}
+	if c.sink != nil {
+		c.sink.Span2(OpBlendV, src, srcOff, dst, dstOff, rowBytes, rows, srcStride, dstStride)
 	}
 }

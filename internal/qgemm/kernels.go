@@ -15,6 +15,7 @@ import (
 func PackKernel(m, k, n, chunks int) profile.Kernel {
 	return profile.KernelFunc{
 		KernelName: fmt.Sprintf("packing %dx%dx%d", m, k, n),
+		Key:        fmt.Sprintf("qgemm-pack %dx%dx%d c%d", m, k, n, chunks),
 		Fn: func(ctx *profile.Ctx) {
 			for c := 0; c < chunks; c++ {
 				packOnce(ctx, m, k, n, int64(c+1))
@@ -84,6 +85,7 @@ func packOnce(ctx *profile.Ctx, m, k, n int, seed int64) {
 func QuantizeKernel(m, k, n, convs int) profile.Kernel {
 	return profile.KernelFunc{
 		KernelName: fmt.Sprintf("quantization %dx%dx%d", m, k, n),
+		Key:        fmt.Sprintf("qgemm-quant %dx%dx%d c%d", m, k, n, convs),
 		Fn: func(ctx *profile.Ctx) {
 			for c := 0; c < convs; c++ {
 				quantizeOnce(ctx, m, k, n, int64(c+1))

@@ -1,0 +1,32 @@
+package trace
+
+import (
+	"testing"
+
+	"gopim/internal/kernels/texture"
+	"gopim/internal/profile"
+)
+
+// BenchmarkTraceReplay measures replaying a recorded texture-tiling trace
+// into a fresh PIM-core hierarchy, against BenchmarkDirectRun as the
+// re-execution baseline the cache avoids.
+func BenchmarkTraceReplay(b *testing.B) {
+	k := texture.Kernel(512, 512, 1)
+	rec := NewRecorder(k.Name())
+	profile.Record(profile.SoC(), k, rec)
+	tr := rec.Finish()
+	b.ReportMetric(float64(tr.Words()*8), "trace-bytes")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Replay(profile.PIMCore())
+	}
+}
+
+// BenchmarkDirectRun is the corresponding direct execution of the same
+// kernel on the same hardware.
+func BenchmarkDirectRun(b *testing.B) {
+	k := texture.Kernel(512, 512, 1)
+	for i := 0; i < b.N; i++ {
+		profile.Run(profile.PIMCore(), k)
+	}
+}

@@ -1,0 +1,149 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"gopim/internal/profile"
+)
+
+// HardwareKey returns a memoization key capturing everything about hw that
+// can influence a profile: cache geometry and the scalar/vector reference
+// widths (with the Ctx defaults applied, so a zero width and its default
+// share an entry). The name is deliberately excluded — it never reaches the
+// models.
+func HardwareKey(hw profile.Hardware) string {
+	scalar, vector := hw.ScalarRef, hw.VectorRef
+	if scalar == 0 {
+		scalar = 8
+	}
+	if vector == 0 {
+		vector = 16
+	}
+	l2 := "-"
+	if hw.L2 != nil {
+		l2 = hw.L2.Key()
+	}
+	return fmt.Sprintf("%s|%s|s%d|v%d", hw.L1.Key(), l2, scalar, vector)
+}
+
+// Stats reports what a Cache has done so far.
+type Stats struct {
+	Records int64 // kernel executions (trace captures)
+	Replays int64 // trace replays against a new hardware config
+	Hits    int64 // requests served from a memoized (kernel, hardware) result
+	Misses  int64 // requests that fell through to direct execution (no key)
+}
+
+// Cache memoizes kernel profiles at two levels: each keyed kernel executes
+// (and records its trace) once per process, and each (kernel, hardware)
+// pair replays once — later requests return the memoized result. Kernels
+// without a cache key (profile.KeyOf == "") always execute directly, as do
+// all kernels when the cache pointer is nil.
+//
+// Cache is safe for concurrent use; in-flight recordings and replays are
+// single-flight, so concurrent experiment runners asking for the same
+// kernel block on one execution instead of duplicating it.
+type Cache struct {
+	mu      sync.Mutex
+	traces  map[string]*traceEntry
+	results map[string]*resultEntry
+
+	records, replays, hits, misses atomic.Int64
+}
+
+type traceEntry struct {
+	once  sync.Once
+	trace *Trace
+
+	// The recording run is a full profile.Run in its own right; its result
+	// is kept so the first-requested hardware config costs no extra replay.
+	hwKey  string
+	prof   profile.Profile
+	phases map[string]profile.Profile
+}
+
+type resultEntry struct {
+	once   sync.Once
+	prof   profile.Profile
+	phases map[string]profile.Profile
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{
+		traces:  map[string]*traceEntry{},
+		results: map[string]*resultEntry{},
+	}
+}
+
+// Stats returns a snapshot of the cache's activity counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Records: c.records.Load(),
+		Replays: c.replays.Load(),
+		Hits:    c.hits.Load(),
+		Misses:  c.misses.Load(),
+	}
+}
+
+// Profile returns profile.Run(hw, kernel), executing the kernel at most
+// once across all hardware configs and memoizing per-hardware replay
+// results. The returned phase map is a private copy.
+func (c *Cache) Profile(hw profile.Hardware, kernel profile.Kernel) (profile.Profile, map[string]profile.Profile) {
+	key := profile.KeyOf(kernel)
+	if c == nil || key == "" {
+		if c != nil {
+			c.misses.Add(1)
+		}
+		return profile.Run(hw, kernel)
+	}
+	hwKey := HardwareKey(hw)
+
+	c.mu.Lock()
+	re, ok := c.results[key+"\x00"+hwKey]
+	if !ok {
+		re = &resultEntry{}
+		c.results[key+"\x00"+hwKey] = re
+	}
+	te, ok := c.traces[key]
+	if !ok {
+		te = &traceEntry{}
+		c.traces[key] = te
+	}
+	c.mu.Unlock()
+
+	first := false
+	re.once.Do(func() {
+		first = true
+		te.once.Do(func() {
+			rec := NewRecorder(kernel.Name())
+			te.prof, te.phases = profile.Record(hw, kernel, rec)
+			te.trace = rec.Finish()
+			te.hwKey = hwKey
+			c.records.Add(1)
+		})
+		if te.hwKey == hwKey {
+			re.prof, re.phases = te.prof, te.phases
+			return
+		}
+		re.prof, re.phases = te.trace.Replay(hw)
+		c.replays.Add(1)
+	})
+	if !first {
+		c.hits.Add(1)
+	}
+	return re.prof, clonePhases(re.phases)
+}
+
+// Runner adapts the cache to the profile.Runner signature.
+func (c *Cache) Runner() profile.Runner { return c.Profile }
+
+func clonePhases(m map[string]profile.Profile) map[string]profile.Profile {
+	out := make(map[string]profile.Profile, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,208 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+
+	"gopim/internal/browser"
+	"gopim/internal/kernels/blit"
+	"gopim/internal/kernels/texture"
+	"gopim/internal/nn"
+	"gopim/internal/profile"
+	"gopim/internal/qgemm"
+	"gopim/internal/vp9"
+)
+
+// hardwareConfigs returns the three hardware configurations every kernel is
+// evaluated on.
+func hardwareConfigs() []profile.Hardware {
+	return []profile.Hardware{profile.SoC(), profile.PIMCore(), profile.PIMAcc()}
+}
+
+// testClip builds a tiny coded clip once for the vp9 kernel families.
+var testClip = func() *vp9.CodedClip {
+	clip, err := vp9.CodeClip(128, 128, 2, 30, 7)
+	if err != nil {
+		panic(err)
+	}
+	return clip
+}()
+
+// familyKernels returns one representative kernel per registered kernel
+// family: texture, blit, lzo (compress + decompress), qgemm, vp9, browser.
+func familyKernels() map[string]profile.Kernel {
+	return map[string]profile.Kernel{
+		"texture":        texture.Kernel(256, 256, 2),
+		"blit":           blit.Kernel(256, 8, 3),
+		"lzo-compress":   browser.CompressKernel(16, 9),
+		"lzo-decompress": browser.DecompressKernel(16, 9),
+		"qgemm-pack":     qgemm.PackKernel(96, 96, 96, 2),
+		"qgemm-quant":    qgemm.QuantizeKernel(96, 96, 96, 2),
+		"nn-layer":       nn.LayerKernel(nn.ResNetV2152().Layers[0], 64),
+		"vp9-subpel":     vp9.SubPelKernel(testClip),
+		"vp9-deblock":    vp9.DeblockKernel(testClip),
+		"vp9-me":         vp9.MEKernel(testClip),
+		"vp9-decode":     vp9.DecodeKernel(testClip),
+		"vp9-encode":     vp9.EncodeKernel(testClip),
+		"browser-scroll": browser.ScrollKernel(browser.GoogleDocs(), 1),
+		"browser-load":   browser.LoadKernel(browser.GoogleDocs()),
+	}
+}
+
+// TestReplayEquivalence is the tentpole's correctness gate: for every kernel
+// family, record once and replay on all three hardware configs, and require
+// the replay to match a direct profile.Run bit-for-bit — totals, per-phase
+// maps, and the event-order-sensitive row-buffer stats.
+func TestReplayEquivalence(t *testing.T) {
+	for name, k := range familyKernels() {
+		t.Run(name, func(t *testing.T) {
+			rec := NewRecorder(k.Name())
+			recTotal, recPhases := profile.Record(profile.SoC(), k, rec)
+			tr := rec.Finish()
+
+			// The recording run itself must be unperturbed by the sink.
+			directTotal, directPhases := profile.Run(profile.SoC(), k)
+			if recTotal != directTotal {
+				t.Fatalf("recording perturbed the profile:\nrecorded %+v\ndirect   %+v", recTotal, directTotal)
+			}
+			if !reflect.DeepEqual(recPhases, directPhases) {
+				t.Fatalf("recording perturbed the phase map")
+			}
+
+			for _, hw := range hardwareConfigs() {
+				gotTotal, gotPhases := tr.Replay(hw)
+				wantTotal, wantPhases := profile.Run(hw, k)
+				if gotTotal != wantTotal {
+					t.Errorf("%s: replay total diverges:\nreplay %+v\ndirect %+v", hw.Name, gotTotal, wantTotal)
+				}
+				if gotTotal.Rows != wantTotal.Rows {
+					t.Errorf("%s: row-buffer stats diverge: replay %+v direct %+v", hw.Name, gotTotal.Rows, wantTotal.Rows)
+				}
+				if !reflect.DeepEqual(gotPhases, wantPhases) {
+					t.Errorf("%s: replay phase map diverges:\nreplay %+v\ndirect %+v", hw.Name, gotPhases, wantPhases)
+				}
+			}
+		})
+	}
+}
+
+// TestCacheSingleExecution verifies the memoization contract: one recording
+// per kernel key, one replay per additional hardware config, hits after
+// that, and results identical to direct runs throughout.
+func TestCacheSingleExecution(t *testing.T) {
+	c := NewCache()
+	k := texture.Kernel(256, 256, 1)
+	for round := 0; round < 2; round++ {
+		for _, hw := range hardwareConfigs() {
+			gotTotal, gotPhases := c.Profile(hw, k)
+			wantTotal, wantPhases := profile.Run(hw, k)
+			if gotTotal != wantTotal || !reflect.DeepEqual(gotPhases, wantPhases) {
+				t.Fatalf("round %d %s: cached result diverges from direct run", round, hw.Name)
+			}
+		}
+	}
+	s := c.Stats()
+	if s.Records != 1 {
+		t.Errorf("Records = %d, want 1 (kernel must execute once)", s.Records)
+	}
+	if s.Replays != 2 {
+		t.Errorf("Replays = %d, want 2 (one per additional hardware config)", s.Replays)
+	}
+	if s.Hits != 3 {
+		t.Errorf("Hits = %d, want 3 (second round fully memoized)", s.Hits)
+	}
+}
+
+// TestCacheConcurrentSingleFlight hammers one kernel from many goroutines:
+// the kernel must still execute exactly once and every caller must see the
+// same result.
+func TestCacheConcurrentSingleFlight(t *testing.T) {
+	c := NewCache()
+	k := blit.Kernel(128, 4, 1)
+	hws := hardwareConfigs()
+	wantTotal, _ := profile.Run(hws[0], k)
+
+	const goroutines = 16
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			total, _ := c.Profile(hws[g%len(hws)], k)
+			if g%len(hws) == 0 && total != wantTotal {
+				errs <- &mismatchError{}
+				return
+			}
+			errs <- nil
+		}(g)
+	}
+	for g := 0; g < goroutines; g++ {
+		if err := <-errs; err != nil {
+			t.Fatal("concurrent caller saw a divergent profile")
+		}
+	}
+	if s := c.Stats(); s.Records != 1 {
+		t.Errorf("Records = %d, want 1 under concurrency", s.Records)
+	}
+}
+
+type mismatchError struct{}
+
+func (*mismatchError) Error() string { return "profile mismatch" }
+
+// TestCacheBypassesUnkeyedKernels: kernels without a cache key run directly
+// every time.
+func TestCacheBypassesUnkeyedKernels(t *testing.T) {
+	c := NewCache()
+	runs := 0
+	k := profile.KernelFunc{KernelName: "unkeyed", Fn: func(ctx *profile.Ctx) {
+		runs++
+		ctx.Ops(1)
+	}}
+	c.Profile(profile.SoC(), k)
+	c.Profile(profile.SoC(), k)
+	if runs != 2 {
+		t.Errorf("unkeyed kernel ran %d times, want 2 (no memoization)", runs)
+	}
+	if s := c.Stats(); s.Misses != 2 || s.Records != 0 {
+		t.Errorf("stats = %+v, want 2 misses and no records", s)
+	}
+}
+
+// TestNilCacheFallsThrough: a nil *Cache is a valid "no caching" handle.
+func TestNilCacheFallsThrough(t *testing.T) {
+	var c *Cache
+	k := texture.Kernel(64, 64, 1)
+	gotTotal, _ := c.Profile(profile.SoC(), k)
+	wantTotal, _ := profile.Run(profile.SoC(), k)
+	if gotTotal != wantTotal {
+		t.Error("nil cache diverges from direct run")
+	}
+}
+
+// TestCachePhasesAreIsolated: callers mutating a returned phase map must not
+// corrupt later requests.
+func TestCachePhasesAreIsolated(t *testing.T) {
+	c := NewCache()
+	k := texture.Kernel(64, 64, 1)
+	_, first := c.Profile(profile.SoC(), k)
+	for name := range first {
+		delete(first, name)
+	}
+	_, second := c.Profile(profile.SoC(), k)
+	if len(second) == 0 {
+		t.Error("mutating a returned phase map corrupted the cache")
+	}
+}
+
+// TestHardwareKeyNormalizesDefaults: explicit default widths share an entry
+// with zero-valued ones, and different geometries do not collide.
+func TestHardwareKeyNormalizesDefaults(t *testing.T) {
+	a := profile.PIMCore()
+	b := profile.PIMCore()
+	b.ScalarRef, b.VectorRef = 8, 16
+	if HardwareKey(a) != HardwareKey(b) {
+		t.Error("default-width hardware keys should match")
+	}
+	if HardwareKey(profile.SoC()) == HardwareKey(profile.PIMCore()) {
+		t.Error("distinct hardware configs must not collide")
+	}
+}

@@ -2,11 +2,26 @@ package vp9
 
 import (
 	"math"
+	"sync"
 
 	"gopim/internal/energy"
 	"gopim/internal/lzo"
 	"gopim/internal/video"
 )
+
+// deltaPool recycles the plane-sized delta-filter scratch across
+// CompressFrame calls (one per plane per frame on the hardware-codec
+// measurement path).
+var deltaPool sync.Pool
+
+func getDelta(n int) *[]uint8 {
+	if p, _ := deltaPool.Get().(*[]uint8); p != nil && cap(*p) >= n {
+		*p = (*p)[:n]
+		return p
+	}
+	s := make([]uint8, n)
+	return &s
+}
 
 // Hardware codec model (paper §6.3, §7.3): Google's VP9 hardware fetches
 // reference windows in batches, keeps deblocking working sets in SRAM, and
@@ -75,13 +90,15 @@ func CompressFrame(f *video.Frame) []byte {
 		byte(f.H), byte(f.H >> 8),
 	}
 	for _, plane := range [][]uint8{f.Y, f.U, f.V} {
-		delta := make([]uint8, len(plane))
+		dp := getDelta(len(plane))
+		delta := *dp
 		prev := uint8(0)
 		for i, v := range plane {
 			delta[i] = v - prev
 			prev = v
 		}
 		c := lzo.Compress(delta)
+		deltaPool.Put(dp)
 		out = append(out, byte(len(c)), byte(len(c)>>8), byte(len(c)>>16), byte(len(c)>>24))
 		out = append(out, c...)
 	}

@@ -2,6 +2,7 @@ package vp9
 
 import (
 	"fmt"
+	"hash/fnv"
 
 	"gopim/internal/mem"
 	"gopim/internal/profile"
@@ -22,6 +23,28 @@ type CodedClip struct {
 	Streams   [][]byte
 	Decisions [][]Decision // per frame, raster macro-block order
 	EncStats  Stats
+
+	fingerprint string // content hash, set by CodeClip; keys the trace cache
+}
+
+// Fingerprint returns a string identifying the clip's content for
+// memoization: configuration, frame count, and a hash of the coded
+// bitstreams (which pin down the frames and decisions that produced them).
+// Clips built outside CodeClip hash on demand.
+func (c *CodedClip) Fingerprint() string {
+	if c.fingerprint == "" {
+		return c.computeFingerprint()
+	}
+	return c.fingerprint
+}
+
+func (c *CodedClip) computeFingerprint() string {
+	h := fnv.New64a()
+	for _, s := range c.Streams {
+		h.Write(s)
+	}
+	return fmt.Sprintf("%dx%d q%d f%d h%016x",
+		c.Cfg.Width, c.Cfg.Height, c.Cfg.QIndex, len(c.Frames), h.Sum64())
 }
 
 // CodeClip encodes nFrames of synthetic w x h video and collects the
@@ -49,6 +72,7 @@ func CodeClip(w, h, nFrames, qIndex int, seed uint32) (*CodedClip, error) {
 		clip.Decisions = append(clip.Decisions, append([]Decision(nil), current...))
 	}
 	clip.EncStats = enc.Stats
+	clip.fingerprint = clip.computeFingerprint()
 	return clip, nil
 }
 
@@ -186,6 +210,7 @@ func clampInt(v, lo, hi int) int {
 func SubPelKernel(clip *CodedClip) profile.Kernel {
 	return profile.KernelFunc{
 		KernelName: fmt.Sprintf("sub-pixel interpolation %dx%d", clip.Cfg.Width, clip.Cfg.Height),
+		Key:        "vp9-subpel " + clip.Fingerprint(),
 		Fn: func(ctx *profile.Ctx) {
 			pred := ctx.Alloc("prediction", MBSize*MBSize)
 			mbCols := clip.Cfg.Width / MBSize
@@ -225,6 +250,7 @@ func SubPelKernel(clip *CodedClip) profile.Kernel {
 func DeblockKernel(clip *CodedClip) profile.Kernel {
 	return profile.KernelFunc{
 		KernelName: fmt.Sprintf("deblocking filter %dx%d", clip.Cfg.Width, clip.Cfg.Height),
+		Key:        "vp9-deblock " + clip.Fingerprint(),
 		Fn: func(ctx *profile.Ctx) {
 			for n := 0; n < len(clip.Recons); n++ {
 				fb := allocFrame(ctx, fmt.Sprintf("recon%d", n), clip.Recons[n])
@@ -268,6 +294,7 @@ func traceDeblockPlane(ctx *profile.Ctx, plane *mem.Buffer, w, h int) {
 func MEKernel(clip *CodedClip) profile.Kernel {
 	return profile.KernelFunc{
 		KernelName: fmt.Sprintf("motion estimation %dx%d", clip.Cfg.Width, clip.Cfg.Height),
+		Key:        "vp9-me " + clip.Fingerprint(),
 		Fn: func(ctx *profile.Ctx) {
 			mbCols := clip.Cfg.Width / MBSize
 			mbRows := clip.Cfg.Height / MBSize

@@ -100,7 +100,17 @@ func PredictLuma(dst []uint8, stride int, ref *video.Frame, bx, by, w, h int, mv
 	// paper's "11x11 pixels for a 4x4 sub-block".
 	const apron = 7
 	tmpH := h + apron
-	tmp := make([]int32, w*tmpH)
+	// Block dimensions are at most MBSize, so the intermediate fits a
+	// fixed stack buffer; larger callers (none today) fall back to the
+	// heap. This runs per predicted block, so avoiding the allocation
+	// matters.
+	var tmpArr [MBSize * (MBSize + apron)]int32
+	tmp := tmpArr[:]
+	if w*tmpH > len(tmpArr) {
+		tmp = make([]int32, w*tmpH)
+	} else {
+		tmp = tmpArr[:w*tmpH]
+	}
 	fx := subPelFilters[fracX]
 	for y := 0; y < tmpH; y++ {
 		ry := srcY + y - apron/2 - 1

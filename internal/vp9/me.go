@@ -21,8 +21,14 @@ func SAD16(cur, ref *video.Frame, bx, by, dx, dy int) int {
 	return SADBlock(cur, ref, bx, by, dx, dy, 16)
 }
 
-// SADBlock is SAD16 for an arbitrary square block size.
+// SADBlock is SAD16 for an arbitrary square block size. Fully in-bounds
+// blocks take the word-parallel SWAR path (swar.go), which is exactly
+// equivalent to the byte loop below; edge blocks fall back to YAt's
+// coordinate clamping.
 func SADBlock(cur, ref *video.Frame, bx, by, dx, dy, bs int) int {
+	if bs%8 == 0 && swarInBounds(cur, bx, by, bs) && swarInBounds(ref, bx+dx, by+dy, bs) {
+		return sadBlockSWAR(cur, ref, bx, by, dx, dy, bs)
+	}
 	var sad int
 	for y := 0; y < bs; y++ {
 		cy := by + y
@@ -119,7 +125,15 @@ func SubPelRefine(cur, ref *video.Frame, bx, by int, whole [2]int, st *MEStats) 
 // SubPelRefineBlock is SubPelRefine for an arbitrary square block size.
 func SubPelRefineBlock(cur, ref *video.Frame, bx, by int, whole [2]int, bs int, st *MEStats) (MV, int) {
 	best := MV{X: whole[0] * MVPrecision, Y: whole[1] * MVPrecision}
-	pred := make([]uint8, bs*bs)
+	// The prediction scratch lives on the stack for the block sizes motion
+	// estimation uses (bs <= MBSize); this is called per candidate block.
+	var predArr [MBSize * MBSize]uint8
+	pred := predArr[:]
+	if bs*bs > len(predArr) {
+		pred = make([]uint8, bs*bs)
+	} else {
+		pred = predArr[:bs*bs]
+	}
 	var mcStats MCStats
 	bestCost := sadPred(cur, ref, bx, by, best, pred, bs, &mcStats)
 	for step := 4; step >= 1; step /= 2 {
@@ -144,6 +158,9 @@ func SubPelRefineBlock(cur, ref *video.Frame, bx, by int, whole [2]int, bs int, 
 
 func sadPred(cur, ref *video.Frame, bx, by int, mv MV, pred []uint8, bs int, mcStats *MCStats) int {
 	PredictLuma(pred, bs, ref, bx, by, bs, bs, mv, mcStats)
+	if bs%8 == 0 && swarInBounds(cur, bx, by, bs) {
+		return sadPredSWAR(cur, bx, by, pred, bs)
+	}
 	var sad int
 	for y := 0; y < bs; y++ {
 		for x := 0; x < bs; x++ {

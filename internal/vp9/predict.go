@@ -28,8 +28,16 @@ func PredictIntra(dst []uint8, stride int, plane []uint8, w, h, bx, by, n int, m
 		}
 		return plane[y*w+x], true
 	}
-	above := make([]int32, n)
-	left := make([]int32, n)
+	// Neighbor rows fit fixed stack buffers for every block size in use
+	// (n <= MBSize); this runs once per predicted block.
+	var aboveArr, leftArr [MBSize]int32
+	above, left := aboveArr[:], leftArr[:]
+	if n > MBSize {
+		above = make([]int32, n)
+		left = make([]int32, n)
+	} else {
+		above, left = aboveArr[:n], leftArr[:n]
+	}
 	haveAbove, haveLeft := by > 0, bx > 0
 	for i := 0; i < n; i++ {
 		if v, ok := sample(bx+i, by-1); ok {
@@ -103,7 +111,15 @@ func PredictIntra(dst []uint8, stride int, plane []uint8, w, h, bx, by, n int, m
 // BestIntraMode picks the mode whose prediction has the lowest SAD against
 // the source block.
 func BestIntraMode(src *video.Frame, recon []uint8, w, h, bx, by, n int) (IntraMode, int) {
-	pred := make([]uint8, n*n)
+	// Stack scratch for the candidate predictions (n <= MBSize in all
+	// callers); this runs once per macro-block per mode decision.
+	var predArr [MBSize * MBSize]uint8
+	pred := predArr[:]
+	if n*n > len(predArr) {
+		pred = make([]uint8, n*n)
+	} else {
+		pred = predArr[:n*n]
+	}
 	bestMode := PredDC
 	bestSAD := 1 << 30
 	for mode := PredDC; mode < numIntraModes; mode++ {

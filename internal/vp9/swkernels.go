@@ -41,6 +41,7 @@ var EncoderPhases = []string{PhaseME, PhaseIntraPred, PhaseTransform, PhaseQuant
 func DecodeKernel(clip *CodedClip) profile.Kernel {
 	return profile.KernelFunc{
 		KernelName: fmt.Sprintf("VP9 software decode %dx%d", clip.Cfg.Width, clip.Cfg.Height),
+		Key:        "vp9-decode " + clip.Fingerprint(),
 		Fn: func(ctx *profile.Ctx) {
 			mbCols := clip.Cfg.Width / MBSize
 			pred := ctx.Alloc("prediction", MBSize*MBSize)
@@ -110,6 +111,7 @@ func DecodeKernel(clip *CodedClip) profile.Kernel {
 func EncodeKernel(clip *CodedClip) profile.Kernel {
 	return profile.KernelFunc{
 		KernelName: fmt.Sprintf("VP9 software encode %dx%d", clip.Cfg.Width, clip.Cfg.Height),
+		Key:        "vp9-encode " + clip.Fingerprint(),
 		Fn: func(ctx *profile.Ctx) {
 			mbCols := clip.Cfg.Width / MBSize
 			pred := ctx.Alloc("prediction", MBSize*MBSize)

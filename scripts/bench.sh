@@ -1,0 +1,12 @@
+#!/bin/sh
+# Performance trajectory: run the key micro-benchmarks (hierarchy spans,
+# worker pool, trace replay, SWAR SAD) plus a timed end-to-end
+# `pimsim run all` with the trace cache off and on, appending one record to
+# BENCH_trace.json. Pass -label/-scale/-out through to the harness, e.g.
+#
+#	scripts/bench.sh -label pr2 -scale quick
+set -eu
+
+cd "$(dirname "$0")/.."
+
+exec go run ./scripts/bench "$@"

@@ -1,0 +1,151 @@
+// Command bench runs the repository's key micro-benchmarks plus a timed
+// end-to-end `pimsim run all` with the trace cache off and on, and appends
+// the results as one record to BENCH_trace.json. The file is a JSON array —
+// a perf trajectory — so successive PRs can compare records and catch
+// regressions.
+//
+// Usage (from the repo root, or via scripts/bench.sh):
+//
+//	go run ./scripts/bench [-label name] [-scale quick|standard] [-out BENCH_trace.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"time"
+)
+
+// Record is one point of the performance trajectory.
+type Record struct {
+	Label      string             `json:"label"`
+	Date       string             `json:"date"`
+	GoVersion  string             `json:"go_version"`
+	Scale      string             `json:"scale"`
+	Benchmarks map[string]float64 `json:"benchmarks_ns_per_op"`
+	RunAll     RunAll             `json:"run_all"`
+}
+
+// RunAll is the end-to-end wall-clock comparison that the trace cache is
+// judged by.
+type RunAll struct {
+	TraceCacheOffMS int64   `json:"tracecache_off_ms"`
+	TraceCacheOnMS  int64   `json:"tracecache_on_ms"`
+	Speedup         float64 `json:"speedup"`
+	OutputIdentical bool    `json:"output_identical"`
+}
+
+// benchLine parses `go test -bench` result lines. Sub-benchmark names are
+// kept verbatim (including any GOMAXPROCS suffix) so records stay
+// comparable within one machine's trajectory.
+var benchLine = regexp.MustCompile(`(?m)^(Benchmark[\w/=-]+)\s+\d+\s+([\d.]+) ns/op`)
+
+func main() {
+	label := flag.String("label", "HEAD", "record label (e.g. a PR number or git rev)")
+	scale := flag.String("scale", "quick", "pimsim -scale for the end-to-end timing")
+	out := flag.String("out", "BENCH_trace.json", "trajectory file to append to")
+	benchtime := flag.String("benchtime", "1s", "go test -benchtime for the micro-benchmarks")
+	flag.Parse()
+
+	rec := Record{
+		Label:      *label,
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		GoVersion:  goVersion(),
+		Scale:      *scale,
+		Benchmarks: map[string]float64{},
+	}
+
+	// Micro-benchmarks named by the perf PR: hierarchy span walks, the
+	// worker pool, trace replay, and the SWAR SAD primitive.
+	for _, b := range []struct{ pkg, pattern string }{
+		{".", "BenchmarkHierarchySpan"},
+		{".", "BenchmarkParMap"},
+		{"./internal/trace", "BenchmarkTraceReplay|BenchmarkDirectRun"},
+		{"./internal/vp9", "BenchmarkSWARSAD|BenchmarkScalarSAD"},
+	} {
+		fmt.Fprintf(os.Stderr, "bench: go test -bench %s %s\n", b.pattern, b.pkg)
+		cmd := exec.Command("go", "test", "-run", "^$", "-bench", b.pattern, "-benchtime", *benchtime, b.pkg)
+		outB, err := cmd.CombinedOutput()
+		if err != nil {
+			fatalf("benchmark %s failed: %v\n%s", b.pattern, err, outB)
+		}
+		for _, m := range benchLine.FindAllStringSubmatch(string(outB), -1) {
+			ns, err := strconv.ParseFloat(m[2], 64)
+			if err != nil {
+				fatalf("parsing %q: %v", m[0], err)
+			}
+			rec.Benchmarks[m[1]] = ns
+		}
+	}
+
+	// End-to-end: pimsim run all with the trace cache off, then on, byte
+	// comparing the rendered output.
+	tmp, err := os.MkdirTemp("", "pimsim-bench")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer os.RemoveAll(tmp)
+	bin := filepath.Join(tmp, "pimsim")
+	if outB, err := exec.Command("go", "build", "-o", bin, "./cmd/pimsim").CombinedOutput(); err != nil {
+		fatalf("building pimsim: %v\n%s", err, outB)
+	}
+	offMS, offOut := timedRun(bin, *scale, "off")
+	onMS, onOut := timedRun(bin, *scale, "on")
+	rec.RunAll = RunAll{
+		TraceCacheOffMS: offMS,
+		TraceCacheOnMS:  onMS,
+		OutputIdentical: string(offOut) == string(onOut),
+	}
+	if onMS > 0 {
+		rec.RunAll.Speedup = float64(offMS) / float64(onMS)
+	}
+	if !rec.RunAll.OutputIdentical {
+		fatalf("run all output differs between -tracecache=off and -tracecache=on")
+	}
+
+	// Append to the trajectory.
+	var records []Record
+	if data, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(data, &records); err != nil {
+			fatalf("parsing existing %s: %v", *out, err)
+		}
+	}
+	records = append(records, rec)
+	data, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("bench: run all %s scale: %d ms (cache off) -> %d ms (cache on), %.2fx, output identical; %d benchmarks -> %s\n",
+		*scale, offMS, onMS, rec.RunAll.Speedup, len(rec.Benchmarks), *out)
+}
+
+func timedRun(bin, scale, tracecache string) (int64, []byte) {
+	fmt.Fprintf(os.Stderr, "bench: %s -scale %s -tracecache=%s run all\n", bin, scale, tracecache)
+	start := time.Now()
+	out, err := exec.Command(bin, "-scale", scale, "-tracecache="+tracecache, "run", "all").Output()
+	if err != nil {
+		fatalf("pimsim run all (tracecache=%s): %v", tracecache, err)
+	}
+	return time.Since(start).Milliseconds(), out
+}
+
+func goVersion() string {
+	out, err := exec.Command("go", "env", "GOVERSION").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return string(out[:len(out)-1])
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "bench: "+format+"\n", args...)
+	os.Exit(1)
+}

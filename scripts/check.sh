@@ -9,3 +9,16 @@ cd "$(dirname "$0")/.."
 go vet ./...
 go build ./...
 go test -race -timeout 45m ./...
+
+# Replay-equivalence gate: record+replay must match direct execution
+# bit-for-bit for every kernel family on every hardware config.
+go test -race -count=1 -run 'TestReplayEquivalence|TestCache' ./internal/trace
+
+# End-to-end trace-cache gate: the full default-scale sweep must render
+# byte-identical output with the kernel trace cache on and off.
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+go build -o "$tmpdir/pimsim" ./cmd/pimsim
+"$tmpdir/pimsim" -tracecache=off run all > "$tmpdir/off.txt"
+"$tmpdir/pimsim" -tracecache=on run all > "$tmpdir/on.txt"
+cmp "$tmpdir/off.txt" "$tmpdir/on.txt"
