@@ -1,0 +1,55 @@
+// Command gopimlint runs the simulator's static invariant checks
+// (internal/lint) over the module and prints findings in the canonical
+// file:line:col: [analyzer] message format. It exits 0 when the tree is
+// clean, 1 when any finding survives //lint:ignore suppression, and 2
+// when the tree fails to load or type-check.
+//
+// Usage:
+//
+//	gopimlint [./...]
+//
+// The only accepted pattern is the whole module ("./..." or no
+// argument): the analyzers encode cross-package invariants, so partial
+// runs would give a false sense of cleanliness.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"gopim/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	for _, a := range args {
+		if a != "./..." {
+			fmt.Fprintf(os.Stderr, "usage: gopimlint [./...]  (unrecognized argument %q)\n", a)
+			return 2
+		}
+	}
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gopimlint: %v\n", err)
+		return 2
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gopimlint: %v\n", err)
+		return 2
+	}
+	analyzers := lint.Analyzers()
+	diags := lint.RunAnalyzers(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Println(d.String())
+	}
+	fmt.Fprintf(os.Stderr, "gopimlint: %d analyzers over %d files in %d packages: %d finding(s)\n",
+		len(analyzers), lint.FileCount(pkgs), len(pkgs), len(diags))
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -103,8 +103,15 @@ func timeFractionsOf(phases map[string]profile.Profile, order []string, catchAll
 }
 
 func sortedPhaseNames(phases map[string]profile.Profile) []string {
-	names := make([]string, 0, len(phases))
-	for n := range phases {
+	return sortedKeys(phases)
+}
+
+// sortedKeys is the one blessed way to iterate a string-keyed map
+// deterministically: collect, sort, then range the slice.
+func sortedKeys[V any](m map[string]V) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		//lint:ignore nondeterm keys are fully sorted before any use
 		names = append(names, n)
 	}
 	sort.Strings(names)

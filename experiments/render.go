@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 	"io"
-	"sort"
 	"strings"
 	"text/tabwriter"
 
@@ -45,12 +44,7 @@ func renderFig2(out io.Writer, data any) error {
 	res := data.(Fig2Result)
 	w := tab(out)
 	fmt.Fprintln(w, "Function\tCPU\tL1\tLLC\tInterconnect\tMemCtrl\tDRAM\tTotal")
-	var names []string
-	for n := range res.ByPhase {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	for _, n := range names {
+	for _, n := range sortedKeys(res.ByPhase) {
 		b := res.ByPhase[n]
 		fmt.Fprintf(w, "%s\t%.2g\t%.2g\t%.2g\t%.2g\t%.2g\t%.2g\t%.2g\n",
 			n, b.CPU, b.L1, b.LLC, b.Interconnect, b.MemCtrl, b.DRAM, b.Total())
@@ -125,12 +119,7 @@ func renderFig11(out io.Writer, data any) error {
 	res := data.(Fig11Result)
 	w := tab(out)
 	fmt.Fprintln(w, "Function\tCPU\tL1\tLLC\tInterconnect\tMemCtrl\tDRAM")
-	var names []string
-	for n := range res.ByPhase {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	for _, n := range names {
+	for _, n := range sortedKeys(res.ByPhase) {
 		b := res.ByPhase[n]
 		fmt.Fprintf(w, "%s\t%.2g\t%.2g\t%.2g\t%.2g\t%.2g\t%.2g\n", n, b.CPU, b.L1, b.LLC, b.Interconnect, b.MemCtrl, b.DRAM)
 	}

@@ -85,13 +85,11 @@ func runLoad(ctx *profile.Ctx, page PageSpec) {
 	tx, ty := texture.TilesFor(ViewportW, ViewportH)
 	for tyi := 0; tyi < ty; tyi++ {
 		for txi := 0; txi < tx; txi++ {
-			for row := 0; row < texture.TileH; row++ {
-				srcOff := (tyi*texture.TileH+row)*layer.Stride + txi*texture.TileRowB
-				dstOff := ((tyi*tx+txi)*texture.TileBytes + row*texture.TileRowB)
-				ctx.LoadV(layerBuf, srcOff, texture.TileRowB)
-				ctx.StoreV(tileBuf, dstOff, texture.TileRowB)
-				ctx.Ops(4)
-			}
+			srcOff := tyi*texture.TileH*layer.Stride + txi*texture.TileRowB
+			dstOff := (tyi*tx + txi) * texture.TileBytes
+			ctx.CopySpanV(layerBuf, srcOff, tileBuf, dstOff,
+				texture.TileRowB, texture.TileH, layer.Stride, texture.TileRowB)
+			ctx.Ops(4 * texture.TileH)
 		}
 	}
 

@@ -92,6 +92,7 @@ func (e *Evaluator) IdentifyCandidates(phases map[string]profile.Profile, crit C
 			c.OwnMovementFraction = f.movement / f.energy
 		}
 		c.MovementDominant = c.OwnMovementFraction > 0.5
+		//lint:ignore nondeterm out is fully sorted below with a Function-name tiebreak
 		out = append(out, c)
 	}
 	sort.Slice(out, func(i, j int) bool {

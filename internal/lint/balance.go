@@ -1,0 +1,258 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// balanceChecker verifies that two kinds of paired calls — an "open" (phase
+// push, pool Get) and a "close" (phase pop, pool Put) — balance on every
+// structured control-flow path of a function body, including early
+// returns. It is a conservative structural walk rather than a full CFG:
+// branches of an if/switch must agree on their net effect, loop bodies
+// must be net-zero (a loop may run any number of times), and every return
+// must see a net depth of zero after accounting for deferred closes.
+// goto/labeled-branch control flow is out of scope; none of the simulator
+// code uses it across a push/pop region.
+type balanceChecker struct {
+	pass *Pass
+	// isOpen/isClose classify a call expression.
+	isOpen  func(*ast.CallExpr) bool
+	isClose func(*ast.CallExpr) bool
+	// what names the pair in diagnostics, e.g. "PushPhase/PopPhase".
+	what string
+
+	// deferredCloses counts defer'd close calls seen so far; they cover
+	// that many levels at every subsequent exit.
+	deferredCloses int
+}
+
+// terminatedDepth is the sentinel for a path that always leaves the
+// function (its return already checked its own depth), so join points
+// don't also report it as a branch mismatch.
+const terminatedDepth = -1 << 30
+
+// check walks a function body and reports imbalances.
+func (b *balanceChecker) check(body *ast.BlockStmt, funcEnd token.Pos) {
+	if body == nil {
+		return
+	}
+	depth := b.stmts(body.List, 0)
+	if depth != terminatedDepth && depth != b.deferredCloses {
+		b.pass.Reportf(funcEnd, "%s imbalance: function exits at depth %+d", b.what, depth-b.deferredCloses)
+	}
+}
+
+// stmts walks a statement list, returning the net depth change.
+func (b *balanceChecker) stmts(list []ast.Stmt, depth int) int {
+	for _, s := range list {
+		if depth == terminatedDepth {
+			return depth // dead code after a return
+		}
+		depth = b.stmt(s, depth)
+	}
+	return depth
+}
+
+func (b *balanceChecker) stmt(s ast.Stmt, depth int) int {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		return b.expr(s.X, depth)
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			depth = b.expr(r, depth)
+		}
+		return depth
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						depth = b.expr(v, depth)
+					}
+				}
+			}
+		}
+		return depth
+	case *ast.DeferStmt:
+		if b.isClose(s.Call) {
+			b.deferredCloses++
+		}
+		return depth
+	case *ast.GoStmt:
+		return depth
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			depth = b.expr(r, depth)
+		}
+		if depth != b.deferredCloses {
+			b.pass.Reportf(s.Pos(), "%s imbalance: return at depth %+d", b.what, depth-b.deferredCloses)
+		}
+		return terminatedDepth
+	case *ast.BlockStmt:
+		return b.stmts(s.List, depth)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			depth = b.stmt(s.Init, depth)
+		}
+		depth = b.expr(s.Cond, depth)
+		thenDepth := b.stmts(s.Body.List, depth)
+		elseDepth := depth
+		if s.Else != nil {
+			elseDepth = b.stmt(s.Else, depth)
+		}
+		// A branch that always returns imposes no constraint at the join.
+		switch {
+		case thenDepth == terminatedDepth:
+			return elseDepth
+		case elseDepth == terminatedDepth:
+			return thenDepth
+		}
+		if thenDepth != elseDepth {
+			b.pass.Reportf(s.Pos(), "%s imbalance: branches of if end at different depths (%+d vs %+d)",
+				b.what, thenDepth-depth, elseDepth-depth)
+		}
+		return thenDepth
+	case *ast.ForStmt:
+		if s.Init != nil {
+			depth = b.stmt(s.Init, depth)
+		}
+		if s.Cond != nil {
+			depth = b.expr(s.Cond, depth)
+		}
+		bodyDepth := b.stmts(s.Body.List, depth)
+		if s.Post != nil && bodyDepth != terminatedDepth {
+			bodyDepth = b.stmt(s.Post, bodyDepth)
+		}
+		if bodyDepth != terminatedDepth && bodyDepth != depth {
+			b.pass.Reportf(s.Pos(), "%s imbalance: loop body has net depth %+d", b.what, bodyDepth-depth)
+		}
+		return depth
+	case *ast.RangeStmt:
+		depth = b.expr(s.X, depth)
+		bodyDepth := b.stmts(s.Body.List, depth)
+		if bodyDepth != terminatedDepth && bodyDepth != depth {
+			b.pass.Reportf(s.Pos(), "%s imbalance: loop body has net depth %+d", b.what, bodyDepth-depth)
+		}
+		return depth
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return b.cases(s, depth)
+	case *ast.LabeledStmt:
+		return b.stmt(s.Stmt, depth)
+	default:
+		return depth
+	}
+}
+
+// cases handles switch/type-switch/select: every case body must reach the
+// same depth, and without a default case that depth must be the entry
+// depth (the whole statement may be skipped).
+func (b *balanceChecker) cases(s ast.Stmt, depth int) int {
+	var bodies [][]ast.Stmt
+	hasDefault := false
+	add := func(clauses []ast.Stmt) {
+		for _, c := range clauses {
+			switch c := c.(type) {
+			case *ast.CaseClause:
+				if c.List == nil {
+					hasDefault = true
+				}
+				bodies = append(bodies, c.Body)
+			case *ast.CommClause:
+				if c.Comm == nil {
+					hasDefault = true
+				}
+				bodies = append(bodies, c.Body)
+			}
+		}
+	}
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			depth = b.stmt(s.Init, depth)
+		}
+		if s.Tag != nil {
+			depth = b.expr(s.Tag, depth)
+		}
+		add(s.Body.List)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			depth = b.stmt(s.Init, depth)
+		}
+		add(s.Body.List)
+	case *ast.SelectStmt:
+		add(s.Body.List)
+	}
+	if len(bodies) == 0 {
+		return depth
+	}
+	// Case bodies that always return impose no constraint at the join.
+	first := terminatedDepth
+	agree := true
+	for _, body := range bodies {
+		d := b.stmts(body, depth)
+		if d == terminatedDepth {
+			continue
+		}
+		if first == terminatedDepth {
+			first = d
+		} else if d != first {
+			agree = false
+		}
+	}
+	if first == terminatedDepth {
+		if hasDefault {
+			return terminatedDepth
+		}
+		return depth
+	}
+	if !agree || (!hasDefault && first != depth) {
+		b.pass.Reportf(s.Pos(), "%s imbalance: switch cases end at different depths", b.what)
+	}
+	return first
+}
+
+// expr scans an expression for open/close calls, in evaluation order.
+// Function literals are separate functions and are skipped here; the
+// analyzers walk them independently.
+func (b *balanceChecker) expr(e ast.Expr, depth int) int {
+	if e == nil {
+		return depth
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if b.isOpen(n) {
+				depth++
+			} else if b.isClose(n) {
+				depth--
+				if depth < 0 {
+					b.pass.Reportf(n.Pos(), "%s imbalance: close without matching open", b.what)
+					depth = 0
+				}
+			}
+		}
+		return true
+	})
+	return depth
+}
+
+// forEachFuncBody visits every function body in the package, including
+// function literals, each as an independent unit.
+func forEachFuncBody(files []*ast.File, fn func(name string, body *ast.BlockStmt, end token.Pos)) {
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					fn(n.Name.Name, n.Body, n.Body.Rbrace)
+				}
+			case *ast.FuncLit:
+				fn("func literal", n.Body, n.Body.Rbrace)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,272 @@
+// Package lint is a small stdlib-only static-analysis framework enforcing
+// the simulator's cross-cutting invariants: results must be bit-identical
+// across serial/parallel runs and trace-cache on/off (nondeterm,
+// tracekey), batched span entry points must be used for row-structured
+// accesses (spanaccess), profile phase push/pop pairs must balance on
+// every control-flow path (phasebalance), and sync.Pool values must not
+// leak (poolescape). The compiler cannot see any of these rules; the
+// 45-minute end-to-end sweeps in scripts/check.sh can — but a static pass
+// catches violations in seconds, at the call site.
+//
+// The framework deliberately mirrors golang.org/x/tools/go/analysis in
+// miniature (Analyzer, Pass, Reportf) without importing it, keeping go.mod
+// dependency-free.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, positioned in the analyzed source.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the diagnostic in the driver's file:line: [analyzer]
+// message format.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:ignore directives.
+	Name string
+	// Doc is a one-line description of the invariant the analyzer encodes.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// Analyzers returns every registered analyzer, in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		NondetermAnalyzer,
+		TracekeyAnalyzer,
+		SpanaccessAnalyzer,
+		PhasebalanceAnalyzer,
+		PoolescapeAnalyzer,
+	}
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Path     string // package import path
+	Pkg      *types.Package
+	Info     *types.Info
+	Files    []*ast.File
+
+	diags []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	analyzer string
+	reason   string
+	file     string
+	line     int
+}
+
+const ignorePrefix = "//lint:ignore"
+
+// parseDirectives collects //lint:ignore directives from a file. Malformed
+// directives (missing analyzer or reason) are reported as diagnostics of
+// the pseudo-analyzer "lint" so they fail the gate instead of silently
+// suppressing nothing.
+func parseDirectives(fset *token.FileSet, f *ast.File) ([]ignoreDirective, []Diagnostic) {
+	var dirs []ignoreDirective
+	var bad []Diagnostic
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, ignorePrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(c.Text, ignorePrefix)
+			if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+				continue // e.g. //lint:ignoreX — not a directive
+			}
+			pos := fset.Position(c.Pos())
+			fields := strings.Fields(rest)
+			if len(fields) < 2 {
+				bad = append(bad, Diagnostic{
+					Analyzer: "lint",
+					Pos:      pos,
+					Message:  "malformed //lint:ignore directive: want \"//lint:ignore <analyzer> <reason>\"",
+				})
+				continue
+			}
+			dirs = append(dirs, ignoreDirective{
+				analyzer: fields[0],
+				reason:   strings.Join(fields[1:], " "),
+				file:     pos.Filename,
+				line:     pos.Line,
+			})
+		}
+	}
+	return dirs, bad
+}
+
+// suppressed reports whether d is covered by a directive. A directive
+// suppresses matching diagnostics on its own line (trailing comment) and on
+// the following line (directive on its own line above the statement).
+func suppressed(d Diagnostic, dirs []ignoreDirective) bool {
+	for _, dir := range dirs {
+		if dir.file != d.Pos.Filename || dir.analyzer != d.Analyzer {
+			continue
+		}
+		if d.Pos.Line == dir.line || d.Pos.Line == dir.line+1 {
+			return true
+		}
+	}
+	return false
+}
+
+// RunAnalyzers runs every analyzer over every package, applies
+// //lint:ignore suppression, and returns the surviving diagnostics sorted
+// by position. Malformed directives are returned as diagnostics too.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		var dirs []ignoreDirective
+		for _, f := range pkg.Files {
+			ds, bad := parseDirectives(pkg.Fset, f)
+			dirs = append(dirs, ds...)
+			out = append(out, bad...)
+		}
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Path:     pkg.Path,
+				Pkg:      pkg.Pkg,
+				Info:     pkg.Info,
+				Files:    pkg.Files,
+			}
+			a.Run(pass)
+			for _, d := range pass.diags {
+				if !suppressed(d, dirs) {
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return out
+}
+
+// ---- shared scope and type helpers ----
+
+// simScope reports whether a package holds simulator code covered by the
+// determinism invariants: everything under internal/, plus the experiments
+// and workloads surfaces. cmd/, examples/ and scripts/ are driver code.
+func simScope(path string) bool {
+	return strings.HasPrefix(path, "gopim/internal/") ||
+		path == "gopim/experiments" ||
+		path == "gopim/workloads"
+}
+
+// isPkgFunc reports whether obj is the package-level function pkg.name.
+func isPkgFunc(obj types.Object, pkg, name string) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	if fn.Pkg().Path() != pkg || fn.Name() != name {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// methodOn reports whether obj is a method named name whose receiver's
+// named type is pkg.typeName (through any number of pointers).
+func methodOn(obj types.Object, pkg, typeName, name string) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Name() != name {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	for {
+		ptr, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == pkg && named.Obj().Name() == typeName
+}
+
+// calleeOf resolves a call expression's callee object, or nil.
+func calleeOf(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		return info.Uses[fun.Sel]
+	case *ast.Ident:
+		return info.Uses[fun]
+	}
+	return nil
+}
+
+// identsIn collects every identifier used inside an expression.
+func identsIn(e ast.Expr) []*ast.Ident {
+	var out []*ast.Ident
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			out = append(out, id)
+		}
+		return true
+	})
+	return out
+}
+
+// usesObject reports whether expression e references obj.
+func usesObject(info *types.Info, e ast.Expr, obj types.Object) bool {
+	for _, id := range identsIn(e) {
+		if info.Uses[id] == obj {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// loadFixture type-checks testdata/src/<name> as if it lived at an
+// in-scope module path, so the analyzers' scope filters apply to it.
+func loadFixture(t *testing.T, name string) *Package {
+	t.Helper()
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadDir(filepath.Join("testdata", "src", name), "gopim/internal/fixture/"+name)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	return pkg
+}
+
+type wantSpec struct {
+	line    int
+	pattern string
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRx = regexp.MustCompile("^// want (?:\"(.*)\"|`(.*)`)$")
+
+// wantsIn extracts the fixture's // want "regex" comments.
+func wantsIn(t *testing.T, pkg *Package) []*wantSpec {
+	t.Helper()
+	var wants []*wantSpec
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRx.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pattern := m[1]
+				if pattern == "" {
+					pattern = m[2]
+				}
+				re, err := regexp.Compile(pattern)
+				if err != nil {
+					t.Fatalf("bad want pattern %q: %v", pattern, err)
+				}
+				wants = append(wants, &wantSpec{
+					line:    pkg.Fset.Position(c.Pos()).Line,
+					pattern: pattern,
+					re:      re,
+				})
+			}
+		}
+	}
+	return wants
+}
+
+// checkFixture runs the analyzers over the fixture and matches the
+// resulting diagnostics one-to-one against its // want comments.
+func checkFixture(t *testing.T, name string, analyzers ...*Analyzer) {
+	t.Helper()
+	pkg := loadFixture(t, name)
+	wants := wantsIn(t, pkg)
+	diags := RunAnalyzers([]*Package{pkg}, analyzers)
+	for _, d := range diags {
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("missing diagnostic at %s.go:%d matching %q", name, w.line, w.pattern)
+		}
+	}
+}
+
+func TestNondetermFixture(t *testing.T)    { checkFixture(t, "nondeterm", NondetermAnalyzer) }
+func TestTracekeyFixture(t *testing.T)     { checkFixture(t, "tracekey", TracekeyAnalyzer) }
+func TestSpanaccessFixture(t *testing.T)   { checkFixture(t, "spanaccess", SpanaccessAnalyzer) }
+func TestPhasebalanceFixture(t *testing.T) { checkFixture(t, "phasebalance", PhasebalanceAnalyzer) }
+func TestPoolescapeFixture(t *testing.T)   { checkFixture(t, "poolescape", PoolescapeAnalyzer) }
+
+// TestCleanFixture runs every analyzer over the clean fixture; any
+// finding is a false positive.
+func TestCleanFixture(t *testing.T) { checkFixture(t, "clean", Analyzers()...) }
+
+// TestSuppressedFixture holds real violations, each annotated with a
+// //lint:ignore directive and a reason; nothing may survive.
+func TestSuppressedFixture(t *testing.T) { checkFixture(t, "suppressed", Analyzers()...) }
+
+// TestMalformedDirective verifies a //lint:ignore without a reason is
+// itself reported and suppresses nothing.
+func TestMalformedDirective(t *testing.T) {
+	pkg := loadFixture(t, "badignore")
+	diags := RunAnalyzers([]*Package{pkg}, Analyzers())
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2 (malformed directive + unsuppressed finding):\n%s",
+			len(diags), diagLines(diags))
+	}
+	if diags[0].Analyzer != "lint" || !strings.Contains(diags[0].Message, "malformed") {
+		t.Errorf("first diagnostic should report the malformed directive, got: %s", diags[0])
+	}
+	if diags[1].Analyzer != "nondeterm" {
+		t.Errorf("the malformed directive must not suppress the finding under it, got: %s", diags[1])
+	}
+}
+
+func diagLines(diags []Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		fmt.Fprintf(&b, "  %s\n", d)
+	}
+	return b.String()
+}

@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NondetermAnalyzer flags sources of run-to-run nondeterminism in
+// simulator code. Every profile, trace and rendered figure must be
+// bit-identical across serial/parallel runs, trace-cache on/off and
+// record/replay; wall-clock reads, the process-global math/rand source,
+// environment lookups, and map iteration that feeds slices or output all
+// break that silently.
+var NondetermAnalyzer = &Analyzer{
+	Name: "nondeterm",
+	Doc:  "flags wall-clock, global rand, env reads, and ordered use of map iteration in simulator packages",
+	Run:  runNondeterm,
+}
+
+// randConstructors are the math/rand package functions that build a local,
+// seedable generator — the blessed pattern rand.New(rand.NewSource(seed)).
+var randConstructors = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+func runNondeterm(pass *Pass) {
+	if !simScope(pass.Path) {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkNondetermCall(pass, n)
+			case *ast.RangeStmt:
+				checkMapRange(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+func checkNondetermCall(pass *Pass, call *ast.CallExpr) {
+	obj := calleeOf(pass.Info, call)
+	if obj == nil {
+		return
+	}
+	switch {
+	case isPkgFunc(obj, "time", "Now") || isPkgFunc(obj, "time", "Since"):
+		pass.Reportf(call.Pos(),
+			"time.%s reads the wall clock; simulator results must not depend on real time (derive timing from the timing model)",
+			obj.Name())
+	case isPkgFunc(obj, "os", "Getenv") || isPkgFunc(obj, "os", "LookupEnv") || isPkgFunc(obj, "os", "Environ"):
+		pass.Reportf(call.Pos(),
+			"os.%s makes results depend on the process environment; thread configuration through parameters instead",
+			obj.Name())
+	case isGlobalRandFunc(obj):
+		pass.Reportf(call.Pos(),
+			"global math/rand.%s draws from the shared process-wide source; construct a local generator with rand.New(rand.NewSource(seed)) from a parameter-derived seed",
+			obj.Name())
+	}
+}
+
+// isGlobalRandFunc reports whether obj is a package-level math/rand
+// function drawing from the global source (rand.Intn, rand.Read, ...).
+// Constructors (rand.New, rand.NewSource) and methods on a locally
+// constructed *rand.Rand are the deterministic alternative and pass.
+func isGlobalRandFunc(obj types.Object) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "math/rand" {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return false
+	}
+	return !randConstructors[fn.Name()]
+}
+
+// checkMapRange flags range-over-map loops whose body appends to a slice
+// or writes output: iteration order varies between runs, so anything
+// order-sensitive built inside the loop is nondeterministic. Collect the
+// keys, sort them, and iterate the sorted slice instead (or suppress with
+// a reason when a total sort follows).
+func checkMapRange(pass *Pass, rng *ast.RangeStmt) {
+	t := pass.Info.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if b, ok := pass.Info.Uses[id].(*types.Builtin); ok && b.Name() == "append" {
+				pass.Reportf(call.Pos(),
+					"append inside range over map: iteration order is random, so the slice order varies between runs; iterate sorted keys")
+				return true
+			}
+		}
+		if obj := calleeOf(pass.Info, call); obj != nil {
+			if fn, ok := obj.(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" &&
+				(strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint")) {
+				pass.Reportf(call.Pos(),
+					"output written inside range over map: iteration order is random, so rendered output varies between runs; iterate sorted keys")
+			}
+		}
+		return true
+	})
+}

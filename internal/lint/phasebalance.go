@@ -1,0 +1,44 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// PhasebalanceAnalyzer verifies that profile phase pushes and pops pair up
+// on every control-flow path. Ctx.PushPhase/PopPhase maintain a phase
+// stack; an unmatched push leaks its phase label onto every subsequent
+// event of the kernel (misattributing energy and traffic in the per-phase
+// breakdowns), and an unmatched pop silently restores a stale outer
+// phase. Both corrupt figures without failing any test, so the pairing is
+// enforced structurally here: branches must agree, loops must be
+// net-zero, and every return — including early ones — must exit at the
+// depth its deferred pops cover.
+var PhasebalanceAnalyzer = &Analyzer{
+	Name: "phasebalance",
+	Doc:  "profile phase push/pop pairs must balance on every control-flow path",
+	Run:  runPhasebalance,
+}
+
+func runPhasebalance(pass *Pass) {
+	if !simScope(pass.Path) {
+		return
+	}
+	isPhaseCall := func(call *ast.CallExpr, name string) bool {
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != name {
+			return false
+		}
+		obj := pass.Info.Uses[sel.Sel]
+		return obj != nil && methodOn(obj, "gopim/internal/profile", "Ctx", name)
+	}
+	forEachFuncBody(pass.Files, func(name string, body *ast.BlockStmt, end token.Pos) {
+		b := &balanceChecker{
+			pass:    pass,
+			isOpen:  func(c *ast.CallExpr) bool { return isPhaseCall(c, "PushPhase") },
+			isClose: func(c *ast.CallExpr) bool { return isPhaseCall(c, "PopPhase") },
+			what:    "PushPhase/PopPhase",
+		}
+		b.check(body, end)
+	})
+}

@@ -1,0 +1,191 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PoolescapeAnalyzer enforces the sync.Pool lifecycle on pooled scratch
+// buffers (cf. internal/vp9/hw.go): within one function, every Get must
+// be matched by a Put on all control-flow paths, and the pooled value
+// must not outlive the call — no returning it, no storing it into a
+// struct field, slice element, map, or package-level variable. A leaked
+// Get drains the pool (reallocating every frame, which is exactly the
+// overhead the pool removes); a value that escapes and is also Put is
+// worse: the next Get hands the same buffer to a second owner and the
+// two silently corrupt each other's data.
+var PoolescapeAnalyzer = &Analyzer{
+	Name: "poolescape",
+	Doc:  "sync.Pool values must be Put back on all paths and must not escape the function",
+	Run:  runPoolescape,
+}
+
+func runPoolescape(pass *Pass) {
+	if !simScope(pass.Path) {
+		return
+	}
+	isPoolCall := func(call *ast.CallExpr, name string) bool {
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != name {
+			return false
+		}
+		obj := pass.Info.Uses[sel.Sel]
+		return obj != nil && methodOn(obj, "sync", "Pool", name)
+	}
+	forEachFuncBody(pass.Files, func(name string, body *ast.BlockStmt, end token.Pos) {
+		b := &balanceChecker{
+			pass:    pass,
+			isOpen:  func(c *ast.CallExpr) bool { return isPoolCall(c, "Get") },
+			isClose: func(c *ast.CallExpr) bool { return isPoolCall(c, "Put") },
+			what:    "Pool.Get/Put",
+		}
+		b.check(body, end)
+		checkPoolEscapes(pass, body, func(c *ast.CallExpr) bool { return isPoolCall(c, "Get") })
+	})
+}
+
+// checkPoolEscapes taints every variable holding a pool.Get result (or an
+// alias derived from one) and reports stores that let the pooled value
+// outlive the function: returns, writes into fields, elements, or
+// package-level variables whose base is not itself pooled memory.
+func checkPoolEscapes(pass *Pass, body *ast.BlockStmt, isGet func(*ast.CallExpr) bool) {
+	tainted := map[types.Object]bool{}
+	objOf := func(id *ast.Ident) types.Object {
+		if obj := pass.Info.Defs[id]; obj != nil {
+			return obj
+		}
+		return pass.Info.Uses[id]
+	}
+	// taintsFrom reports whether evaluating e can yield (an alias of) a
+	// pooled value: the Get call itself, a tainted variable, or reference
+	// machinery (slices, derefs, address-of, composite literals) over one.
+	// Ordinary calls are trusted to copy, and element reads of a pooled
+	// slice copy the element.
+	var taintsFrom func(e ast.Expr) bool
+	taintsFrom = func(e ast.Expr) bool {
+		switch e := e.(type) {
+		case *ast.Ident:
+			return tainted[objOf(e)]
+		case *ast.ParenExpr:
+			return taintsFrom(e.X)
+		case *ast.CallExpr:
+			return isGet(e)
+		case *ast.TypeAssertExpr:
+			return taintsFrom(e.X)
+		case *ast.StarExpr:
+			return taintsFrom(e.X)
+		case *ast.UnaryExpr:
+			return e.Op == token.AND && taintsFrom(e.X)
+		case *ast.SliceExpr:
+			return taintsFrom(e.X)
+		case *ast.CompositeLit:
+			for _, el := range e.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					el = kv.Value
+				}
+				if taintsFrom(el) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	// baseIdent unwraps an assignment target to the variable it writes
+	// through: delta[i], s.field, *dp all resolve to delta, s, dp.
+	var baseIdent func(e ast.Expr) *ast.Ident
+	baseIdent = func(e ast.Expr) *ast.Ident {
+		switch e := e.(type) {
+		case *ast.Ident:
+			return e
+		case *ast.ParenExpr:
+			return baseIdent(e.X)
+		case *ast.IndexExpr:
+			return baseIdent(e.X)
+		case *ast.SelectorExpr:
+			return baseIdent(e.X)
+		case *ast.StarExpr:
+			return baseIdent(e.X)
+		}
+		return nil
+	}
+
+	// Propagate taint through local assignments to a fixpoint: aliases can
+	// be introduced before this walk reaches the Get in source order.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				// Comma-ok forms (p, ok := pool.Get().(*T)) have one RHS
+				// tainting every LHS.
+				rhs := as.Rhs[0]
+				if len(as.Lhs) == len(as.Rhs) {
+					rhs = as.Rhs[i]
+				}
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name == "_" || !taintsFrom(rhs) {
+					continue
+				}
+				if obj := objOf(id); obj != nil && !tainted[obj] {
+					tainted[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+	if len(tainted) == 0 {
+		return
+	}
+
+	isLocal := func(obj types.Object) bool {
+		return obj != nil && obj.Parent() != obj.Pkg().Scope()
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A closure capturing the pooled value can outlive the call;
+			// flagging captures is out of scope — the balance check still
+			// covers the common case.
+			return false
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if taintsFrom(res) {
+					pass.Reportf(res.Pos(),
+						"pooled value escapes via return: the caller's reference outlives the Put, so the next Get aliases live data")
+				}
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				if !taintsFrom(n.Rhs[i]) {
+					continue
+				}
+				switch target := ast.Unparen(lhs).(type) {
+				case *ast.Ident:
+					// Writing to a package-level variable pins the pooled
+					// value for the life of the process.
+					if obj := objOf(target); obj != nil && !isLocal(obj) {
+						pass.Reportf(lhs.Pos(),
+							"pooled value stored in package-level variable %s outlives the call", target.Name)
+					}
+				case *ast.SelectorExpr, *ast.IndexExpr:
+					// Storing into a field or element escapes unless the
+					// container is itself pooled scratch memory.
+					base := baseIdent(lhs)
+					if base == nil || !tainted[objOf(base)] {
+						pass.Reportf(lhs.Pos(),
+							"pooled value stored into a location that outlives the call; copy the data out instead")
+					}
+				}
+			}
+		}
+		return true
+	})
+}

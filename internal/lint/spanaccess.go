@@ -1,0 +1,255 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// SpanaccessAnalyzer flags per-row instrumentation loops that should use
+// the batched span entry points (Ctx.LoadSpan/StoreSpan/LoadSpanV/
+// StoreSpanV/CopySpanV/BlendSpanV). The span calls are defined as exactly
+// equivalent to the per-row loop they replace — same instruction counts,
+// same cache-line events in the same order — but cut per-call overhead by
+// the row count, which PR 1 measured at ~1.5x on row-structured kernels.
+// A loop is flagged when its body is nothing but 1–2 per-row accesses
+// whose offsets are affine in the loop variable; anything data-dependent
+// (clamped rows, hash-probe offsets, accesses guarded by computed state)
+// does not match and is left alone.
+var SpanaccessAnalyzer = &Analyzer{
+	Name: "spanaccess",
+	Doc:  "per-row Ctx access loops over contiguous buffers must use the batched span entry points",
+	Run:  runSpanaccess,
+}
+
+// spanScope limits the check to the instrumented kernel packages; the
+// profile package itself defines the entry points (its span
+// implementations loop by design), and trace replay re-drives raw events.
+func spanScope(path string) bool {
+	if !simScope(path) {
+		return false
+	}
+	switch path {
+	case "gopim/internal/profile", "gopim/internal/trace":
+		return false
+	}
+	return true
+}
+
+var ctxAccessMethods = map[string]string{
+	"Load":   "LoadSpan",
+	"Store":  "StoreSpan",
+	"LoadV":  "LoadSpanV",
+	"StoreV": "StoreSpanV",
+}
+
+func runSpanaccess(pass *Pass) {
+	if !spanScope(pass.Path) {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			loop, ok := n.(*ast.ForStmt)
+			if !ok {
+				return true
+			}
+			checkSpanLoop(pass, loop)
+			return true
+		})
+	}
+}
+
+// checkSpanLoop flags loop when every statement in its body is a per-row
+// Ctx access (or plain arithmetic feeding one) whose offset is affine in
+// the loop's induction variable.
+func checkSpanLoop(pass *Pass, loop *ast.ForStmt) {
+	indVar := inductionVar(pass, loop)
+	if indVar == nil {
+		return
+	}
+	// locals assigned in the body from induction-var arithmetic also count
+	// as induction-dependent offsets (srcOff := row*stride + base).
+	affine := map[string]bool{indVar.Name: true}
+
+	var accesses []*ast.CallExpr
+	ok := true
+	var scan func(stmts []ast.Stmt)
+	scan = func(stmts []ast.Stmt) {
+		for _, s := range stmts {
+			if !ok {
+				return
+			}
+			switch s := s.(type) {
+			case *ast.AssignStmt:
+				// Allow pure arithmetic over the induction variable and
+				// constants; any call (clampInt, Len) makes the offset
+				// data-dependent and disqualifies the loop.
+				if s.Tok != token.DEFINE && s.Tok != token.ASSIGN {
+					ok = false
+					return
+				}
+				for _, r := range s.Rhs {
+					if containsCall(r) {
+						ok = false
+						return
+					}
+				}
+				for i, l := range s.Lhs {
+					id, isIdent := l.(*ast.Ident)
+					if !isIdent || i >= len(s.Rhs) {
+						ok = false
+						return
+					}
+					if referencesAny(s.Rhs[i], affine) {
+						affine[id.Name] = true
+					}
+				}
+			case *ast.ExprStmt:
+				call, isCall := s.X.(*ast.CallExpr)
+				if !isCall {
+					ok = false
+					return
+				}
+				switch classifyCtxCall(pass, call) {
+				case ctxCallAccess:
+					accesses = append(accesses, call)
+				case ctxCallCounter:
+					// Ops/SIMD/Refs inside the loop hoist trivially.
+				default:
+					ok = false
+					return
+				}
+			case *ast.IfStmt:
+				// A guard on the induction variable (partial last row) still
+				// converts: compute the row count first. Any other guard is
+				// data-dependent.
+				if s.Init != nil || s.Else != nil || containsCall(s.Cond) || !referencesAny(s.Cond, affine) {
+					ok = false
+					return
+				}
+				scan(s.Body.List)
+			default:
+				ok = false
+				return
+			}
+		}
+	}
+	scan(loop.Body.List)
+	if !ok || len(accesses) == 0 || len(accesses) > 2 {
+		return
+	}
+	var names, lengths []string
+	for _, call := range accesses {
+		sel := call.Fun.(*ast.SelectorExpr)
+		if len(call.Args) < 3 || !referencesAny(call.Args[1], affine) {
+			return // offset not driven by the loop variable
+		}
+		if referencesAny(call.Args[2], affine) {
+			return // row size varies per iteration; not one rectangle
+		}
+		names = append(names, sel.Sel.Name)
+		lengths = append(lengths, types.ExprString(call.Args[2]))
+	}
+	switch {
+	case len(accesses) == 1:
+		pass.Reportf(loop.Pos(),
+			"per-row %s loop: the offset advances with %s each iteration; batch the rectangle with one %s call (defined exactly equivalent, ~rows x fewer calls)",
+			names[0], indVar.Name, ctxAccessMethods[names[0]])
+	case names[0] == "LoadV" && names[1] == "StoreV" && lengths[0] == lengths[1]:
+		pass.Reportf(loop.Pos(),
+			"per-row LoadV+StoreV copy loop: batch the rectangle with one CopySpanV call (defined exactly equivalent, preserves per-row event order)")
+	}
+}
+
+type ctxCallKind int
+
+const (
+	ctxCallOther ctxCallKind = iota
+	ctxCallAccess
+	ctxCallCounter
+	ctxCallSpan
+)
+
+// classifyCtxCall identifies calls to the instrumentation context's access
+// and counter methods.
+func classifyCtxCall(pass *Pass, call *ast.CallExpr) ctxCallKind {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ctxCallOther
+	}
+	obj := pass.Info.Uses[sel.Sel]
+	if obj == nil {
+		return ctxCallOther
+	}
+	name := sel.Sel.Name
+	if _, isAccess := ctxAccessMethods[name]; isAccess && methodOn(obj, "gopim/internal/profile", "Ctx", name) {
+		return ctxCallAccess
+	}
+	switch name {
+	case "Ops", "SIMD", "Refs":
+		if methodOn(obj, "gopim/internal/profile", "Ctx", name) {
+			return ctxCallCounter
+		}
+	}
+	if strings.Contains(name, "Span") && methodOn(obj, "gopim/internal/profile", "Ctx", name) {
+		return ctxCallSpan
+	}
+	return ctxCallOther
+}
+
+// inductionVar returns the loop variable of a canonical counting loop
+// (for i := e; i < n; i++ / i += step), or nil.
+func inductionVar(pass *Pass, loop *ast.ForStmt) *ast.Ident {
+	init, ok := loop.Init.(*ast.AssignStmt)
+	if !ok || init.Tok != token.DEFINE || len(init.Lhs) != 1 {
+		return nil
+	}
+	id, ok := init.Lhs[0].(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	switch post := loop.Post.(type) {
+	case *ast.IncDecStmt:
+		if postID, ok := post.X.(*ast.Ident); ok && postID.Name == id.Name && post.Tok == token.INC {
+			return id
+		}
+	case *ast.AssignStmt:
+		if len(post.Lhs) == 1 {
+			if postID, ok := post.Lhs[0].(*ast.Ident); ok && postID.Name == id.Name && post.Tok == token.ADD_ASSIGN {
+				return id
+			}
+		}
+	}
+	return nil
+}
+
+// containsCall reports whether e contains any call expression (conversions
+// to basic types excluded: int(x) is still affine arithmetic).
+func containsCall(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				switch id.Name {
+				case "int", "int64", "uint64", "uint32", "int32", "uint8", "uint16":
+					return true
+				}
+			}
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// referencesAny reports whether e mentions any of the named variables.
+func referencesAny(e ast.Expr, names map[string]bool) bool {
+	for _, id := range identsIn(e) {
+		if names[id.Name] {
+			return true
+		}
+	}
+	return false
+}

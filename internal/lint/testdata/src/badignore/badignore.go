@@ -1,0 +1,11 @@
+// Package badignore holds a malformed suppression directive (missing
+// reason): the driver must report the directive itself and must not let
+// it suppress the finding on the next line.
+package badignore
+
+import "time"
+
+func now() time.Time {
+	//lint:ignore nondeterm
+	return time.Now()
+}

@@ -1,0 +1,34 @@
+// Package clean is a fixture that must produce zero findings from every
+// analyzer: keyed constructor, seeded local generator, span-batched
+// accesses, balanced phases, and order-insensitive map iteration.
+package clean
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gopim/internal/profile"
+)
+
+func Kernel(m, n int) profile.Kernel {
+	return profile.KernelFunc{
+		KernelName: fmt.Sprintf("clean %dx%d", m, n),
+		Key:        fmt.Sprintf("clean %dx%d", m, n),
+		Fn: func(ctx *profile.Ctx) {
+			rng := rand.New(rand.NewSource(int64(m*31 + n)))
+			buf := ctx.Alloc("buf", m*n)
+			ctx.PushPhase("stream")
+			ctx.LoadSpanV(buf, 0, n, m, n)
+			ctx.Ops(m * (1 + rng.Intn(8)))
+			ctx.PopPhase()
+		},
+	}
+}
+
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

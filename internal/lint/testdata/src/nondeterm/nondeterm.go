@@ -1,0 +1,64 @@
+// Package nondeterm exercises the nondeterm analyzer: wall-clock reads,
+// environment lookups, the global math/rand source, and order-sensitive
+// map iteration are flagged; the seeded local generator and
+// order-insensitive map use pass.
+package nondeterm
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+)
+
+func clock() int64 {
+	t := time.Now() // want "wall clock"
+	return t.Unix()
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "wall clock"
+}
+
+func env() string {
+	return os.Getenv("HOME") // want "process environment"
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want "shared process-wide source"
+}
+
+func localRand(seed int64) int {
+	rng := rand.New(rand.NewSource(seed)) // constructors build the blessed local generator
+	return rng.Intn(10)
+}
+
+func mapAppend(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "iteration order is random"
+	}
+	return out
+}
+
+func mapPrint(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want "rendered output varies"
+	}
+}
+
+func mapSum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v // order-insensitive accumulation is fine
+	}
+	return total
+}
+
+func sliceAppend(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x*2) // slices iterate in order
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+// Package phasebalance exercises the phasebalance analyzer: every
+// PushPhase must meet a PopPhase on every control-flow path.
+package phasebalance
+
+import "gopim/internal/profile"
+
+func balanced(ctx *profile.Ctx) {
+	ctx.PushPhase("sub")
+	ctx.Ops(1)
+	ctx.PopPhase()
+}
+
+func balancedEarlyReturn(ctx *profile.Ctx, skip bool) {
+	ctx.PushPhase("sub")
+	if skip {
+		ctx.PopPhase()
+		return
+	}
+	ctx.Ops(1)
+	ctx.PopPhase()
+}
+
+func deferredPop(ctx *profile.Ctx, skip bool) {
+	ctx.PushPhase("sub")
+	defer ctx.PopPhase()
+	if skip {
+		return
+	}
+	ctx.Ops(1)
+}
+
+func balancedLoop(ctx *profile.Ctx) {
+	for i := 0; i < 4; i++ {
+		ctx.PushPhase("iter")
+		ctx.Ops(1)
+		ctx.PopPhase()
+	}
+}
+
+func leakedPush(ctx *profile.Ctx) {
+	ctx.PushPhase("sub")
+	ctx.Ops(1)
+} // want `function exits at depth \+1`
+
+func earlyReturnLeak(ctx *profile.Ctx, skip bool) {
+	ctx.PushPhase("sub")
+	if skip {
+		return // want `return at depth \+1`
+	}
+	ctx.Ops(1)
+	ctx.PopPhase()
+}
+
+func unbalancedBranches(ctx *profile.Ctx, deep bool) {
+	if deep { // want "branches of if end at different depths"
+		ctx.PushPhase("deep")
+	}
+	ctx.Ops(1)
+	ctx.PopPhase()
+}
+
+func loopNetPush(ctx *profile.Ctx) {
+	for i := 0; i < 4; i++ { // want `loop body has net depth \+1`
+		ctx.PushPhase("iter")
+		ctx.Ops(1)
+	}
+}
+
+func extraPop(ctx *profile.Ctx) {
+	ctx.PopPhase() // want "close without matching open"
+}

@@ -1,0 +1,71 @@
+// Package poolescape exercises the poolescape analyzer: sync.Pool values
+// must be Put back on every path and must not outlive the call.
+package poolescape
+
+import "sync"
+
+var pool sync.Pool
+
+var leakedGlobal *[]byte
+
+type holder struct{ buf *[]byte }
+
+func balanced(n int) int {
+	bp, _ := pool.Get().(*[]byte)
+	if bp == nil || cap(*bp) < n {
+		s := make([]byte, n)
+		bp = &s
+	}
+	work := (*bp)[:n]
+	total := 0
+	for i := range work {
+		work[i] = byte(i)
+		total += int(work[i])
+	}
+	pool.Put(bp)
+	return total
+}
+
+func deferredPut(n int) int {
+	bp, _ := pool.Get().(*[]byte)
+	if bp == nil {
+		s := make([]byte, n)
+		bp = &s
+	}
+	defer pool.Put(bp)
+	return cap(*bp)
+}
+
+func missingPut() {
+	bp := pool.Get()
+	_ = bp
+} // want `function exits at depth \+1`
+
+func putOnOnePathOnly(ok bool) {
+	bp := pool.Get()
+	if ok { // want "branches of if end at different depths"
+		pool.Put(bp)
+	}
+}
+
+func escapesViaReturn() *[]byte {
+	bp, _ := pool.Get().(*[]byte)
+	pool.Put(bp)
+	return bp // want "escapes via return"
+}
+
+func escapesToGlobal() {
+	bp, _ := pool.Get().(*[]byte)
+	leakedGlobal = bp // want "package-level variable"
+	pool.Put(bp)
+}
+
+func escapesToField(h *holder) {
+	bp, _ := pool.Get().(*[]byte)
+	h.buf = bp // want "outlives the call"
+	pool.Put(bp)
+}
+
+func putWithoutGet(bp *[]byte) {
+	pool.Put(bp) // want "close without matching open"
+}

@@ -1,0 +1,79 @@
+// Package spanaccess exercises the spanaccess analyzer: per-row access
+// loops with offsets affine in the loop variable must use the batched
+// span entry points; data-dependent loops are left alone.
+package spanaccess
+
+import "gopim/internal/profile"
+
+const rows, rowBytes, stride = 16, 64, 256
+
+func perRowLoadV(ctx *profile.Ctx) {
+	buf := ctx.Alloc("buf", rows*stride)
+	for r := 0; r < rows; r++ { // want "one LoadSpanV call"
+		ctx.LoadV(buf, r*stride, rowBytes)
+	}
+}
+
+func perRowScalarStore(ctx *profile.Ctx) {
+	buf := ctx.Alloc("buf", rows*stride)
+	for r := 0; r < rows; r++ { // want "one StoreSpan call"
+		ctx.Store(buf, r*stride, rowBytes)
+		ctx.Ops(4)
+	}
+}
+
+func copyLoop(ctx *profile.Ctx) {
+	src := ctx.Alloc("src", rows*stride)
+	dst := ctx.Alloc("dst", rows*rowBytes)
+	for r := 0; r < rows; r++ { // want "one CopySpanV call"
+		srcOff := r * stride
+		dstOff := r * rowBytes
+		ctx.LoadV(src, srcOff, rowBytes)
+		ctx.StoreV(dst, dstOff, rowBytes)
+	}
+}
+
+func strideTwo(ctx *profile.Ctx) {
+	buf := ctx.Alloc("buf", rows*stride)
+	for r := 0; r < rows; r += 2 { // want "one LoadSpanV call"
+		ctx.LoadV(buf, r*stride, rowBytes)
+	}
+}
+
+func guardedTail(ctx *profile.Ctx, m int) {
+	buf := ctx.Alloc("buf", rows*stride)
+	for r := 0; r < rows; r++ { // want "one LoadSpanV call"
+		if r < m {
+			ctx.LoadV(buf, r*stride, rowBytes)
+		}
+	}
+}
+
+func dataDependentOffset(ctx *profile.Ctx, clamp func(int) int) {
+	buf := ctx.Alloc("buf", rows*stride)
+	for r := 0; r < rows; r++ {
+		off := clamp(r * stride) // computed through a call: not affine
+		ctx.LoadV(buf, off, rowBytes)
+	}
+}
+
+func variableRowSize(ctx *profile.Ctx) {
+	buf := ctx.Alloc("buf", rows*stride)
+	for r := 0; r < rows; r++ {
+		ctx.LoadV(buf, r*stride, rowBytes-r) // row size varies: not one rectangle
+	}
+}
+
+func alreadyBatched(ctx *profile.Ctx) {
+	buf := ctx.Alloc("buf", rows*stride)
+	ctx.LoadSpanV(buf, 0, rowBytes, rows, stride)
+}
+
+func asymmetricCopy(ctx *profile.Ctx) {
+	src := ctx.Alloc("src", rows*stride)
+	dst := ctx.Alloc("dst", rows*rowBytes/4)
+	for r := 0; r < rows; r++ {
+		ctx.LoadV(src, r*stride, rowBytes)
+		ctx.StoreV(dst, r*rowBytes/4, rowBytes/4) // rows differ in size: no span covers it
+	}
+}

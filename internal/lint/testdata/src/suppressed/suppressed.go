@@ -1,0 +1,24 @@
+// Package suppressed verifies //lint:ignore handling: every violation
+// below is intentional and annotated with a reason, so the package must
+// lint clean. Both directive placements are covered — on the line above
+// the finding and trailing on the same line.
+package suppressed
+
+import (
+	"sort"
+	"time"
+)
+
+func uptime() time.Time {
+	//lint:ignore nondeterm fixture exercises directive-above-line suppression
+	return time.Now()
+}
+
+func sortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k) //lint:ignore nondeterm keys are fully sorted before use
+	}
+	sort.Strings(out)
+	return out
+}

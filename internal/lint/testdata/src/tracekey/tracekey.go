@@ -1,0 +1,58 @@
+// Package tracekey exercises the tracekey analyzer: every kernel
+// constructor must set a non-empty cache key that (transitively)
+// references every constructor parameter.
+package tracekey
+
+import (
+	"fmt"
+
+	"gopim/internal/profile"
+)
+
+func NoKey(n int) profile.Kernel {
+	return profile.KernelFunc{ // want "without a Key"
+		KernelName: fmt.Sprintf("nokey %d", n),
+		Fn:         func(ctx *profile.Ctx) { ctx.Ops(n) },
+	}
+}
+
+func EmptyKey(n int) profile.Kernel {
+	return profile.KernelFunc{
+		KernelName: "empty",
+		Key:        "", // want "empty Key"
+		Fn:         func(ctx *profile.Ctx) { ctx.Ops(n) },
+	}
+}
+
+func MissingParam(m, n int) profile.Kernel {
+	return profile.KernelFunc{
+		KernelName: "missing",
+		Key:        fmt.Sprintf("missing %d", m), // want `omits constructor parameter\(s\) n`
+		Fn:         func(ctx *profile.Ctx) { ctx.Ops(m * n) },
+	}
+}
+
+func Good(m, n int) profile.Kernel {
+	return profile.KernelFunc{
+		KernelName: "good",
+		Key:        fmt.Sprintf("good %dx%d", m, n),
+		Fn:         func(ctx *profile.Ctx) { ctx.Ops(m * n) },
+	}
+}
+
+// Transitive covers parameters reaching the key through intermediate
+// locals (the nn.LayerKernel pattern: m, k, n := l.GEMMShape(scale)).
+func Transitive(m, n int) profile.Kernel {
+	shape := fmt.Sprintf("%dx%d", m, n)
+	k := profile.KernelFunc{
+		KernelName: "transitive",
+		Key:        "transitive " + shape,
+		Fn:         func(ctx *profile.Ctx) { ctx.Ops(m * n) },
+	}
+	return k
+}
+
+// Delegating constructors are the callee's responsibility.
+func Delegating(m, n int) profile.Kernel {
+	return Good(m, n)
+}

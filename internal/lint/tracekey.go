@@ -1,0 +1,221 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// TracekeyAnalyzer enforces the trace-cache memoization contract on kernel
+// constructors. internal/trace.Cache memoizes kernel profiles by
+// profile.KeyOf: an empty key silently bypasses memoization (the kernel
+// re-executes on every request), and — far worse — a key that omits a
+// constructor parameter can alias two different kernels and return a
+// wrong cached profile for one of them. Every function returning a
+// profile.Kernel must therefore populate KernelFunc.Key, and the key
+// expression must (transitively) reference every constructor parameter.
+var TracekeyAnalyzer = &Analyzer{
+	Name: "tracekey",
+	Doc:  "kernel constructors must set a trace cache key referencing every constructor parameter",
+	Run:  runTracekey,
+}
+
+func runTracekey(pass *Pass) {
+	if !simScope(pass.Path) {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !returnsKernel(pass, fd) {
+				continue
+			}
+			checkConstructor(pass, fd)
+		}
+	}
+}
+
+// returnsKernel reports whether fd's results include profile.Kernel (or
+// profile.KernelFunc directly).
+func returnsKernel(pass *Pass, fd *ast.FuncDecl) bool {
+	if fd.Type.Results == nil {
+		return false
+	}
+	for _, field := range fd.Type.Results.List {
+		t := pass.Info.TypeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		if named, ok := t.(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Pkg() != nil && obj.Pkg().Path() == "gopim/internal/profile" &&
+				(obj.Name() == "Kernel" || obj.Name() == "KernelFunc") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkConstructor inspects every KernelFunc composite literal returned by
+// the constructor.
+func checkConstructor(pass *Pass, fd *ast.FuncDecl) {
+	params := constructorParams(pass, fd)
+	assigns := localAssignments(pass, fd.Body)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			// Constructors that delegate (return OtherKernel(...)) are the
+			// callee's responsibility; only literals are checked here.
+			if lit := kernelFuncLit(pass, res, assigns); lit != nil {
+				checkKeyField(pass, fd, lit, params, assigns)
+			}
+		}
+		return true
+	})
+}
+
+// constructorParams returns the named, non-blank parameter objects of fd.
+func constructorParams(pass *Pass, fd *ast.FuncDecl) []types.Object {
+	var out []types.Object
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			if obj := pass.Info.Defs[name]; obj != nil {
+				out = append(out, obj)
+			}
+		}
+	}
+	return out
+}
+
+// localAssignments maps each local variable object to the expressions
+// assigned to it anywhere in the body, so key expressions built through
+// intermediates (m, k, n := l.GEMMShape(scale)) resolve to the parameters
+// behind them.
+func localAssignments(pass *Pass, body *ast.BlockStmt) map[types.Object][]ast.Expr {
+	out := map[types.Object][]ast.Expr{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := pass.Info.Defs[id]
+			if obj == nil {
+				obj = pass.Info.Uses[id]
+			}
+			if obj == nil {
+				continue
+			}
+			// Multi-value assignments (x, y := f(z)) taint every LHS with
+			// the single RHS; one-to-one assignments map directly.
+			if len(as.Rhs) == len(as.Lhs) {
+				out[obj] = append(out[obj], as.Rhs[i])
+			} else if len(as.Rhs) == 1 {
+				out[obj] = append(out[obj], as.Rhs[0])
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// kernelFuncLit unwraps res to a profile.KernelFunc composite literal:
+// directly, through an address-of, or through a single local variable.
+func kernelFuncLit(pass *Pass, res ast.Expr, assigns map[types.Object][]ast.Expr) *ast.CompositeLit {
+	res = ast.Unparen(res)
+	if un, ok := res.(*ast.UnaryExpr); ok {
+		res = ast.Unparen(un.X)
+	}
+	if id, ok := res.(*ast.Ident); ok {
+		obj := pass.Info.Uses[id]
+		if exprs := assigns[obj]; len(exprs) == 1 {
+			return kernelFuncLit(pass, exprs[0], nil)
+		}
+		return nil
+	}
+	lit, ok := res.(*ast.CompositeLit)
+	if !ok {
+		return nil
+	}
+	t := pass.Info.TypeOf(lit)
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return nil
+	}
+	if named.Obj().Pkg().Path() != "gopim/internal/profile" || named.Obj().Name() != "KernelFunc" {
+		return nil
+	}
+	return lit
+}
+
+// checkKeyField verifies the literal's Key field exists, is non-empty, and
+// references every constructor parameter.
+func checkKeyField(pass *Pass, fd *ast.FuncDecl, lit *ast.CompositeLit, params []types.Object, assigns map[types.Object][]ast.Expr) {
+	var keyExpr ast.Expr
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if id, ok := kv.Key.(*ast.Ident); ok && id.Name == "Key" {
+			keyExpr = kv.Value
+		}
+	}
+	if keyExpr == nil {
+		pass.Reportf(lit.Pos(),
+			"kernel constructor %s returns a KernelFunc without a Key: the trace cache silently falls back to direct execution (internal/trace/cache.go)",
+			fd.Name.Name)
+		return
+	}
+	if tv, ok := pass.Info.Types[keyExpr]; ok && tv.Value != nil && tv.Value.String() == `""` {
+		pass.Reportf(keyExpr.Pos(),
+			"kernel constructor %s sets an empty Key: the trace cache silently falls back to direct execution", fd.Name.Name)
+		return
+	}
+	reached := reachableObjects(pass, keyExpr, assigns)
+	var missing []string
+	for _, p := range params {
+		if !reached[p] {
+			missing = append(missing, p.Name())
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		pass.Reportf(keyExpr.Pos(),
+			"kernel cache key of %s omits constructor parameter(s) %s: two kernels differing only in them would alias one cache entry and return a wrong memoized profile",
+			fd.Name.Name, strings.Join(missing, ", "))
+	}
+}
+
+// reachableObjects returns every object referenced by e, transitively
+// expanding local variables through their assignments.
+func reachableObjects(pass *Pass, e ast.Expr, assigns map[types.Object][]ast.Expr) map[types.Object]bool {
+	reached := map[types.Object]bool{}
+	var visit func(ast.Expr)
+	visit = func(e ast.Expr) {
+		for _, id := range identsIn(e) {
+			obj := pass.Info.Uses[id]
+			if obj == nil || reached[obj] {
+				continue
+			}
+			reached[obj] = true
+			for _, rhs := range assigns[obj] {
+				visit(rhs)
+			}
+		}
+	}
+	visit(e)
+	return reached
+}

@@ -77,11 +77,11 @@ func runLayer(ctx *profile.Ctx, m, k, n int) {
 	lhs := qgemm.Matrix{Rows: m, Cols: k, Data: inQ.Data}
 	qgemm.PackLHSInto(lhsPacked.Data, lhs)
 	for panel := 0; panel < rowPanels; panel++ {
-		for r := 0; r < qgemm.MR; r++ {
-			if panel*qgemm.MR+r < m {
-				ctx.LoadV(inQ, (panel*qgemm.MR+r)*k, k)
-			}
+		rows := qgemm.MR
+		if panel*qgemm.MR+rows > m {
+			rows = m - panel*qgemm.MR
 		}
+		ctx.LoadSpanV(inQ, panel*qgemm.MR*k, k, rows, k)
 		ctx.StoreV(lhsPacked, panel*k*qgemm.MR, k*qgemm.MR)
 		ctx.Ops(k)
 	}
@@ -111,11 +111,13 @@ func runLayer(ctx *profile.Ctx, m, k, n int) {
 	flat := make([]int32, m*n)
 	qgemm.UnpackResultInto(flat, panelled, m, n)
 	for rp := 0; rp < rowPanels; rp++ {
+		rows := qgemm.MR
+		if rp*qgemm.MR+rows > m {
+			rows = m - rp*qgemm.MR
+		}
 		for cp := 0; cp < colPanels; cp++ {
 			ctx.LoadV(resPanels, (rp*colPanels+cp)*qgemm.MR*qgemm.NR*4, qgemm.MR*qgemm.NR*4)
-			for r := 0; r < qgemm.MR && rp*qgemm.MR+r < m; r++ {
-				ctx.Store(resFlat, ((rp*qgemm.MR+r)*n+cp*qgemm.NR)*4, qgemm.NR*4)
-			}
+			ctx.StoreSpan(resFlat, (rp*qgemm.MR*n+cp*qgemm.NR)*4, qgemm.NR*4, rows, n*4)
 			ctx.Ops(qgemm.MR)
 		}
 	}

@@ -1,0 +1,62 @@
+package profile
+
+import "testing"
+
+func TestPushPopPhaseRestoresOuterPhase(t *testing.T) {
+	k := KernelFunc{KernelName: "k", Fn: func(ctx *Ctx) {
+		ctx.SetPhase("outer")
+		ctx.Ops(1)
+		ctx.PushPhase("inner")
+		ctx.Ops(10)
+		ctx.PushPhase("innermost")
+		ctx.Ops(100)
+		ctx.PopPhase()
+		ctx.Ops(20) // back in "inner"
+		ctx.PopPhase()
+		ctx.Ops(2) // back in "outer"
+	}}
+	total, phases := Run(SoC(), k)
+	if got := phases["outer"].Ops; got != 3 {
+		t.Errorf(`phase "outer" ops = %d, want 3`, got)
+	}
+	if got := phases["inner"].Ops; got != 30 {
+		t.Errorf(`phase "inner" ops = %d, want 30`, got)
+	}
+	if got := phases["innermost"].Ops; got != 100 {
+		t.Errorf(`phase "innermost" ops = %d, want 100`, got)
+	}
+	if total.Ops != 133 {
+		t.Errorf("total ops = %d, want 133", total.Ops)
+	}
+}
+
+func TestPushPhaseAccumulatesOnRevisit(t *testing.T) {
+	k := KernelFunc{KernelName: "k", Fn: func(ctx *Ctx) {
+		ctx.SetPhase("main")
+		for i := 0; i < 3; i++ {
+			ctx.PushPhase("sub")
+			ctx.Ops(5)
+			ctx.PopPhase()
+			ctx.Ops(1)
+		}
+	}}
+	_, phases := Run(SoC(), k)
+	if got := phases["sub"].Ops; got != 15 {
+		t.Errorf(`phase "sub" ops = %d, want 15`, got)
+	}
+	if got := phases["main"].Ops; got != 3 {
+		t.Errorf(`phase "main" ops = %d, want 3`, got)
+	}
+}
+
+func TestPopPhaseOnEmptyStackIsNoOp(t *testing.T) {
+	k := KernelFunc{KernelName: "k", Fn: func(ctx *Ctx) {
+		ctx.SetPhase("only")
+		ctx.PopPhase() // nothing pushed: must not clobber the phase
+		ctx.Ops(7)
+	}}
+	_, phases := Run(SoC(), k)
+	if got := phases["only"].Ops; got != 7 {
+		t.Errorf(`phase "only" ops = %d, want 7`, got)
+	}
+}

@@ -279,6 +279,7 @@ type Ctx struct {
 	ops, simd, refs uint64
 
 	phase      string
+	phaseStack []string
 	phaseOrder []string
 	phases     map[string]Profile
 	lastSnap   Profile
@@ -329,6 +330,31 @@ func (c *Ctx) SetPhase(name string) {
 	}
 	c.flushPhase()
 	c.phase = name
+}
+
+// PushPhase enters a nested phase, remembering the active one so the
+// matching PopPhase can restore it — for helpers that attribute part of
+// their work to a sub-phase without knowing (or clobbering) the caller's
+// phase. Push/pop pairs must balance on every control-flow path,
+// including early returns; the phasebalance analyzer enforces this
+// statically, because a leaked push misattributes every subsequent
+// counter and an extra pop resurrects a stale outer phase, corrupting
+// per-phase breakdowns without failing any test.
+func (c *Ctx) PushPhase(name string) {
+	c.phaseStack = append(c.phaseStack, c.phase)
+	c.SetPhase(name)
+}
+
+// PopPhase leaves the phase entered by the matching PushPhase and
+// resumes attributing counters to the phase active before it. Popping
+// an empty stack is a no-op.
+func (c *Ctx) PopPhase() {
+	if len(c.phaseStack) == 0 {
+		return
+	}
+	prev := c.phaseStack[len(c.phaseStack)-1]
+	c.phaseStack = c.phaseStack[:len(c.phaseStack)-1]
+	c.SetPhase(prev)
 }
 
 func (c *Ctx) flushPhase() {

@@ -68,11 +68,13 @@ func packOnce(ctx *profile.Ctx, m, k, n int, seed int64) {
 	rowPanels := (m + MR - 1) / MR
 	colPanels := (n + NR - 1) / NR
 	for rp := 0; rp < rowPanels; rp++ {
+		rows := MR
+		if rp*MR+rows > m {
+			rows = m - rp*MR
+		}
 		for cp := 0; cp < colPanels; cp++ {
 			ctx.LoadV(resPanels, (rp*colPanels+cp)*MR*NR*4, MR*NR*4)
-			for r := 0; r < MR && rp*MR+r < m; r++ {
-				ctx.Store(resOut, ((rp*MR+r)*n+cp*NR)*4, NR*4)
-			}
+			ctx.StoreSpan(resOut, (rp*MR*n+cp*NR)*4, NR*4, rows, n*4)
 			ctx.Ops(MR)
 		}
 	}

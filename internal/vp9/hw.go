@@ -14,15 +14,6 @@ import (
 // measurement path).
 var deltaPool sync.Pool
 
-func getDelta(n int) *[]uint8 {
-	if p, _ := deltaPool.Get().(*[]uint8); p != nil && cap(*p) >= n {
-		*p = (*p)[:n]
-		return p
-	}
-	s := make([]uint8, n)
-	return &s
-}
-
 // Hardware codec model (paper §6.3, §7.3): Google's VP9 hardware fetches
 // reference windows in batches, keeps deblocking working sets in SRAM, and
 // optionally compresses reference/reconstructed frames losslessly. Its
@@ -90,14 +81,21 @@ func CompressFrame(f *video.Frame) []byte {
 		byte(f.H), byte(f.H >> 8),
 	}
 	for _, plane := range [][]uint8{f.Y, f.U, f.V} {
-		dp := getDelta(len(plane))
-		delta := *dp
+		// The Get/Put pair stays inside this loop body so the pooled
+		// buffer provably never outlives one plane's compression.
+		dp, _ := deltaPool.Get().(*[]uint8)
+		if dp == nil || cap(*dp) < len(plane) {
+			s := make([]uint8, len(plane))
+			dp = &s
+		}
+		delta := (*dp)[:len(plane)]
 		prev := uint8(0)
 		for i, v := range plane {
 			delta[i] = v - prev
 			prev = v
 		}
 		c := lzo.Compress(delta)
+		*dp = delta
 		deltaPool.Put(dp)
 		out = append(out, byte(len(c)), byte(len(c)>>8), byte(len(c)>>16), byte(len(c)>>24))
 		out = append(out, c...)

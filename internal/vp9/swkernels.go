@@ -78,9 +78,7 @@ func DecodeKernel(clip *CodedClip) profile.Kernel {
 						ctx.StoreV(pred, 0, MBSize*MBSize)
 						ctx.SIMD(MBSize * MBSize / 4)
 					}
-					for r := 0; r < MBSize; r++ {
-						ctx.StoreV(recon.y, (by+r)*recon.w+bx, MBSize)
-					}
+					ctx.StoreSpanV(recon.y, by*recon.w+bx, MBSize, MBSize, recon.w)
 					ctx.SIMD(MBSize * MBSize / 4) // residual add + clamp
 
 					// Inverse transform: 16 luma + 8 chroma 4x4 blocks per
@@ -130,9 +128,7 @@ func EncodeKernel(clip *CodedClip) profile.Kernel {
 
 					// The encoder always reads the source block.
 					ctx.SetPhase(PhaseOther)
-					for r := 0; r < MBSize; r++ {
-						ctx.LoadV(cur.y, (by+r)*cur.w+bx, MBSize)
-					}
+					ctx.LoadSpanV(cur.y, by*cur.w+bx, MBSize, MBSize, cur.w)
 
 					if n > 0 {
 						ctx.SetPhase(PhaseME)
@@ -161,9 +157,7 @@ func EncodeKernel(clip *CodedClip) profile.Kernel {
 					if d.Inter {
 						traceFullPelMB(ctx, refs[d.Ref], pred, bx, by, d.MV)
 					}
-					for r := 0; r < MBSize; r++ {
-						ctx.StoreV(recon.y, (by+r)*recon.w+bx, MBSize)
-					}
+					ctx.StoreSpanV(recon.y, by*recon.w+bx, MBSize, MBSize, recon.w)
 					ctx.Ops(len(clip.Streams[n]) * 8 * 2 / len(clip.Decisions[n]))
 				}
 
@@ -191,9 +185,8 @@ func traceMESearch(ctx *profile.Ctx, refs [3]frameBuffers, bx, by int) {
 			dx := (s/7 - 1) * 3
 			y := clampInt(by+dy, 0, ref.h-MBSize)
 			x := clampInt(bx+dx, 0, ref.w-MBSize)
-			for r := 0; r < MBSize; r += 2 {
-				ctx.LoadV(ref.y, (y+r)*ref.w+x, MBSize)
-			}
+			// Every other row of the 16x16 SAD window.
+			ctx.LoadSpanV(ref.y, y*ref.w+x, MBSize, MBSize/2, 2*ref.w)
 			ctx.SIMD(MBSize * MBSize / 4)
 			ctx.Ops(8)
 		}

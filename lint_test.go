@@ -1,0 +1,49 @@
+package gopim_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+
+	"gopim/internal/lint"
+)
+
+// TestStaticInvariants runs every analyzer over the whole module; the
+// tree must be clean (real exceptions carry //lint:ignore directives
+// with reasons). This is the same gate cmd/gopimlint enforces, wired
+// into `go test ./...` so it cannot be forgotten.
+func TestStaticInvariants(t *testing.T) {
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	analyzers := lint.Analyzers()
+	diags := lint.RunAnalyzers(pkgs, analyzers)
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	t.Logf("%d analyzers over %d files in %d packages", len(analyzers), lint.FileCount(pkgs), len(pkgs))
+}
+
+// TestGoVet keeps the tree `go vet` clean.
+func TestGoVet(t *testing.T) {
+	out, err := exec.Command("go", "vet", "./...").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go vet failed:\n%s", out)
+	}
+}
+
+// TestGofmt keeps every file gofmt-formatted.
+func TestGofmt(t *testing.T) {
+	out, err := exec.Command("gofmt", "-l", ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("gofmt -l failed:\n%s", out)
+	}
+	if files := strings.TrimSpace(string(out)); files != "" {
+		t.Errorf("files not gofmt-formatted:\n%s", files)
+	}
+}

@@ -1,10 +1,15 @@
 #!/bin/sh
-# Full verification gate: vet, build, and the complete test suite under the
-# race detector. The determinism tests in experiments/ run three full
-# experiment sweeps, so give the suite a generous timeout.
+# Full verification gate: static analysis first (it fails in seconds,
+# before the expensive sweeps), then vet, build, and the complete test
+# suite under the race detector. The determinism tests in experiments/
+# run three full experiment sweeps, so give the suite a generous timeout.
 set -eux
 
 cd "$(dirname "$0")/.."
+
+# Static invariants (internal/lint): the stderr summary line reports
+# analyzer count and files scanned; nonzero exit means findings.
+go run ./cmd/gopimlint ./...
 
 go vet ./...
 go build ./...
