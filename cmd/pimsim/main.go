@@ -31,6 +31,7 @@ func main() {
 	scaleFlag := flag.String("scale", "quick", "input scale: quick or standard")
 	workersFlag := flag.Int("workers", 0, "max concurrent workers (0 = GOMAXPROCS, 1 = serial)")
 	traceFlag := flag.String("tracecache", "on", "kernel trace cache: on (capture once, replay per config) or off (direct execution)")
+	replayFlag := flag.String("replay", "compiled", "trace replay engine: compiled (line-stream) or interp (reference interpreter); output is byte-identical")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -44,10 +45,21 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pimsim: unknown scale %q\n", *scaleFlag)
 		os.Exit(2)
 	}
+	var engine trace.Engine
+	switch *replayFlag {
+	case "compiled":
+		engine = trace.EngineCompiled
+	case "interp":
+		engine = trace.EngineInterp
+	default:
+		fmt.Fprintf(os.Stderr, "pimsim: unknown replay engine %q (want compiled or interp)\n", *replayFlag)
+		os.Exit(2)
+	}
 	opts := experiments.Options{Scale: scale, Workers: *workersFlag}
 	switch *traceFlag {
 	case "on":
 		opts.Traces = trace.NewCache()
+		opts.Traces.Engine = engine
 	case "off":
 		// Direct execution: the reference path, byte-identical by design.
 	default:

@@ -56,6 +56,16 @@ func (s Stats) MPKI(instructions uint64) float64 {
 	return float64(s.Misses) / float64(instructions) * 1000
 }
 
+// Tag-word flag bits. Line addresses occupy the low 62 bits of a tag word
+// (a full 64-bit address shifted right by lineBits always fits), leaving
+// the top two for state: a zero tag word is an empty way, and folding
+// valid/dirty into the tag keeps the hit scan to a single array.
+const (
+	tagValid = 1 << 63
+	tagDirty = 1 << 62
+	tagLine  = tagDirty - 1
+)
+
 // Cache is a single set-associative write-back, write-allocate cache with
 // LRU replacement. It is not safe for concurrent use; concurrent simulation
 // gives each unit of work its own cache instance (see internal/par).
@@ -64,9 +74,7 @@ type Cache struct {
 	sets     int
 	ways     int
 	lineBits uint
-	tags     []uint64 // sets*ways entries; line address (already shifted)
-	valid    []bool
-	dirty    []bool
+	tags     []uint64 // sets*ways entries; tagValid | tagDirty | line address
 	lastUse  []uint64
 	// tick is the LRU clock. It increments once per access; on the (in
 	// practice unreachable) wrap to zero the lastUse values are compacted
@@ -109,8 +117,6 @@ func New(cfg Config) *Cache {
 		ways:     cfg.Ways,
 		lineBits: lineBits,
 		tags:     make([]uint64, n),
-		valid:    make([]bool, n),
-		dirty:    make([]bool, n),
 		lastUse:  make([]uint64, n),
 	}
 }
@@ -123,9 +129,8 @@ func (c *Cache) Stats() Stats { return c.stats }
 
 // Reset clears contents and counters.
 func (c *Cache) Reset() {
-	for i := range c.valid {
-		c.valid[i] = false
-		c.dirty[i] = false
+	for i := range c.tags {
+		c.tags[i] = 0
 	}
 	c.tick = 0
 	c.mru = 0
@@ -144,53 +149,93 @@ func (c *Cache) Access(addr uint64, write bool) (hit bool, writeback bool, wbAdd
 	} else {
 		c.stats.Reads++
 	}
+	want := line | tagValid
 
 	// MRU filter: a repeat of the last-touched line needs no set scan.
-	// tags hold full line addresses, so a tag match implies a set match.
-	if m := c.mru; c.valid[m] && c.tags[m] == line {
+	// Tag words hold full line addresses, so a match implies a set match.
+	if m := c.mru; c.tags[m]&^uint64(tagDirty) == want {
 		c.lastUse[m] = c.tick
 		if write {
-			c.dirty[m] = true
+			c.tags[m] |= tagDirty
 		}
 		c.stats.Hits++
 		return true, false, 0
 	}
 
-	set := int(line) & (c.sets - 1)
-	base := set * c.ways
+	base := (int(line) & (c.sets - 1)) * c.ways
+	tags := c.tags[base : base+c.ways]
 
-	// Hit path.
-	victim := base
-	for i := base; i < base+c.ways; i++ {
-		if c.valid[i] && c.tags[i] == line {
-			c.lastUse[i] = c.tick
+	// Hit path: scan tags only, tracking the victim (the last empty way,
+	// else least recently used) as the original combined loop did.
+	lastUse := c.lastUse[base : base+c.ways]
+	victim := 0
+	for i, t := range tags {
+		if t&^uint64(tagDirty) == want {
+			lastUse[i] = c.tick
 			if write {
-				c.dirty[i] = true
+				tags[i] |= tagDirty
 			}
-			c.mru = i
+			c.mru = base + i
 			c.stats.Hits++
 			return true, false, 0
 		}
-		if !c.valid[i] {
+		if t&tagValid == 0 {
 			victim = i
-		} else if c.valid[victim] && c.lastUse[i] < c.lastUse[victim] {
+		} else if tags[victim]&tagValid != 0 && lastUse[i] < lastUse[victim] {
 			victim = i
 		}
 	}
 
 	// Miss: allocate, possibly writing back the LRU victim.
 	c.stats.Misses++
-	if c.valid[victim] && c.dirty[victim] {
+	if t := tags[victim]; t&(tagValid|tagDirty) == tagValid|tagDirty {
 		writeback = true
-		wbAddr = c.tags[victim] << c.lineBits
+		wbAddr = (t & tagLine) << c.lineBits
 		c.stats.Writebacks++
 	}
-	c.tags[victim] = line
-	c.valid[victim] = true
-	c.dirty[victim] = write
-	c.lastUse[victim] = c.tick
-	c.mru = victim
+	newTag := want
+	if write {
+		newTag |= tagDirty
+	}
+	tags[victim] = newTag
+	lastUse[victim] = c.tick
+	c.mru = base + victim
 	return false, writeback, wbAddr
+}
+
+// AccessRepeat applies n consecutive accesses to the line containing addr
+// in O(1), returning what the first of them returned. It is equivalent to
+// calling Access n times: after the first access the line is resident and
+// most-recently used with nothing intervening, so accesses 2..n are MRU
+// hits — each advances the LRU clock, refreshes the line's recency (only
+// the final tick survives), and counts one hit; the dirty bit was already
+// settled by the first access. Bulk same-line repeats are the dominant
+// pattern of byte-wise kernels (LZO matching, bool-coder output), which is
+// what makes compiled trace replay fast.
+func (c *Cache) AccessRepeat(addr uint64, write bool, n uint64) (hit bool, writeback bool, wbAddr uint64) {
+	hit, writeback, wbAddr = c.Access(addr, write)
+	if n <= 1 {
+		return hit, writeback, wbAddr
+	}
+	rest := n - 1
+	if c.tick+rest < c.tick {
+		// The LRU clock would wrap mid-bulk (needs 2^64 prior accesses):
+		// take the literal loop, whose bumpTick renormalizes at the wrap.
+		for ; rest > 0; rest-- {
+			c.Access(addr, write)
+		}
+		return hit, writeback, wbAddr
+	}
+	c.tick += rest
+	c.stats.Accesses += rest
+	c.stats.Hits += rest
+	if write {
+		c.stats.Writes += rest
+	} else {
+		c.stats.Reads += rest
+	}
+	c.lastUse[c.mru] = c.tick
+	return hit, writeback, wbAddr
 }
 
 // bumpTick advances the LRU clock, renormalizing recency state if the
@@ -212,7 +257,7 @@ func (c *Cache) bumpTick() {
 func (c *Cache) renormalizeLRU() {
 	order := make([]int, 0, len(c.lastUse))
 	for i := range c.lastUse {
-		if c.valid[i] {
+		if c.tags[i]&tagValid != 0 {
 			order = append(order, i)
 		} else {
 			c.lastUse[i] = 0
@@ -228,11 +273,10 @@ func (c *Cache) renormalizeLRU() {
 // Contains reports whether the line holding addr is resident. It does not
 // disturb LRU state or counters; it exists for tests.
 func (c *Cache) Contains(addr uint64) bool {
-	line := addr >> c.lineBits
-	set := int(line) & (c.sets - 1)
-	base := set * c.ways
+	want := addr>>c.lineBits | tagValid
+	base := (int(addr>>c.lineBits) & (c.sets - 1)) * c.ways
 	for i := base; i < base+c.ways; i++ {
-		if c.valid[i] && c.tags[i] == line {
+		if c.tags[i]&^uint64(tagDirty) == want {
 			return true
 		}
 	}
@@ -242,8 +286,8 @@ func (c *Cache) Contains(addr uint64) bool {
 // ResidentLines returns how many lines are currently valid (for tests).
 func (c *Cache) ResidentLines() int {
 	n := 0
-	for _, v := range c.valid {
-		if v {
+	for _, t := range c.tags {
+		if t&tagValid != 0 {
 			n++
 		}
 	}

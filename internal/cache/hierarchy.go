@@ -90,6 +90,15 @@ func (h *Hierarchy) span(addr uint64, n int, write bool) {
 
 func (h *Hierarchy) access(line uint64, write bool) {
 	hit, wb, wbAddr := h.L1.Access(line, write)
+	if !hit {
+		h.fill(line, wb, wbAddr)
+	}
+}
+
+// fill handles an L1 miss: propagate the evicted dirty line (if any)
+// downward, then fetch the demanded line from L2 or memory. A writeback
+// can only accompany a miss, so hit handling never reaches here.
+func (h *Hierarchy) fill(line uint64, wb bool, wbAddr uint64) {
 	if wb {
 		// Dirty L1 eviction: install in L2 (or write to memory directly).
 		if h.L2 != nil {
@@ -100,9 +109,6 @@ func (h *Hierarchy) access(line uint64, write bool) {
 		} else {
 			h.writeLine(wbAddr)
 		}
-	}
-	if hit {
-		return
 	}
 	if h.L2 == nil {
 		h.readLine(line)

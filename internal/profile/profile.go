@@ -447,6 +447,29 @@ func (c *Ctx) AddCounters(ops, simd, refs uint64) {
 	c.refs += refs
 }
 
+// AddSpanRefs adds the memory-reference count of rows spans of rowBytes
+// each at this hardware's scalar or vector reference width — exactly the
+// MemRefs contribution the corresponding live span entry point computes.
+// It is the compiled-replay hook for the hardware-dependent half of the
+// counters: traces store raw span geometry, and the compiler aggregates
+// it per (rowBytes, width-class) group so replay prices it against the
+// replaying hardware's widths in O(groups) instead of O(events).
+func (c *Ctx) AddSpanRefs(rowBytes, rows uint64, vector bool) {
+	w := c.scalarRef
+	if vector {
+		w = c.vectorRef
+	}
+	c.refs += rows * ((rowBytes + w - 1) / w)
+}
+
+// ReplayLines drives a compiled line stream through the context's cache
+// hierarchy and row meter (see cache.Hierarchy.ReplayStream). Counters are
+// unaffected; pair with AddCounters/AddSpanRefs to replay a full trace
+// segment.
+func (c *Ctx) ReplayLines(s *cache.LineStream) {
+	c.hier.ReplayStream(s)
+}
+
 // Load records a scalar-width read of n bytes at offset off in b.
 func (c *Ctx) Load(b *mem.Buffer, off, n int) {
 	if n <= 0 {

@@ -22,6 +22,19 @@ func BenchmarkTraceReplay(b *testing.B) {
 	}
 }
 
+// BenchmarkTraceReplayInterp replays the same trace through the reference
+// interpreter engine, isolating what the compiled line-stream form saves.
+func BenchmarkTraceReplayInterp(b *testing.B) {
+	k := texture.Kernel(512, 512, 1)
+	rec := NewRecorder(k.Name())
+	profile.Record(profile.SoC(), k, rec)
+	tr := rec.Finish()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.ReplayInterp(profile.PIMCore())
+	}
+}
+
 // BenchmarkDirectRun is the corresponding direct execution of the same
 // kernel on the same hardware.
 func BenchmarkDirectRun(b *testing.B) {

@@ -36,6 +36,17 @@ type Stats struct {
 	Misses  int64 // requests that fell through to direct execution (no key)
 }
 
+// Engine selects how a Cache replays traces.
+type Engine int
+
+// Replay engines. The compiled line-stream engine is the default (zero
+// value); the interpreter is the reference implementation kept for the
+// end-to-end equivalence gate (`pimsim -replay=interp`).
+const (
+	EngineCompiled Engine = iota
+	EngineInterp
+)
+
 // Cache memoizes kernel profiles at two levels: each keyed kernel executes
 // (and records its trace) once per process, and each (kernel, hardware)
 // pair replays once — later requests return the memoized result. Kernels
@@ -46,6 +57,12 @@ type Stats struct {
 // single-flight, so concurrent experiment runners asking for the same
 // kernel block on one execution instead of duplicating it.
 type Cache struct {
+	// Engine selects the replay engine for cache-mediated replays. Set it
+	// before sharing the cache across goroutines; both engines produce
+	// bit-identical profiles, and compiled replays of one trace share a
+	// single compiled stream across all hardware configs.
+	Engine Engine
+
 	mu      sync.Mutex
 	traces  map[string]*traceEntry
 	results map[string]*resultEntry
@@ -128,7 +145,11 @@ func (c *Cache) Profile(hw profile.Hardware, kernel profile.Kernel) (profile.Pro
 			re.prof, re.phases = te.prof, te.phases
 			return
 		}
-		re.prof, re.phases = te.trace.Replay(hw)
+		if c.Engine == EngineInterp {
+			re.prof, re.phases = te.trace.ReplayInterp(hw)
+		} else {
+			re.prof, re.phases = te.trace.Replay(hw)
+		}
 		c.replays.Add(1)
 	})
 	if !first {

@@ -1,0 +1,153 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"gopim/internal/mem"
+	"gopim/internal/profile"
+)
+
+// randomKernel builds a deterministic pseudo-random kernel from seed: a
+// stream of phase changes, counter bumps, and single/span/copy/blend
+// accesses with geometry drawn to hit the compiler's corners — same-line
+// repeats (stride 0), overlapping rows (stride < rowBytes), sub-line and
+// multi-line rows, and backwards-written rectangles via descending offsets.
+// Re-running the kernel replays the identical instrumentation stream, so it
+// is a valid recording subject.
+func randomKernel(seed int64) profile.Kernel {
+	return profile.KernelFunc{
+		KernelName: fmt.Sprintf("random-%d", seed),
+		Fn: func(ctx *profile.Ctx) {
+			rng := rand.New(rand.NewSource(seed))
+			const bufSize = 1 << 16
+			bufs := []*mem.Buffer{
+				ctx.Alloc("a", bufSize),
+				ctx.Alloc("b", bufSize),
+				ctx.Alloc("c", bufSize),
+			}
+			phases := []string{"alpha", "beta", "gamma"}
+			pick := func() *mem.Buffer { return bufs[rng.Intn(len(bufs))] }
+			// A span must stay in bounds: off + rowBytes + (rows-1)*stride
+			// <= bufSize. Draw geometry first, then a legal offset.
+			geom := func() (off, rowBytes, rows, stride int) {
+				rowBytes = 1 + rng.Intn(260)
+				rows = 1 + rng.Intn(16)
+				stride = rng.Intn(2 * rowBytes) // 0, overlapping, and gapped
+				span := rowBytes + (rows-1)*stride
+				off = rng.Intn(bufSize - span)
+				return off, rowBytes, rows, stride
+			}
+			steps := 150 + rng.Intn(100)
+			for i := 0; i < steps; i++ {
+				switch rng.Intn(13) {
+				case 0:
+					ctx.SetPhase(phases[rng.Intn(len(phases))])
+				case 1:
+					ctx.Ops(rng.Intn(1000))
+				case 2:
+					ctx.SIMD(rng.Intn(500))
+				case 3:
+					ctx.Refs(rng.Intn(200))
+				case 4:
+					n := 1 + rng.Intn(300)
+					ctx.Load(pick(), rng.Intn(bufSize-n), n)
+				case 5:
+					n := 1 + rng.Intn(300)
+					ctx.Store(pick(), rng.Intn(bufSize-n), n)
+				case 6:
+					n := 1 + rng.Intn(300)
+					ctx.LoadV(pick(), rng.Intn(bufSize-n), n)
+				case 7:
+					n := 1 + rng.Intn(300)
+					ctx.StoreV(pick(), rng.Intn(bufSize-n), n)
+				case 8:
+					off, rowBytes, rows, stride := geom()
+					ctx.LoadSpan(pick(), off, rowBytes, rows, stride)
+				case 9:
+					off, rowBytes, rows, stride := geom()
+					ctx.StoreSpan(pick(), off, rowBytes, rows, stride)
+				case 10:
+					off, rowBytes, rows, stride := geom()
+					ctx.LoadSpanV(pick(), off, rowBytes, rows, stride)
+				case 11:
+					off, rowBytes, rows, stride := geom()
+					ctx.StoreSpanV(pick(), off, rowBytes, rows, stride)
+				default:
+					srcOff, rowBytes, rows, srcStride := geom()
+					dstSpan := rowBytes + (rows-1)*srcStride
+					dstOff := rng.Intn(bufSize - dstSpan)
+					if rng.Intn(2) == 0 {
+						ctx.CopySpanV(pick(), srcOff, pick(), dstOff, rowBytes, rows, srcStride, srcStride)
+					} else {
+						ctx.BlendSpanV(pick(), srcOff, pick(), dstOff, rowBytes, rows, srcStride, srcStride)
+					}
+				}
+			}
+		},
+	}
+}
+
+// TestCompiledReplayRandomGeometry is the tentpole's property test: for
+// randomized trace geometry, the compiled line-stream engine, the reference
+// interpreter, and direct execution must agree bit-for-bit on every
+// hardware config — totals, per-phase maps, cache stats, and the
+// event-order-sensitive row-buffer counters.
+func TestCompiledReplayRandomGeometry(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			k := randomKernel(seed)
+			rec := NewRecorder(k.Name())
+			recTotal, recPhases := profile.Record(profile.SoC(), k, rec)
+			tr := rec.Finish()
+
+			directTotal, directPhases := profile.Run(profile.SoC(), k)
+			if recTotal != directTotal || !reflect.DeepEqual(recPhases, directPhases) {
+				t.Fatalf("recording perturbed the profile")
+			}
+
+			for _, hw := range hardwareConfigs() {
+				wantTotal, wantPhases := profile.Run(hw, k)
+				interpTotal, interpPhases := tr.ReplayInterp(hw)
+				compTotal, compPhases := tr.Replay(hw)
+				if interpTotal != wantTotal {
+					t.Errorf("%s: interp total diverges from direct:\ninterp %+v\ndirect %+v", hw.Name, interpTotal, wantTotal)
+				}
+				if compTotal != wantTotal {
+					t.Errorf("%s: compiled total diverges from direct:\ncompiled %+v\ndirect   %+v", hw.Name, compTotal, wantTotal)
+				}
+				if compTotal.Rows != wantTotal.Rows {
+					t.Errorf("%s: compiled row-buffer stats diverge: compiled %+v direct %+v", hw.Name, compTotal.Rows, wantTotal.Rows)
+				}
+				if !reflect.DeepEqual(interpPhases, wantPhases) {
+					t.Errorf("%s: interp phase map diverges", hw.Name)
+				}
+				if !reflect.DeepEqual(compPhases, wantPhases) {
+					t.Errorf("%s: compiled phase map diverges:\ncompiled %+v\ndirect   %+v", hw.Name, compPhases, wantPhases)
+				}
+			}
+
+			if w := tr.CompiledWords(64); w == 0 {
+				t.Errorf("compiled stream is empty for a non-trivial trace")
+			}
+		})
+	}
+}
+
+// TestCompileMemoized verifies that compilation happens once per line size
+// and is shared across replays and hardware configs.
+func TestCompileMemoized(t *testing.T) {
+	k := randomKernel(42)
+	rec := NewRecorder(k.Name())
+	profile.Record(profile.SoC(), k, rec)
+	tr := rec.Finish()
+
+	c1 := tr.compile(64)
+	tr.Replay(profile.SoC())
+	tr.Replay(profile.PIMCore())
+	if c2 := tr.compile(64); c2 != c1 {
+		t.Errorf("compile(64) rebuilt: %p then %p", c1, c2)
+	}
+}

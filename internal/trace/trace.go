@@ -29,6 +29,7 @@ package trace
 
 import (
 	"fmt"
+	"sync"
 
 	"gopim/internal/mem"
 	"gopim/internal/profile"
@@ -57,6 +58,14 @@ type Trace struct {
 	events []uint64
 	phases []string // interned phase names, indexed by phase events
 	bases  []uint64 // buffer id -> base address in the recording Space
+
+	// Replay-many state, interned on first use and shared by all replays:
+	// the compiled line-stream form per line size, and the interpreter's
+	// synthetic buffer handles (stateless, so sharing is safe).
+	mu         sync.Mutex
+	compiledBy map[uint64]*compiledEntry
+	bufsOnce   sync.Once
+	replayBufs []*mem.Buffer
 }
 
 // Words returns the size of the encoded event stream in 8-byte words.
@@ -158,14 +167,35 @@ func (r *Recorder) Finish() *Trace {
 
 // Replay feeds the recorded stream into a fresh context for hw — a new cache
 // hierarchy and row meter — and returns exactly what profile.Run(hw, kernel)
-// returns, including the per-phase map. Replay is safe to call concurrently
-// on the same Trace.
+// returns, including the per-phase map. It drives the compiled line-stream
+// engine (see compile.go), lowering the trace once per line size and
+// reusing that form across every subsequent replay and hardware config.
+// Replay is safe to call concurrently on the same Trace.
 func (t *Trace) Replay(hw profile.Hardware) (profile.Profile, map[string]profile.Profile) {
+	return t.replayCompiled(hw)
+}
+
+// buffers returns the interpreter's synthetic buffer handles, built once
+// per Trace: they are immutable (name + base address), so every replay
+// shares them instead of re-allocating and re-formatting names.
+func (t *Trace) buffers() []*mem.Buffer {
+	t.bufsOnce.Do(func() {
+		t.replayBufs = make([]*mem.Buffer, len(t.bases))
+		for i, base := range t.bases {
+			t.replayBufs[i] = mem.BufferAt(fmt.Sprintf("replay%d", i), base)
+		}
+	})
+	return t.replayBufs
+}
+
+// ReplayInterp is the reference replay engine: it interprets the packed
+// span events one at a time through the live span entry points. It
+// computes exactly what Replay computes — the compiled engine is defined
+// (and gate-tested) against it — and remains reachable via
+// `pimsim -replay=interp` so the equivalence can be checked end to end.
+func (t *Trace) ReplayInterp(hw profile.Hardware) (profile.Profile, map[string]profile.Profile) {
 	ctx := profile.NewCtx(hw)
-	bufs := make([]*mem.Buffer, len(t.bases))
-	for i, base := range t.bases {
-		bufs[i] = mem.BufferAt(fmt.Sprintf("replay%d", i), base)
-	}
+	bufs := t.buffers()
 	ev := t.events
 	for i := 0; i < len(ev); {
 		w := ev[i]

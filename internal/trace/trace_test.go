@@ -70,16 +70,25 @@ func TestReplayEquivalence(t *testing.T) {
 			}
 
 			for _, hw := range hardwareConfigs() {
-				gotTotal, gotPhases := tr.Replay(hw)
 				wantTotal, wantPhases := profile.Run(hw, k)
-				if gotTotal != wantTotal {
-					t.Errorf("%s: replay total diverges:\nreplay %+v\ndirect %+v", hw.Name, gotTotal, wantTotal)
+				engines := []struct {
+					name   string
+					replay func(profile.Hardware) (profile.Profile, map[string]profile.Profile)
+				}{
+					{"compiled", tr.Replay},
+					{"interp", tr.ReplayInterp},
 				}
-				if gotTotal.Rows != wantTotal.Rows {
-					t.Errorf("%s: row-buffer stats diverge: replay %+v direct %+v", hw.Name, gotTotal.Rows, wantTotal.Rows)
-				}
-				if !reflect.DeepEqual(gotPhases, wantPhases) {
-					t.Errorf("%s: replay phase map diverges:\nreplay %+v\ndirect %+v", hw.Name, gotPhases, wantPhases)
+				for _, e := range engines {
+					gotTotal, gotPhases := e.replay(hw)
+					if gotTotal != wantTotal {
+						t.Errorf("%s/%s: replay total diverges:\nreplay %+v\ndirect %+v", hw.Name, e.name, gotTotal, wantTotal)
+					}
+					if gotTotal.Rows != wantTotal.Rows {
+						t.Errorf("%s/%s: row-buffer stats diverge: replay %+v direct %+v", hw.Name, e.name, gotTotal.Rows, wantTotal.Rows)
+					}
+					if !reflect.DeepEqual(gotPhases, wantPhases) {
+						t.Errorf("%s/%s: replay phase map diverges:\nreplay %+v\ndirect %+v", hw.Name, e.name, gotPhases, wantPhases)
+					}
 				}
 			}
 		})

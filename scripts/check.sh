@@ -20,10 +20,14 @@ go test -race -timeout 45m ./...
 go test -race -count=1 -run 'TestReplayEquivalence|TestCache' ./internal/trace
 
 # End-to-end trace-cache gate: the full default-scale sweep must render
-# byte-identical output with the kernel trace cache on and off.
+# byte-identical output with the kernel trace cache on and off, and — with
+# it on — through both replay engines (the compiled line-stream engine and
+# the reference interpreter).
 tmpdir=$(mktemp -d)
 trap 'rm -rf "$tmpdir"' EXIT
 go build -o "$tmpdir/pimsim" ./cmd/pimsim
 "$tmpdir/pimsim" -tracecache=off run all > "$tmpdir/off.txt"
-"$tmpdir/pimsim" -tracecache=on run all > "$tmpdir/on.txt"
+"$tmpdir/pimsim" -tracecache=on -replay=compiled run all > "$tmpdir/on.txt"
+"$tmpdir/pimsim" -tracecache=on -replay=interp run all > "$tmpdir/interp.txt"
 cmp "$tmpdir/off.txt" "$tmpdir/on.txt"
+cmp "$tmpdir/on.txt" "$tmpdir/interp.txt"
