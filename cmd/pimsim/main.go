@@ -5,6 +5,8 @@
 //
 //	pimsim [-scale quick|standard] [-workers N] [experiment ...]
 //	pimsim [-scale quick|standard] [-workers N] run [all | experiment ...]
+//	pimsim trace pack
+//	pimsim trace [-prune] verify
 //
 // With no arguments it runs every experiment serially. The `run`
 // subcommand computes the selected experiments (or all of them)
@@ -14,12 +16,22 @@
 // fig2, fig4, fig6, fig7, fig10, fig11, fig12, fig15, fig16, fig18,
 // fig19, fig20, fig21, areas, headline, ablation, battery, targets,
 // tabswitch, plan, pageload.
+//
+// Recorded kernel traces persist across processes in a content-addressed
+// store (default: $GOPIM_TRACE_DIR, else <user cache dir>/gopim/traces;
+// -tracestore selects another directory or `off`). `trace pack` pre-warms
+// the store by running every keyed kernel once; `trace verify` checks
+// every entry's format version and integrity hash (and with -prune
+// deletes defective entries and stale-version directories). A corrupt or
+// stale entry is always treated as a cache miss and re-recorded — output
+// is byte-identical with the store on, off, or damaged.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"gopim"
@@ -32,6 +44,8 @@ func main() {
 	workersFlag := flag.Int("workers", 0, "max concurrent workers (0 = GOMAXPROCS, 1 = serial)")
 	traceFlag := flag.String("tracecache", "on", "kernel trace cache: on (capture once, replay per config) or off (direct execution)")
 	replayFlag := flag.String("replay", "compiled", "trace replay engine: compiled (line-stream) or interp (reference interpreter); output is byte-identical")
+	storeFlag := flag.String("tracestore", "auto", "persistent trace store directory: auto ($GOPIM_TRACE_DIR or the user cache dir), off, or a path")
+	pruneFlag := flag.Bool("prune", false, "with `trace verify`: delete corrupt entries and stale-version directories")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -56,10 +70,18 @@ func main() {
 		os.Exit(2)
 	}
 	opts := experiments.Options{Scale: scale, Workers: *workersFlag}
+
+	names := flag.Args()
+	if len(names) > 0 && names[0] == "trace" {
+		traceCommand(names[1:], opts, engine, *storeFlag, *pruneFlag)
+		return
+	}
+
 	switch *traceFlag {
 	case "on":
 		opts.Traces = trace.NewCache()
 		opts.Traces.Engine = engine
+		opts.Traces.Store = openStore(*storeFlag, false)
 	case "off":
 		// Direct execution: the reference path, byte-identical by design.
 	default:
@@ -67,7 +89,6 @@ func main() {
 		os.Exit(2)
 	}
 
-	names := flag.Args()
 	parallel := false
 	if len(names) > 0 && names[0] == "run" {
 		parallel = true
@@ -98,6 +119,7 @@ func main() {
 			}
 			fmt.Println()
 		}
+		waitStore(opts)
 		return
 	}
 
@@ -119,9 +141,123 @@ func main() {
 		}
 		fmt.Println()
 	}
+	waitStore(opts)
+}
+
+// waitStore lets pending asynchronous store writes land before exit, so a
+// run's recordings are never lost to a fast shutdown.
+func waitStore(opts experiments.Options) {
+	if opts.Traces != nil {
+		opts.Traces.Store.Wait()
+	}
+}
+
+// storeDir resolves the -tracestore flag to a directory, or ok == false
+// when the store is disabled (explicitly, or because auto resolution found
+// no usable cache directory).
+func storeDir(flagVal string) (string, bool) {
+	switch flagVal {
+	case "off":
+		return "", false
+	case "auto":
+		if dir := os.Getenv("GOPIM_TRACE_DIR"); dir != "" {
+			return dir, true
+		}
+		base, err := os.UserCacheDir()
+		if err != nil {
+			return "", false
+		}
+		return filepath.Join(base, "gopim", "traces"), true
+	default:
+		return flagVal, true
+	}
+}
+
+// openStore opens the resolved store, or returns nil when disabled. An
+// unusable auto-resolved directory degrades to no store (the cache is an
+// optimization); an explicitly requested one is an error — unless require
+// is set, in which case a disabled store is an error too (the trace
+// subcommands are meaningless without one).
+func openStore(flagVal string, require bool) *trace.Store {
+	dir, ok := storeDir(flagVal)
+	if !ok {
+		if require {
+			fmt.Fprintln(os.Stderr, "pimsim: this command needs a trace store, but -tracestore is off (or no cache directory was found)")
+			os.Exit(2)
+		}
+		return nil
+	}
+	st, err := trace.OpenStore(dir)
+	if err != nil {
+		if require || flagVal != "auto" {
+			fmt.Fprintf(os.Stderr, "pimsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "pimsim: trace store disabled: %v\n", err)
+		return nil
+	}
+	return st
+}
+
+// traceCommand implements `pimsim trace pack` and `pimsim trace verify`.
+func traceCommand(args []string, opts experiments.Options, engine trace.Engine, storeFlag string, prune bool) {
+	if len(args) != 1 {
+		fmt.Fprintln(os.Stderr, "pimsim: usage: pimsim trace pack | pimsim trace [-prune] verify")
+		os.Exit(2)
+	}
+	st := openStore(storeFlag, true)
+	switch args[0] {
+	case "pack":
+		c := trace.NewCache()
+		c.Engine = engine
+		c.Store = st
+		opts.Traces = c
+		if err := experiments.Warm(opts); err != nil {
+			fmt.Fprintf(os.Stderr, "pimsim: trace pack: %v\n", err)
+			os.Exit(1)
+		}
+		st.Wait()
+		cs, ss := c.Stats(), st.Stats()
+		fmt.Printf("trace pack: %d kernels recorded, %d already stored, %d entries written (%d write errors) in %s\n",
+			cs.Records, cs.StoreHits, ss.Saves, ss.SaveErrors, st.Dir())
+		if ss.SaveErrors > 0 {
+			os.Exit(1)
+		}
+	case "verify":
+		rep, err := st.Verify(prune)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pimsim: trace verify: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace verify: %d entries ok (%d bytes) in %s\n", rep.OK, rep.Bytes, st.Dir())
+		for _, dir := range rep.StaleDirs {
+			action := "found"
+			if prune {
+				action = "pruned"
+			}
+			fmt.Printf("trace verify: %s stale format-version directory %s\n", action, dir)
+		}
+		for _, issue := range rep.Issues {
+			action := "bad entry"
+			if prune {
+				action = "pruned bad entry"
+			}
+			fmt.Printf("trace verify: %s %s: %s\n", action, issue.Path, issue.Reason)
+		}
+		if len(rep.Issues) > 0 {
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "pimsim: unknown trace subcommand %q (want pack or verify)\n", args[0])
+		os.Exit(2)
+	}
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: pimsim [-scale quick|standard] [-workers N] [run] [experiment ...]\nexperiments: %s\n",
-		strings.Join(experiments.Names(), ", "))
+	fmt.Fprintf(os.Stderr, `usage: pimsim [flags] [run] [experiment ...]
+       pimsim [flags] trace pack     (pre-warm the persistent trace store)
+       pimsim [flags] trace verify   (check store integrity; -prune to clean)
+experiments: %s
+`, strings.Join(experiments.Names(), ", "))
+	flag.PrintDefaults()
 }

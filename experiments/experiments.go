@@ -32,7 +32,10 @@ type Options struct {
 	// cache shared by every runner in a sweep: each keyed kernel executes
 	// once per process and all further (kernel, hardware) profiles replay
 	// its trace, bit-identical to direct execution. Nil profiles every
-	// kernel directly (the reference path).
+	// kernel directly (the reference path). Attaching a trace.Store to the
+	// cache extends capture-once across processes: traces recorded by an
+	// earlier run (or `pimsim trace pack`) load from disk instead of
+	// executing, making a cold sweep nearly as fast as a warm one.
 	Traces *trace.Cache
 }
 

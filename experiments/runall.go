@@ -151,6 +151,20 @@ func RunAll(o Options) []RunResult {
 	return res
 }
 
+// Warm computes every experiment and discards the payloads, returning the
+// first failure. Its point is the side effect: with a trace cache (and
+// persistent store) attached to o, one Warm pass records every keyed
+// kernel the full sweep touches — `pimsim trace pack` uses it to pre-warm
+// the on-disk store so later cold processes replay instead of executing.
+func Warm(o Options) error {
+	for _, r := range RunAll(o) {
+		if r.Err != nil {
+			return fmt.Errorf("%s: %w", r.Name, r.Err)
+		}
+	}
+	return nil
+}
+
 // RunAllSerial is RunAll pinned to one worker: the serial reference used by
 // the determinism tests.
 func RunAllSerial(o Options) []RunResult {

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gopim"
+	"gopim/internal/trace"
+)
+
+// corruptStore flips one payload byte in every entry of a trace store, so
+// every load must fail its integrity check.
+func corruptStore(t *testing.T, dir string) {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join(dir, "v*", "*", "*.trace"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no store entries under %s (err %v)", dir, err)
+	}
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)/2] ^= 0x5a
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestRunAllTraceStoreMatches is the end-to-end persistence gate: the full
+// experiment sweep must render byte-identical reports whether traces are
+// recorded fresh (packing the store as a side effect), loaded cold from
+// the packed store with zero kernel executions, or requested from a store
+// whose every entry has been corrupted (graceful miss, re-record).
+func TestRunAllTraceStoreMatches(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three full experiment sweeps; skipped with -short")
+	}
+	dir := t.TempDir()
+
+	// Sweep 1 packs the store while producing the reference output.
+	st1, err := trace.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1 := trace.NewCache()
+	c1.Store = st1
+	packed := RunAllSerial(Options{Scale: gopim.Quick, Traces: c1})
+	st1.Wait()
+	if s := c1.Stats(); s.Records == 0 || s.StoreHits != 0 {
+		t.Fatalf("packing sweep stats = %+v, want fresh recordings only", s)
+	}
+	if s := st1.Stats(); s.Saves == 0 || s.SaveErrors != 0 {
+		t.Fatalf("packing sweep store stats = %+v, want clean write-through", s)
+	}
+
+	// Sweep 2 is the cold-start: a fresh cache over the packed store must
+	// execute no kernels at all.
+	st2, err := trace.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := trace.NewCache()
+	c2.Store = st2
+	cold := RunAllSerial(Options{Scale: gopim.Quick, Traces: c2})
+	if s := c2.Stats(); s.Records != 0 || s.StoreHits == 0 {
+		t.Fatalf("cold sweep stats = %+v, want store hits and zero recordings", s)
+	}
+
+	// Sweep 3 runs against a fully corrupted store: every entry must read
+	// as a miss and re-record, with output unchanged.
+	corruptStore(t, dir)
+	st3, err := trace.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c3 := trace.NewCache()
+	c3.Store = st3
+	corrupted := RunAllSerial(Options{Scale: gopim.Quick, Traces: c3})
+	st3.Wait()
+	if s := c3.Stats(); s.Records == 0 || s.StoreHits != 0 {
+		t.Fatalf("corrupted sweep stats = %+v, want graceful fallback to recording", s)
+	}
+
+	rp, rc, rx := renderResults(t, packed), renderResults(t, cold), renderResults(t, corrupted)
+	for name, text := range rp {
+		if !bytes.Equal(text, rc[name]) {
+			t.Errorf("%s: rendered output differs between packing and cold-store sweeps", name)
+		}
+		if !bytes.Equal(text, rx[name]) {
+			t.Errorf("%s: rendered output differs between packing and corrupted-store sweeps", name)
+		}
+	}
+}

@@ -132,7 +132,9 @@ type Evaluator struct {
 	// Traces, when non-nil, is a shared capture-once/replay-many kernel
 	// trace cache: each keyed kernel executes once and every further
 	// (kernel, hardware) profile is replayed from its trace, bit-identical
-	// to a direct run. Nil profiles every kernel directly.
+	// to a direct run. Nil profiles every kernel directly. When the cache
+	// carries a persistent trace.Store, "once" stretches across processes:
+	// previously recorded kernels load from disk instead of executing.
 	Traces *trace.Cache
 }
 

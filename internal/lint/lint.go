@@ -3,8 +3,9 @@
 // across serial/parallel runs and trace-cache on/off (nondeterm,
 // tracekey), batched span entry points must be used for row-structured
 // accesses (spanaccess), profile phase push/pop pairs must balance on
-// every control-flow path (phasebalance), and sync.Pool values must not
-// leak (poolescape). The compiler cannot see any of these rules; the
+// every control-flow path (phasebalance), sync.Pool values must not
+// leak (poolescape), and the persistent trace store's format version must
+// gate both the encoder and the decoder (storever). The compiler cannot see any of these rules; the
 // 45-minute end-to-end sweeps in scripts/check.sh can — but a static pass
 // catches violations in seconds, at the call site.
 //
@@ -54,6 +55,7 @@ func Analyzers() []*Analyzer {
 		SpanaccessAnalyzer,
 		PhasebalanceAnalyzer,
 		PoolescapeAnalyzer,
+		StoreverAnalyzer,
 	}
 }
 

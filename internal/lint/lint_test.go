@@ -94,6 +94,7 @@ func TestTracekeyFixture(t *testing.T)     { checkFixture(t, "tracekey", Traceke
 func TestSpanaccessFixture(t *testing.T)   { checkFixture(t, "spanaccess", SpanaccessAnalyzer) }
 func TestPhasebalanceFixture(t *testing.T) { checkFixture(t, "phasebalance", PhasebalanceAnalyzer) }
 func TestPoolescapeFixture(t *testing.T)   { checkFixture(t, "poolescape", PoolescapeAnalyzer) }
+func TestStoreverFixture(t *testing.T)     { checkFixture(t, "storever", StoreverAnalyzer) }
 
 // TestCleanFixture runs every analyzer over the clean fixture; any
 // finding is a false positive.

@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// StoreverAnalyzer guards the persistent trace store's format versioning.
+// Store entries carry a format-version field (the constant named
+// storeFormatVersion in internal/trace) that must gate both sides of the
+// serialization: the encoder stamps it into every entry's header and the
+// decoder rejects entries that do not match. The failure mode it exists to
+// prevent is a half-bumped format change — an encoder writing version N+1
+// while the decoder still accepts (or hardcodes) version N, or vice versa
+// — which would either silently accept stale entries or reject every fresh
+// one. The analyzer therefore requires that in any package declaring the
+// constant, at least one encode* function and at least one decode*
+// function reference it; a side that stops referencing the constant (for
+// example by comparing against an integer literal) is reported at the
+// constant's declaration.
+var StoreverAnalyzer = &Analyzer{
+	Name: "storever",
+	Doc:  "the store format-version constant must be referenced by both the encoder and the decoder",
+	Run:  runStorever,
+}
+
+// storeVersionConstName is the constant the invariant is anchored on.
+const storeVersionConstName = "storeFormatVersion"
+
+func runStorever(pass *Pass) {
+	if !simScope(pass.Path) {
+		return
+	}
+	obj, pos := findVersionConst(pass)
+	if obj == nil {
+		return
+	}
+	encRefs, decRefs := false, false
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			name := strings.ToLower(fd.Name.Name)
+			switch {
+			case strings.HasPrefix(name, "encode"):
+				encRefs = encRefs || funcUses(pass, fd, obj)
+			case strings.HasPrefix(name, "decode"):
+				decRefs = decRefs || funcUses(pass, fd, obj)
+			}
+		}
+	}
+	if !encRefs {
+		pass.Reportf(pos,
+			"store format-version constant %s is not referenced by any encoder (encode* function): entries would be stamped with a hardcoded or missing version and a format bump ships half-done",
+			storeVersionConstName)
+	}
+	if !decRefs {
+		pass.Reportf(pos,
+			"store format-version constant %s is not referenced by any decoder (decode* function): stale entries would not be rejected after a format bump",
+			storeVersionConstName)
+	}
+}
+
+// findVersionConst locates the package-level storeFormatVersion constant.
+func findVersionConst(pass *Pass) (types.Object, token.Pos) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if name.Name == storeVersionConstName {
+						return pass.Info.Defs[name], name.Pos()
+					}
+				}
+			}
+		}
+	}
+	return nil, token.NoPos
+}
+
+// funcUses reports whether fd's body references obj.
+func funcUses(pass *Pass, fd *ast.FuncDecl, obj types.Object) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

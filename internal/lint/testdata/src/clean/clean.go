@@ -32,3 +32,18 @@ func Sum(m map[string]int) int {
 	}
 	return total
 }
+
+// The store format-version constant referenced by both the encoder and
+// the decoder satisfies the storever invariant.
+const storeFormatVersion = 1
+
+func encodeEntry(payload []byte) []byte {
+	return append([]byte{storeFormatVersion}, payload...)
+}
+
+func decodeEntry(data []byte) ([]byte, bool) {
+	if len(data) == 0 || data[0] != storeFormatVersion {
+		return nil, false
+	}
+	return data[1:], true
+}

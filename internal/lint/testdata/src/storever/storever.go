@@ -1,0 +1,26 @@
+// Package storever exercises the storever analyzer: the store
+// format-version constant must be referenced by both the encoder and the
+// decoder. Here the encoder stamps the constant but the decoder checks a
+// hardcoded literal — the half-bumped-format hazard — so the constant is
+// reported once, for the missing decoder reference.
+package storever
+
+const storeFormatVersion = 2 // want `not referenced by any decoder`
+
+const headerLen = 4
+
+func encodeEntry(payload []byte) []byte {
+	out := make([]byte, 0, headerLen+len(payload))
+	out = append(out, 'S', 'T', 'O', byte(storeFormatVersion))
+	return append(out, payload...)
+}
+
+func decodeEntry(data []byte) ([]byte, bool) {
+	if len(data) < headerLen || data[3] != 2 { // literal 2: rots on the next bump
+		return nil, false
+	}
+	return data[headerLen:], true
+}
+
+// decodeLegacy referencing nothing must not satisfy the invariant either.
+func decodeLegacy(data []byte) []byte { return data }

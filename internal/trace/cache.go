@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"container/list"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -30,10 +31,12 @@ func HardwareKey(hw profile.Hardware) string {
 
 // Stats reports what a Cache has done so far.
 type Stats struct {
-	Records int64 // kernel executions (trace captures)
-	Replays int64 // trace replays against a new hardware config
-	Hits    int64 // requests served from a memoized (kernel, hardware) result
-	Misses  int64 // requests that fell through to direct execution (no key)
+	Records   int64 // kernel executions (trace captures)
+	Replays   int64 // trace replays against a new hardware config
+	Hits      int64 // requests served from a memoized (kernel, hardware) result
+	Misses    int64 // requests that fell through to direct execution (no key)
+	StoreHits int64 // traces loaded from the persistent store instead of recorded
+	Evictions int64 // traces evicted by the in-memory size bound (Limit)
 }
 
 // Engine selects how a Cache replays traces.
@@ -63,19 +66,46 @@ type Cache struct {
 	// single compiled stream across all hardware configs.
 	Engine Engine
 
+	// Store, when non-nil, is the persistent content-addressed trace
+	// store consulted on every trace miss before falling back to direct
+	// execution, and written through (asynchronously) on every recording,
+	// so cold processes start as warm as the store's contents. Set it
+	// before sharing the cache across goroutines. Replays are bit-identical
+	// whether a trace was recorded or loaded, so the store never changes
+	// output — only how fast it is produced.
+	Store *Store
+
+	// Limit, when positive, bounds the in-memory bytes of recorded trace
+	// streams (Trace.MemBytes); the least-recently-used traces are evicted
+	// once the bound is exceeded. Memoized per-hardware results survive
+	// eviction, and a re-requested evicted trace falls back to the Store
+	// (when attached) before re-recording. Zero means unlimited — the
+	// previous behavior. Set it before sharing the cache across goroutines.
+	Limit int64
+
 	mu      sync.Mutex
 	traces  map[string]*traceEntry
 	results map[string]*resultEntry
+	lru     *list.List // *traceEntry, front = most recently used
+	bytes   int64      // sum of admitted entries' bytes
 
-	records, replays, hits, misses atomic.Int64
+	records, replays, hits, misses, storeHits, evictions atomic.Int64
 }
 
 type traceEntry struct {
+	key   string
 	once  sync.Once
 	trace *Trace
 
+	// LRU accounting, guarded by Cache.mu: elem is non-nil only while the
+	// entry is admitted (recorded or loaded, and not yet evicted).
+	bytes int64
+	elem  *list.Element
+
 	// The recording run is a full profile.Run in its own right; its result
 	// is kept so the first-requested hardware config costs no extra replay.
+	// Traces loaded from the persistent store leave hwKey empty: every
+	// hardware config replays.
 	hwKey  string
 	prof   profile.Profile
 	phases map[string]profile.Profile
@@ -98,11 +128,21 @@ func NewCache() *Cache {
 // Stats returns a snapshot of the cache's activity counters.
 func (c *Cache) Stats() Stats {
 	return Stats{
-		Records: c.records.Load(),
-		Replays: c.replays.Load(),
-		Hits:    c.hits.Load(),
-		Misses:  c.misses.Load(),
+		Records:   c.records.Load(),
+		Replays:   c.replays.Load(),
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		StoreHits: c.storeHits.Load(),
+		Evictions: c.evictions.Load(),
 	}
+}
+
+// MemBytes returns the bytes of recorded trace streams currently held in
+// memory (the quantity Limit bounds).
+func (c *Cache) MemBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
 }
 
 // Profile returns profile.Run(hw, kernel), executing the kernel at most
@@ -126,8 +166,11 @@ func (c *Cache) Profile(hw profile.Hardware, kernel profile.Kernel) (profile.Pro
 	}
 	te, ok := c.traces[key]
 	if !ok {
-		te = &traceEntry{}
+		te = &traceEntry{key: key}
 		c.traces[key] = te
+	}
+	if te.elem != nil {
+		c.lru.MoveToFront(te.elem)
 	}
 	c.mu.Unlock()
 
@@ -135,11 +178,18 @@ func (c *Cache) Profile(hw profile.Hardware, kernel profile.Kernel) (profile.Pro
 	re.once.Do(func() {
 		first = true
 		te.once.Do(func() {
-			rec := NewRecorder(kernel.Name())
-			te.prof, te.phases = profile.Record(hw, kernel, rec)
-			te.trace = rec.Finish()
-			te.hwKey = hwKey
-			c.records.Add(1)
+			if t, ok := c.Store.Load(key); ok {
+				te.trace = t
+				c.storeHits.Add(1)
+			} else {
+				rec := NewRecorder(kernel.Name())
+				te.prof, te.phases = profile.Record(hw, kernel, rec)
+				te.trace = rec.Finish()
+				te.hwKey = hwKey
+				c.records.Add(1)
+				c.Store.SaveAsync(key, te.trace)
+			}
+			c.admit(te)
 		})
 		if te.hwKey == hwKey {
 			re.prof, re.phases = te.prof, te.phases
@@ -156,6 +206,38 @@ func (c *Cache) Profile(hw profile.Hardware, kernel profile.Kernel) (profile.Pro
 		c.hits.Add(1)
 	}
 	return re.prof, clonePhases(re.phases)
+}
+
+// admit enters a freshly recorded or loaded trace into the LRU accounting
+// and enforces Limit by evicting from the cold end. The admitting entry
+// itself is never evicted (a single oversized trace still gets used), and
+// entries still recording are not in the LRU list yet, so single-flight is
+// preserved. Eviction drops only the trace stream — memoized per-hardware
+// results stay — and a later request for an evicted key re-enters through
+// the Store fallback or a re-recording.
+func (c *Cache) admit(te *traceEntry) {
+	te.bytes = te.trace.MemBytes()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.lru == nil {
+		c.lru = list.New()
+	}
+	te.elem = c.lru.PushFront(te)
+	c.bytes += te.bytes
+	if c.Limit <= 0 {
+		return
+	}
+	for c.bytes > c.Limit && c.lru.Len() > 1 {
+		old := c.lru.Back().Value.(*traceEntry)
+		if old == te {
+			break
+		}
+		c.lru.Remove(old.elem)
+		old.elem = nil
+		delete(c.traces, old.key)
+		c.bytes -= old.bytes
+		c.evictions.Add(1)
+	}
 }
 
 // Runner adapts the cache to the profile.Runner signature.

@@ -1,0 +1,204 @@
+// Binary trace-store format: the serialization half of the persistent
+// content-addressed store (store.go).
+//
+// An entry is a fixed 24-byte header followed by a variable payload:
+//
+//	 0: 4  magic "GPTR"
+//	 4: 8  format version (uint32 LE)
+//	 8:16  payload length in bytes (uint64 LE)
+//	16:24  FNV-64a hash of the payload (uint64 LE)
+//
+//	payload:
+//	  content key      uvarint length + bytes
+//	  kernel name      uvarint length + bytes
+//	  phase names      uvarint count, then uvarint length + bytes each
+//	  buffer bases     uvarint count, then uvarint each
+//	  event stream     uvarint word count, then 8-byte LE words
+//
+// The payload hash makes any single-bit corruption detectable: FNV-1a
+// multiplies by an odd (invertible mod 2^64) prime after each byte, so two
+// payloads that first differ at byte i can never re-converge to the same
+// state. Header corruption is caught structurally — magic, version, and
+// payload-length mismatches each fail decoding on their own — so decode
+// rejects every truncation and every bit flip (this exhaustive property is
+// tested in encode_test.go). Compiled per-line-size forms are deliberately
+// not serialized: they are cheap to re-lower relative to recording, and
+// keeping them out keeps entries hardware-plan-independent; the versioned
+// header leaves room to add them as a new section under a version bump.
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+)
+
+// storeFormatVersion is the on-disk trace format version. Bump it for any
+// layout change: entries live under a version-qualified directory, so a
+// bump invalidates every old entry cleanly (the old directory is reported
+// as stale by Store.Verify and removable with -prune). The storever lint
+// analyzer requires both encodeTrace and decodeTrace to reference this
+// constant, so a format change cannot ship half-bumped.
+const storeFormatVersion = 1
+
+const (
+	storeMagic     = "GPTR"
+	storeHeaderLen = 24
+)
+
+// encodeTrace serializes the trace and its content key into a store entry.
+func encodeTrace(key string, t *Trace) []byte {
+	n := storeHeaderLen + 2*binary.MaxVarintLen64 + len(key) + len(t.Kernel)
+	for _, p := range t.phases {
+		n += binary.MaxVarintLen64 + len(p)
+	}
+	n += (2+len(t.bases))*binary.MaxVarintLen64 + 8*len(t.events)
+	buf := make([]byte, storeHeaderLen, n)
+
+	buf = appendString(buf, key)
+	buf = appendString(buf, t.Kernel)
+	buf = binary.AppendUvarint(buf, uint64(len(t.phases)))
+	for _, p := range t.phases {
+		buf = appendString(buf, p)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(t.bases)))
+	for _, b := range t.bases {
+		buf = binary.AppendUvarint(buf, b)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(t.events)))
+	for _, w := range t.events {
+		buf = binary.LittleEndian.AppendUint64(buf, w)
+	}
+
+	payload := buf[storeHeaderLen:]
+	h := fnv.New64a()
+	h.Write(payload)
+	copy(buf[0:4], storeMagic)
+	binary.LittleEndian.PutUint32(buf[4:8], storeFormatVersion)
+	binary.LittleEndian.PutUint64(buf[8:16], uint64(len(payload)))
+	binary.LittleEndian.PutUint64(buf[16:24], h.Sum64())
+	return buf
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// decodeTrace parses a store entry, verifying the magic, format version,
+// payload length, and integrity hash before trusting any field. Any
+// corruption — truncation, a flipped bit anywhere, a stale format — is an
+// error; callers treat errors as a cache miss, never a crash.
+func decodeTrace(data []byte) (key string, t *Trace, err error) {
+	if len(data) < storeHeaderLen {
+		return "", nil, fmt.Errorf("trace store entry: %d bytes, shorter than the %d-byte header", len(data), storeHeaderLen)
+	}
+	if string(data[0:4]) != storeMagic {
+		return "", nil, fmt.Errorf("trace store entry: bad magic %q", data[0:4])
+	}
+	if v := binary.LittleEndian.Uint32(data[4:8]); v != storeFormatVersion {
+		return "", nil, fmt.Errorf("trace store entry: format version %d, want %d", v, storeFormatVersion)
+	}
+	payload := data[storeHeaderLen:]
+	if n := binary.LittleEndian.Uint64(data[8:16]); n != uint64(len(payload)) {
+		return "", nil, fmt.Errorf("trace store entry: payload length %d, header says %d", len(payload), n)
+	}
+	h := fnv.New64a()
+	h.Write(payload)
+	if sum := binary.LittleEndian.Uint64(data[16:24]); sum != h.Sum64() {
+		return "", nil, fmt.Errorf("trace store entry: integrity hash mismatch")
+	}
+
+	d := decoder{buf: payload}
+	key = d.string()
+	t = &Trace{Kernel: d.string()}
+	// Zero-length sections stay nil, mirroring what a Recorder builds.
+	if n := d.count(len(payload)); n > 0 {
+		t.phases = make([]string, n)
+		for i := range t.phases {
+			t.phases[i] = d.string()
+		}
+	}
+	if n := d.count(len(payload)); n > 0 {
+		t.bases = make([]uint64, n)
+		for i := range t.bases {
+			t.bases[i] = d.uvarint()
+		}
+	}
+	if n := d.count(len(payload)/8 + 1); n > 0 {
+		t.events = make([]uint64, n)
+		for i := range t.events {
+			t.events[i] = d.word()
+		}
+	}
+	if d.err != nil {
+		return "", nil, fmt.Errorf("trace store entry: %w", d.err)
+	}
+	if len(d.buf) != 0 {
+		return "", nil, fmt.Errorf("trace store entry: %d trailing bytes after event stream", len(d.buf))
+	}
+	return key, t, nil
+}
+
+// decoder is a cursor over the payload with sticky error handling: after
+// the first malformed field every further read returns zero values, and
+// decodeTrace reports the recorded error once at the end.
+type decoder struct {
+	buf []byte
+	err error
+}
+
+func (d *decoder) fail(msg string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%s", msg)
+	}
+	d.buf = nil
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		d.fail("truncated varint")
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+// count reads a uvarint element count, rejecting values that could not
+// possibly fit in the remaining payload (so a corrupt count cannot drive a
+// huge allocation before the trailing-bytes check fails).
+func (d *decoder) count(max int) int {
+	v := d.uvarint()
+	if d.err == nil && v > uint64(max) {
+		d.fail("element count exceeds payload size")
+		return 0
+	}
+	return int(v)
+}
+
+func (d *decoder) string() string {
+	n := d.count(len(d.buf))
+	if d.err != nil {
+		return ""
+	}
+	s := string(d.buf[:n])
+	d.buf = d.buf[n:]
+	return s
+}
+
+func (d *decoder) word() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.buf) < 8 {
+		d.fail("truncated event stream")
+		return 0
+	}
+	w := binary.LittleEndian.Uint64(d.buf)
+	d.buf = d.buf[8:]
+	return w
+}

@@ -1,0 +1,314 @@
+package trace
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"gopim/internal/kernels/texture"
+	"gopim/internal/profile"
+)
+
+// TestStoreSaveLoad round-trips traces through a store directory and
+// checks the activity counters.
+func TestStoreSaveLoad(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(10))
+	traces := map[string]*Trace{}
+	for i := 0; i < 5; i++ {
+		key := strings.Repeat("k", i+1) + " | key"
+		traces[key] = randomTrace(rng, "kern")
+		st.SaveAsync(key, traces[key])
+	}
+	st.Wait()
+	for key, want := range traces {
+		got, ok := st.Load(key)
+		if !ok {
+			t.Fatalf("Load(%q) missed after save", key)
+		}
+		if !tracesEqual(want, got) {
+			t.Fatalf("Load(%q) returned a different trace", key)
+		}
+	}
+	if _, ok := st.Load("absent | key"); ok {
+		t.Fatal("Load of an absent key hit")
+	}
+	s := st.Stats()
+	if s.Saves != 5 || s.Hits != 5 || s.Misses != 1 || s.Corrupt != 0 || s.SaveErrors != 0 {
+		t.Fatalf("stats = %+v, want 5 saves / 5 hits / 1 miss", s)
+	}
+}
+
+// TestStoreNilSafe: a nil store must behave as an always-missing cache.
+func TestStoreNilSafe(t *testing.T) {
+	var st *Store
+	if _, ok := st.Load("k"); ok {
+		t.Fatal("nil store Load hit")
+	}
+	st.SaveAsync("k", &Trace{})
+	st.Wait()
+	if s := st.Stats(); s != (StoreStats{}) {
+		t.Fatalf("nil store stats = %+v", s)
+	}
+}
+
+// storeEntries returns the store's entry files, sorted.
+func storeEntries(t *testing.T, dir string) []string {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join(dir, "v*", "*", "*"+storeEntryExt))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no store entries under %s (err %v)", dir, err)
+	}
+	return paths
+}
+
+// flipByte XORs one payload byte of the file.
+func flipByte(t *testing.T, path string, off int64) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[off] ^= 0x5a
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStoreLoadTreatsCorruptionAsMiss: a damaged entry must read as a
+// miss (never an error, never a wrong trace), counted as corrupt.
+func TestStoreLoadTreatsCorruptionAsMiss(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const key = "corrupt | key"
+	st.SaveAsync(key, randomTrace(rand.New(rand.NewSource(11)), "kern"))
+	st.Wait()
+	path := storeEntries(t, dir)[0]
+	flipByte(t, path, storeHeaderLen+3)
+	if _, ok := st.Load(key); ok {
+		t.Fatal("Load returned a corrupt entry")
+	}
+	if s := st.Stats(); s.Corrupt != 1 {
+		t.Fatalf("stats = %+v, want Corrupt == 1", s)
+	}
+}
+
+// TestStoreVerifyDetectsEveryInjectedCorruption seeds a store, injects one
+// of each corruption class — truncation, bit flip, version rewrite, a
+// misfiled entry, a stray temp file, a stale version directory — and
+// requires Verify to report every one of them and prune to restore a clean
+// store.
+func TestStoreVerifyDetectsEveryInjectedCorruption(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(12))
+	keys := []string{"a | key", "b | key", "c | key", "d | key", "e | key"}
+	for _, key := range keys {
+		st.SaveAsync(key, randomTrace(rng, "kern"))
+	}
+	st.Wait()
+	if rep, err := st.Verify(false); err != nil || rep.OK != len(keys) || len(rep.Issues) != 0 || len(rep.StaleDirs) != 0 {
+		t.Fatalf("fresh store not clean: report %+v err %v", rep, err)
+	}
+
+	paths := storeEntries(t, dir)
+	if err := os.Truncate(paths[0], 10); err != nil { // truncated file
+		t.Fatal(err)
+	}
+	flipByte(t, paths[1], storeHeaderLen+1) // bit-flipped payload
+	flipByte(t, paths[2], 5)                // wrong format version field
+	misfiled := filepath.Join(filepath.Dir(paths[3]), "00"+strings.Repeat("ab", 31)+storeEntryExt)
+	if err := os.Rename(paths[3], misfiled); err != nil { // filed under the wrong hash
+		t.Fatal(err)
+	}
+	stray := filepath.Join(filepath.Dir(paths[4]), "tmp-crashed-writer")
+	if err := os.WriteFile(stray, []byte("partial"), 0o644); err != nil { // crashed-writer leftover
+		t.Fatal(err)
+	}
+	staleDir := filepath.Join(dir, "v0")
+	if err := os.MkdirAll(staleDir, 0o755); err != nil { // pre-bump format dir
+		t.Fatal(err)
+	}
+
+	rep, err := st.Verify(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK != 1 {
+		t.Errorf("OK = %d, want 1 (only the untouched entry)", rep.OK)
+	}
+	if len(rep.Issues) != 5 {
+		t.Errorf("Issues = %d, want 5 (truncated, flipped, version, misfiled, stray):\n%+v", len(rep.Issues), rep.Issues)
+	}
+	if len(rep.StaleDirs) != 1 || rep.StaleDirs[0] != staleDir {
+		t.Errorf("StaleDirs = %v, want [%s]", rep.StaleDirs, staleDir)
+	}
+
+	if _, err := st.Verify(true); err != nil {
+		t.Fatalf("prune failed: %v", err)
+	}
+	rep, err = st.Verify(false)
+	if err != nil || rep.OK != 1 || len(rep.Issues) != 0 || len(rep.StaleDirs) != 0 {
+		t.Fatalf("store not clean after prune: report %+v err %v", rep, err)
+	}
+}
+
+// TestCacheStoreColdStart is the cross-process contract: a fresh cache
+// sharing a packed store must serve every kernel from disk — zero
+// recordings — with results bit-identical to direct execution, and a
+// corrupted store must degrade to re-recording, repairing itself through
+// the write-behind.
+func TestCacheStoreColdStart(t *testing.T) {
+	dir := t.TempDir()
+	k := texture.Kernel(256, 256, 1)
+	hws := hardwareConfigs()
+
+	// Process 1: record and write through.
+	st1, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1 := NewCache()
+	c1.Store = st1
+	c1.Profile(hws[0], k)
+	st1.Wait()
+	if s := c1.Stats(); s.Records != 1 || s.StoreHits != 0 {
+		t.Fatalf("recording process stats = %+v", s)
+	}
+
+	// Process 2: cold start against the packed store.
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := NewCache()
+	c2.Store = st2
+	for _, hw := range hws {
+		gotTotal, gotPhases := c2.Profile(hw, k)
+		wantTotal, wantPhases := profile.Run(hw, k)
+		if gotTotal != wantTotal || !reflect.DeepEqual(gotPhases, wantPhases) {
+			t.Fatalf("%s: store-loaded profile diverges from direct run", hw.Name)
+		}
+	}
+	if s := c2.Stats(); s.Records != 0 || s.StoreHits != 1 {
+		t.Fatalf("cold-start stats = %+v, want 0 records / 1 store hit", s)
+	}
+
+	// Process 3: every entry corrupted — graceful miss, re-record, repair.
+	for _, path := range storeEntries(t, dir) {
+		flipByte(t, path, storeHeaderLen+2)
+	}
+	st3, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c3 := NewCache()
+	c3.Store = st3
+	gotTotal, _ := c3.Profile(hws[0], k)
+	wantTotal, _ := profile.Run(hws[0], k)
+	if gotTotal != wantTotal {
+		t.Fatal("profile diverges after store corruption")
+	}
+	if s := c3.Stats(); s.Records != 1 || s.StoreHits != 0 {
+		t.Fatalf("corrupted-store stats = %+v, want re-record", s)
+	}
+	st3.Wait()
+	if rep, err := st3.Verify(false); err != nil || len(rep.Issues) != 0 || rep.OK != 1 {
+		t.Fatalf("write-through did not repair the corrupt entry: report %+v err %v", rep, err)
+	}
+}
+
+// TestCacheLimitEviction exercises the bounded in-memory cache: admitting
+// past Limit evicts the least-recently-used trace, memoized per-hardware
+// results survive, and an evicted kernel needed on a new hardware config
+// falls back to the store instead of re-executing.
+func TestCacheLimitEviction(t *testing.T) {
+	k1 := texture.Kernel(256, 256, 1)
+	k2 := texture.Kernel(128, 128, 1)
+	hws := hardwareConfigs()
+
+	c := NewCache()
+	c.Limit = 1 // evict everything but the newest trace
+	c.Profile(hws[0], k1)
+	if s := c.Stats(); s.Evictions != 0 {
+		t.Fatalf("admitting under a fresh cache evicted: %+v", s)
+	}
+	before := c.MemBytes()
+	c.Profile(hws[0], k2) // k1's trace is now LRU and over budget
+	if s := c.Stats(); s.Evictions != 1 {
+		t.Fatalf("stats = %+v, want 1 eviction", s)
+	}
+	// Only k2's (smaller) trace should remain accounted.
+	if after := c.MemBytes(); after >= before {
+		t.Fatalf("accounting did not shrink on eviction: %d -> %d bytes", before, after)
+	}
+
+	// The memoized (k1, hws[0]) result survives eviction: a repeat request
+	// is a hit, not a re-execution.
+	recs := c.Stats().Records
+	c.Profile(hws[0], k1)
+	if s := c.Stats(); s.Records != recs {
+		t.Fatalf("repeat request re-executed an evicted kernel: %+v", s)
+	}
+
+	// A new hardware config needs the trace back; without a store that
+	// means one re-recording, with results still exact.
+	gotTotal, _ := c.Profile(hws[1], k1)
+	wantTotal, _ := profile.Run(hws[1], k1)
+	if gotTotal != wantTotal {
+		t.Fatal("re-recorded profile diverges from direct run")
+	}
+	if s := c.Stats(); s.Records != recs+1 {
+		t.Fatalf("stats = %+v, want one re-recording for the evicted trace", s)
+	}
+
+	// With a store attached, the same fallback is a disk load instead.
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := NewCache()
+	cs.Limit = 1
+	cs.Store = st
+	cs.Profile(hws[0], k1)
+	st.Wait() // k1's trace is on disk before it can be evicted
+	cs.Profile(hws[0], k2)
+	if s := cs.Stats(); s.Evictions != 1 {
+		t.Fatalf("store-backed stats = %+v, want 1 eviction", s)
+	}
+	gotTotal, _ = cs.Profile(hws[1], k1)
+	if gotTotal != wantTotal {
+		t.Fatal("store-reloaded profile diverges from direct run")
+	}
+	if s := cs.Stats(); s.Records != 2 || s.StoreHits != 1 {
+		t.Fatalf("store-backed stats = %+v, want the eviction refilled from disk (1 store hit, no third record)", s)
+	}
+}
+
+// TestCacheUnlimitedByDefault: Limit zero must preserve the historical
+// grow-without-bound behavior — no evictions ever.
+func TestCacheUnlimitedByDefault(t *testing.T) {
+	c := NewCache()
+	for i := 1; i <= 4; i++ {
+		c.Profile(hardwareConfigs()[0], texture.Kernel(64*i, 64, 1))
+	}
+	if s := c.Stats(); s.Evictions != 0 {
+		t.Fatalf("unlimited cache evicted: %+v", s)
+	}
+	if c.MemBytes() == 0 {
+		t.Fatal("accounting not tracking admitted traces")
+	}
+}

@@ -71,6 +71,18 @@ type Trace struct {
 // Words returns the size of the encoded event stream in 8-byte words.
 func (t *Trace) Words() int { return len(t.events) }
 
+// MemBytes returns the in-memory footprint of the recorded stream — events,
+// buffer bases, and phase names. Compiled per-line-size forms are excluded:
+// they are derived data, re-lowerable from the stream, and their lifetime
+// follows the Trace's. This is the per-entry size the Cache's Limit bounds.
+func (t *Trace) MemBytes() int64 {
+	n := int64(len(t.events)+len(t.bases)) * 8
+	for _, p := range t.phases {
+		n += int64(len(p))
+	}
+	return n
+}
+
 // Recorder implements profile.TraceSink, building a Trace. Consecutive
 // Count events are coalesced into the pending counters and flushed as a
 // single event at the next phase transition (counter order within a phase is

@@ -1,7 +1,8 @@
 #!/bin/sh
 # Performance trajectory: run the key micro-benchmarks (hierarchy spans,
-# worker pool, trace replay, SWAR SAD) plus a timed end-to-end
-# `pimsim run all` with the trace cache off and on, appending one record to
+# worker pool, trace replay, SWAR SAD) plus timed end-to-end
+# `pimsim run all` passes — trace cache off, on, and cold with a packed
+# persistent trace store (run_all.cold_store_ms) — appending one record to
 # BENCH_trace.json. Pass -label/-scale/-out through to the harness, e.g.
 #
 #	scripts/bench.sh -label pr2 -scale quick

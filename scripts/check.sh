@@ -22,12 +22,32 @@ go test -race -count=1 -run 'TestReplayEquivalence|TestCache' ./internal/trace
 # End-to-end trace-cache gate: the full default-scale sweep must render
 # byte-identical output with the kernel trace cache on and off, and — with
 # it on — through both replay engines (the compiled line-stream engine and
-# the reference interpreter).
+# the reference interpreter). -tracestore=off pins these three runs to the
+# pure in-memory paths.
 tmpdir=$(mktemp -d)
 trap 'rm -rf "$tmpdir"' EXIT
 go build -o "$tmpdir/pimsim" ./cmd/pimsim
-"$tmpdir/pimsim" -tracecache=off run all > "$tmpdir/off.txt"
-"$tmpdir/pimsim" -tracecache=on -replay=compiled run all > "$tmpdir/on.txt"
-"$tmpdir/pimsim" -tracecache=on -replay=interp run all > "$tmpdir/interp.txt"
+"$tmpdir/pimsim" -tracestore=off -tracecache=off run all > "$tmpdir/off.txt"
+"$tmpdir/pimsim" -tracestore=off -tracecache=on -replay=compiled run all > "$tmpdir/on.txt"
+"$tmpdir/pimsim" -tracestore=off -tracecache=on -replay=interp run all > "$tmpdir/interp.txt"
 cmp "$tmpdir/off.txt" "$tmpdir/on.txt"
 cmp "$tmpdir/on.txt" "$tmpdir/interp.txt"
+
+# Persistent trace-store gate: pack a store, then require byte-identical
+# output from a cold process reading it, a clean `trace verify`, and — after
+# corrupting every entry — a verify that fails plus a run that falls back to
+# re-recording with output still byte-identical.
+store="$tmpdir/store"
+"$tmpdir/pimsim" -tracestore="$store" trace pack
+"$tmpdir/pimsim" -tracestore="$store" trace verify
+"$tmpdir/pimsim" -tracestore="$store" run all > "$tmpdir/store.txt"
+cmp "$tmpdir/off.txt" "$tmpdir/store.txt"
+for f in "$store"/v*/*/*.trace; do truncate -s -3 "$f"; done
+if "$tmpdir/pimsim" -tracestore="$store" trace verify > /dev/null; then
+	echo "check.sh: trace verify missed injected corruption" >&2
+	exit 1
+fi
+"$tmpdir/pimsim" -tracestore="$store" run all > "$tmpdir/corrupt.txt"
+cmp "$tmpdir/off.txt" "$tmpdir/corrupt.txt"
+# The corrupted run's write-through must have repaired the store.
+"$tmpdir/pimsim" -tracestore="$store" trace verify
