@@ -6,7 +6,7 @@
 //	pimsim [-scale quick|standard] [-workers N] [experiment ...]
 //	pimsim [-scale quick|standard] [-workers N] run [all | experiment ...]
 //	pimsim trace pack
-//	pimsim trace [-prune] verify
+//	pimsim trace verify [-prune]
 //
 // With no arguments it runs every experiment serially. The `run`
 // subcommand computes the selected experiments (or all of them)
@@ -200,9 +200,27 @@ func openStore(flagVal string, require bool) *trace.Store {
 }
 
 // traceCommand implements `pimsim trace pack` and `pimsim trace verify`.
+// The -prune flag is parsed here with a dedicated FlagSet, so it works
+// before or after the subcommand name (`trace -prune verify` and
+// `trace verify -prune`) as well as globally (`pimsim -prune trace verify`
+// — the global value seeds the default).
 func traceCommand(args []string, opts experiments.Options, engine trace.Engine, storeFlag string, prune bool) {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	pruneSub := fs.Bool("prune", prune, "with verify: delete corrupt entries and stale-version directories")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "pimsim: usage: pimsim trace pack | pimsim trace verify [-prune]")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	args = fs.Args()
+	if len(args) > 1 {
+		sub := args[0]
+		fs.Parse(args[1:])
+		args = append([]string{sub}, fs.Args()...)
+	}
+	prune = *pruneSub
 	if len(args) != 1 {
-		fmt.Fprintln(os.Stderr, "pimsim: usage: pimsim trace pack | pimsim trace [-prune] verify")
+		fs.Usage()
 		os.Exit(2)
 	}
 	st := openStore(storeFlag, true)

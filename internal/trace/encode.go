@@ -181,7 +181,13 @@ func (d *decoder) count(max int) int {
 }
 
 func (d *decoder) string() string {
-	n := d.count(len(d.buf))
+	// Bound the length against the buffer that remains AFTER the varint is
+	// consumed: measuring before it would accept a length that overruns the
+	// payload by up to the varint's own width and panic on the slice below.
+	n := d.uvarint()
+	if d.err == nil && n > uint64(len(d.buf)) {
+		d.fail("string length exceeds payload size")
+	}
 	if d.err != nil {
 		return ""
 	}

@@ -3,6 +3,7 @@ package trace
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -114,6 +115,40 @@ func TestDecodeDetectsTruncation(t *testing.T) {
 	}
 	if _, _, err := decodeTrace(append(append([]byte{}, data...), 0)); err == nil {
 		t.Fatal("a trailing extra byte went undetected")
+	}
+}
+
+// TestDecodeRejectsOversizedStringLength feeds decode a crafted entry whose
+// header (magic, version, length, FNV hash) is fully consistent but whose
+// payload declares a string longer than the bytes that remain after the
+// length varint. The hash check cannot catch this — FNV-64a is trivially
+// computable, so an attacker (or a colliding corruption) can always forge a
+// matching header — and decode must fail cleanly rather than panic slicing
+// past the payload.
+func TestDecodeRejectsOversizedStringLength(t *testing.T) {
+	for _, payload := range [][]byte{
+		{0x05, 'a', 'b', 'c', 'd'}, // length 5, 4 bytes remain post-varint
+		{0x01},                     // length 1, nothing remains
+		{0xff, 0x01},               // two-byte varint (127+... = 255), 0 remain
+	} {
+		data := make([]byte, storeHeaderLen+len(payload))
+		copy(data[storeHeaderLen:], payload)
+		h := fnv.New64a()
+		h.Write(payload)
+		copy(data[0:4], storeMagic)
+		binary.LittleEndian.PutUint32(data[4:8], storeFormatVersion)
+		binary.LittleEndian.PutUint64(data[8:16], uint64(len(payload)))
+		binary.LittleEndian.PutUint64(data[16:24], h.Sum64())
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("payload % x: decode panicked: %v", payload, r)
+				}
+			}()
+			if _, _, err := decodeTrace(data); err == nil {
+				t.Fatalf("payload % x: oversized string length went undetected", payload)
+			}
+		}()
 	}
 }
 
