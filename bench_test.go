@@ -306,9 +306,11 @@ func BenchmarkHierarchySpan(b *testing.B) {
 }
 
 // BenchmarkParMap tracks the fixed overhead of the bounded worker pool on
-// small CPU-bound units, per worker count. On a single-core host the >1
-// worker cases measure pure scheduling overhead; on multi-core hosts they
-// show the fan-out win.
+// small CPU-bound units, per worker count. On multi-core hosts the >1
+// worker cases show the fan-out win; on a single-core host every case now
+// collapses to the inline serial path, because ForEach caps workers at
+// GOMAXPROCS — before that cap, workers-8 trailed workers-1 here by pure
+// goroutine-scheduling overhead, with no result difference to show for it.
 func BenchmarkParMap(b *testing.B) {
 	work := func(i int) uint64 {
 		h := uint64(i) + 0x9e3779b97f4a7c15

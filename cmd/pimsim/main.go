@@ -5,6 +5,7 @@
 //
 //	pimsim [-scale quick|standard] [-workers N] [experiment ...]
 //	pimsim [-scale quick|standard] [-workers N] run [all | experiment ...]
+//	pimsim [flags] explore [-mode grid|random|paper] [-n N] [-seed S] [-format text|csv|json]
 //	pimsim trace pack
 //	pimsim trace verify [-prune]
 //
@@ -16,6 +17,16 @@
 // fig2, fig4, fig6, fig7, fig10, fig11, fig12, fig15, fig16, fig18,
 // fig19, fig20, fig21, areas, headline, ablation, battery, targets,
 // tabswitch, plan, pageload.
+//
+// The `explore` subcommand sweeps the hardware design space — cache
+// geometry, line size, memory timing, PIM engine width, accelerator
+// efficiency — pricing every design from batch-replayed kernel traces
+// (each kernel executes, or loads from the store, exactly once) and
+// printing each workload's Pareto frontier over energy, runtime and PIM
+// logic area. -mode grid sweeps the full 1026-point factorial grid,
+// -mode random samples -n points from the same axes at -seed, and -mode
+// paper prices the paper's three design points through the exact paper
+// pipeline (the sweep's equivalence anchor).
 //
 // Recorded kernel traces persist across processes in a content-addressed
 // store (default: $GOPIM_TRACE_DIR, else <user cache dir>/gopim/traces;
@@ -43,6 +54,7 @@ func main() {
 	scaleFlag := flag.String("scale", "quick", "input scale: quick or standard")
 	workersFlag := flag.Int("workers", 0, "max concurrent workers (0 = GOMAXPROCS, 1 = serial)")
 	traceFlag := flag.String("tracecache", "on", "kernel trace cache: on (capture once, replay per config) or off (direct execution)")
+	limitFlag := flag.Int64("tracecache-limit", -1, "in-memory trace cache bound in bytes (0 = unlimited; -1 = default: unlimited for runs, 512 MiB for explore)")
 	replayFlag := flag.String("replay", "compiled", "trace replay engine: compiled (line-stream) or interp (reference interpreter); output is byte-identical")
 	storeFlag := flag.String("tracestore", "auto", "persistent trace store directory: auto ($GOPIM_TRACE_DIR or the user cache dir), off, or a path")
 	pruneFlag := flag.Bool("prune", false, "with `trace verify`: delete corrupt entries and stale-version directories")
@@ -77,11 +89,19 @@ func main() {
 		return
 	}
 
+	if len(names) > 0 && names[0] == "explore" {
+		exploreCommand(names[1:], opts, engine, *storeFlag, *limitFlag)
+		return
+	}
+
 	switch *traceFlag {
 	case "on":
 		opts.Traces = trace.NewCache()
 		opts.Traces.Engine = engine
 		opts.Traces.Store = openStore(*storeFlag, false)
+		if *limitFlag > 0 {
+			opts.Traces.Limit = *limitFlag
+		}
 	case "off":
 		// Direct execution: the reference path, byte-identical by design.
 	default:
@@ -271,8 +291,51 @@ func traceCommand(args []string, opts experiments.Options, engine trace.Engine, 
 	}
 }
 
+// exploreCommand implements `pimsim explore`: a design-space sweep priced
+// from batch-replayed kernel traces. The trace cache is always on here —
+// capture-once/replay-many is the sweep's entire economy — with the
+// in-memory bound defaulted to 512 MiB (a sweep touches every kernel, so
+// an unbounded cache would peak at the sum of all trace streams).
+func exploreCommand(args []string, opts experiments.Options, engine trace.Engine, storeFlag string, limit int64) {
+	fs := flag.NewFlagSet("explore", flag.ExitOnError)
+	mode := fs.String("mode", "grid", "sweep mode: grid (full factorial), random (sample -n points), or paper (the paper's three designs)")
+	n := fs.Int("n", 1024, "with -mode random: number of design points to sample")
+	seed := fs.Int64("seed", 1, "with -mode random: sampling seed (equal seeds give identical sweeps)")
+	format := fs.String("format", "text", "output format: text (Pareto frontiers), csv (every row), or json")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "pimsim: usage: pimsim [flags] explore [-mode grid|random|paper] [-n N] [-seed S] [-format text|csv|json]")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() > 0 {
+		fs.Usage()
+		os.Exit(2)
+	}
+
+	opts.Traces = trace.NewCache()
+	opts.Traces.Engine = engine
+	opts.Traces.Store = openStore(storeFlag, false)
+	if limit >= 0 {
+		opts.Traces.Limit = limit
+	} else {
+		opts.Traces.Limit = 512 << 20
+	}
+
+	res, err := experiments.Explore(opts, experiments.ExploreOptions{Mode: *mode, N: *n, Seed: *seed})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pimsim: %v\n", err)
+		os.Exit(2)
+	}
+	if err := experiments.RenderExplore(os.Stdout, res, *format); err != nil {
+		fmt.Fprintf(os.Stderr, "pimsim: %v\n", err)
+		os.Exit(2)
+	}
+	waitStore(opts)
+}
+
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage: pimsim [flags] [run] [experiment ...]
+       pimsim [flags] explore [-mode grid|random|paper] [-n N] [-seed S] [-format text|csv|json]
        pimsim [flags] trace pack     (pre-warm the persistent trace store)
        pimsim [flags] trace verify   (check store integrity; -prune to clean)
 experiments: %s

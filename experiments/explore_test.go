@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"gopim"
+	"gopim/internal/trace"
+)
+
+// exploreCache is one trace cache shared by every explore test: kernel
+// recording dominates these tests' cost, and capture-once is exactly the
+// property under test, so all sweeps here draw on one recording of each
+// target. Each test can still assert Records == len(targets): the count
+// must stay there no matter how many sweeps have run.
+var (
+	exploreCacheOnce sync.Once
+	exploreCacheVal  *trace.Cache
+)
+
+func exploreCache() *trace.Cache {
+	exploreCacheOnce.Do(func() { exploreCacheVal = trace.NewCache() })
+	return exploreCacheVal
+}
+
+// TestExplorePaperConfigsMatchEvaluate is the full-pipeline equivalence
+// gate: the explorer's paper mode — kernels recorded once, profiles
+// obtained via batched trace replay, pricing via core.EvaluateProfiles —
+// must reproduce Evaluator.Evaluate exactly, per workload and mode.
+func TestExplorePaperConfigsMatchEvaluate(t *testing.T) {
+	opts := Options{Scale: gopim.Quick, Workers: 4, Traces: exploreCache()}
+	res, err := Explore(opts, ExploreOptions{Mode: "paper"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Configs != 3 {
+		t.Fatalf("paper mode priced %d configs, want 3", res.Configs)
+	}
+
+	// Ground truth: the paper pipeline, target by target, sharing the same
+	// trace cache (so kernels still execute only once across both paths).
+	ev := opts.evaluator()
+	want := map[string]map[string][2]float64{} // workload -> kind -> {energy, seconds}
+	for _, tgt := range gopim.Targets(opts.Scale) {
+		r := ev.Evaluate(tgt)
+		if want[tgt.Workload] == nil {
+			want[tgt.Workload] = map[string][2]float64{}
+		}
+		for _, mode := range gopim.Modes {
+			e := r.ByMode[mode]
+			acc := want[tgt.Workload][mode.String()]
+			acc[0] += e.Energy.Total()
+			acc[1] += e.Seconds
+			want[tgt.Workload][mode.String()] = acc
+		}
+	}
+
+	if len(res.Rows) != 3*len(res.Workloads) {
+		t.Fatalf("%d rows for %d workloads", len(res.Rows), len(res.Workloads))
+	}
+	for _, row := range res.Rows {
+		w := want[row.Workload][row.Point.Kind]
+		if row.EnergyPJ != w[0] || row.Seconds != w[1] {
+			t.Errorf("%s/%s: explore (%.6g pJ, %.6g s) != Evaluate (%.6g pJ, %.6g s)",
+				row.Workload, row.Point.Kind, row.EnergyPJ, row.Seconds, w[0], w[1])
+		}
+	}
+
+	// Across every sweep sharing this cache, each target's kernel must
+	// have executed exactly once.
+	if got, n := opts.Traces.Stats().Records, len(gopim.Targets(opts.Scale)); got != int64(n) {
+		t.Errorf("records = %d, want %d (one per target)", got, n)
+	}
+}
+
+// TestExploreGridCount pins the acceptance floor: the grid sweep prices at
+// least 1000 designs, across every workload, and every design appears in
+// every workload's rows.
+func TestExploreGridCount(t *testing.T) {
+	pts := gridPoints()
+	if len(pts) < 1000 {
+		t.Fatalf("grid has %d points, want >= 1000", len(pts))
+	}
+	// Geometry axes stay small — that is the economics the sweep relies
+	// on: 1026 designs over a few dozen replayed geometries.
+	seen := map[string]bool{}
+	for _, p := range pts {
+		seen[trace.HardwareKey(p.hardware())] = true
+	}
+	if len(seen) > 64 {
+		t.Errorf("grid spans %d geometries; axes should keep this a few dozen", len(seen))
+	}
+}
+
+// TestExploreRandomDeterministic checks that a seeded random sweep is
+// reproducible and worker-independent down to the rendered bytes, in every
+// output format.
+func TestExploreRandomDeterministic(t *testing.T) {
+	x := ExploreOptions{Mode: "random", N: 40, Seed: 7}
+	r1, err := Explore(Options{Scale: gopim.Quick, Workers: 1, Traces: exploreCache()}, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := Explore(Options{Scale: gopim.Quick, Workers: 4, Traces: exploreCache()}, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, format := range []string{"text", "csv", "json"} {
+		var b1, b4 bytes.Buffer
+		if err := RenderExplore(&b1, r1, format); err != nil {
+			t.Fatal(err)
+		}
+		if err := RenderExplore(&b4, r4, format); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b1.Bytes(), b4.Bytes()) {
+			t.Errorf("%s output differs between workers=1 and workers=4", format)
+		}
+		if b1.Len() == 0 {
+			t.Errorf("%s output is empty", format)
+		}
+	}
+}
+
+// TestExploreGridSweep runs a real (quick-scale) grid sweep end to end and
+// checks its structural invariants: every (workload, point) priced, finite
+// positive outcomes, a non-trivial Pareto frontier, and kernel execution
+// bounded by the target count no matter how many designs were priced.
+func TestExploreGridSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full grid sweep at quick scale is a bench-sized test")
+	}
+	tc := exploreCache()
+	opts := Options{Scale: gopim.Quick, Traces: tc}
+	res, err := Explore(opts, ExploreOptions{Mode: "grid"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := gopim.Targets(opts.Scale)
+	if want := res.Configs * len(res.Workloads); len(res.Rows) != want {
+		t.Fatalf("%d rows, want %d", len(res.Rows), want)
+	}
+	if got := tc.Stats().Records; got != int64(len(targets)) {
+		t.Errorf("grid sweep executed %d kernels, want %d (capture once)", got, len(targets))
+	}
+	pareto := 0
+	for _, row := range res.Rows {
+		if row.EnergyPJ <= 0 || row.Seconds <= 0 {
+			t.Fatalf("%s point %d: non-positive outcome (%g pJ, %g s)",
+				row.Workload, row.Point.ID, row.EnergyPJ, row.Seconds)
+		}
+		if row.Pareto {
+			pareto++
+		}
+	}
+	if pareto == 0 || pareto == len(res.Rows) {
+		t.Errorf("pareto frontier has %d of %d rows; expected a strict subset", pareto, len(res.Rows))
+	}
+}

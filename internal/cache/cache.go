@@ -106,6 +106,9 @@ func New(cfg Config) *Cache {
 	if sets&(sets-1) != 0 {
 		panic(fmt.Sprintf("cache: %s set count %d is not a power of two", cfg.Name, sets))
 	}
+	if cfg.LineSize&(cfg.LineSize-1) != 0 {
+		panic(fmt.Sprintf("cache: %s line size %d is not a power of two", cfg.Name, cfg.LineSize))
+	}
 	var lineBits uint
 	for 1<<lineBits < cfg.LineSize {
 		lineBits++
@@ -268,6 +271,47 @@ func (c *Cache) renormalizeLRU() {
 		c.lastUse[i] = uint64(rank) + 1
 	}
 	c.tick = uint64(len(order)) + 1
+}
+
+// sameGeometry reports whether two caches index and tag lines identically,
+// i.e. whether the same access sequence drives both through the same state
+// transitions. Capacity split (sets, ways) and line size are what matter;
+// the config name and the byte capacity it implies are irrelevant.
+func sameGeometry(a, b *Cache) bool {
+	return a.sets == b.sets && a.ways == b.ways && a.lineBits == b.lineBits
+}
+
+// sameState reports whether two caches of the same geometry are in
+// byte-identical simulation state: tags, recency, clock, MRU index and
+// counters. Two same-geometry caches in the same state stay in the same
+// state under any shared access sequence — the invariant HierarchySet's
+// lead-cache sharing rests on.
+func sameState(a, b *Cache) bool {
+	if a.tick != b.tick || a.mru != b.mru || a.stats != b.stats {
+		return false
+	}
+	for i, t := range a.tags {
+		if t != b.tags[i] {
+			return false
+		}
+	}
+	for i, u := range a.lastUse {
+		if u != b.lastUse[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// copyStateFrom makes c's simulation state byte-identical to src's. Both
+// caches must share a geometry (the caller guarantees it); the config is
+// left untouched.
+func (c *Cache) copyStateFrom(src *Cache) {
+	copy(c.tags, src.tags)
+	copy(c.lastUse, src.lastUse)
+	c.tick = src.tick
+	c.mru = src.mru
+	c.stats = src.stats
 }
 
 // Contains reports whether the line holding addr is resident. It does not

@@ -2,7 +2,6 @@ package cache
 
 import (
 	"gopim/internal/dram"
-	"gopim/internal/mem"
 )
 
 // MemorySink receives line-granularity traffic that misses the whole cache
@@ -78,8 +77,12 @@ func (h *Hierarchy) span(addr uint64, n int, write bool) {
 	if n <= 0 {
 		return
 	}
-	first := mem.LineAddr(addr)
-	last := mem.LineAddr(addr + uint64(n) - 1)
+	// Align to this hierarchy's own line size (cache.New enforces a power
+	// of two), not the global mem.LineSize: for 128 B lines a 64 B-aligned
+	// start would walk misaligned line addresses. Identical at 64 B.
+	mask := h.lineSize - 1
+	first := addr &^ mask
+	last := (addr + uint64(n) - 1) &^ mask
 	for line := first; ; line += h.lineSize {
 		h.access(line, write)
 		if line == last {

@@ -154,45 +154,68 @@ func (e *Evaluator) run(hw profile.Hardware, kernel profile.Kernel) (profile.Pro
 // Evaluate profiles the target's kernel on the SoC and on PIM hardware and
 // models all three execution modes.
 func (e *Evaluator) Evaluate(t Target) Result {
+	cpuTotal, cpuPhases := e.run(profile.SoC(), t.Kernel)
+	pimTotal, pimPhases := e.run(profile.PIMCore(), t.Kernel)
+	accTotal, accPhases := e.run(profile.PIMAcc(), t.Kernel)
+
+	res := e.EvaluateProfiles(t,
+		SelectPhases(cpuTotal, cpuPhases, t.Phases),
+		SelectPhases(pimTotal, pimPhases, t.Phases),
+		SelectPhases(accTotal, accPhases, t.Phases))
+
+	// Re-attach the full per-phase maps, which only kernel execution knows.
+	for mode, phases := range map[Mode]map[string]profile.Profile{
+		CPUOnly: cpuPhases, PIMCore: pimPhases, PIMAcc: accPhases,
+	} {
+		ev := res.ByMode[mode]
+		ev.Phases = phases
+		res.ByMode[mode] = ev
+	}
+	return res
+}
+
+// EvaluateProfiles is the pricing-only half of Evaluate: given the target's
+// phase-selected profiles on the three hardware configs, it models energy
+// and runtime of each execution mode. It performs no kernel execution or
+// replay, which lets the design-space explorer price many hardware designs
+// against profiles obtained from one batched trace walk. The arithmetic —
+// including the coherence overhead computed from the PIM-core profile and
+// shared with the accelerator mode — is exactly Evaluate's, so results with
+// equal profiles are bit-identical. The returned Evaluations carry no
+// per-phase maps.
+func (e *Evaluator) EvaluateProfiles(t Target, cpuProf, pimProf, accProf profile.Profile) Result {
 	res := Result{Target: t, ByMode: map[Mode]Evaluation{}}
 
-	cpuTotal, cpuPhases := e.run(profile.SoC(), t.Kernel)
-	cpuProf := selectPhases(cpuTotal, cpuPhases, t.Phases)
 	cpuSec := timing.SoC().Seconds(cpuProf)
 	res.ByMode[CPUOnly] = Evaluation{
 		Mode:    CPUOnly,
 		Profile: cpuProf,
-		Phases:  cpuPhases,
 		Energy:  e.CPUEnergy(cpuProf, cpuSec),
 		Seconds: cpuSec,
 	}
 
-	pimTotal, pimPhases := e.run(profile.PIMCore(), t.Kernel)
-	pimProf := selectPhases(pimTotal, pimPhases, t.Phases)
 	coh := e.Coherence.Overhead(pimProf)
 	coreSec := timing.PIMCore(t.vaults()).Seconds(pimProf) + coh.Latency
 	res.ByMode[PIMCore] = Evaluation{
 		Mode:    PIMCore,
 		Profile: pimProf,
-		Phases:  pimPhases,
 		Energy:  e.PIMCoreEnergy(pimProf, coreSec, coh),
 		Seconds: coreSec,
 	}
 
-	accTotal, accPhases := e.run(profile.PIMAcc(), t.Kernel)
-	accProf := selectPhases(accTotal, accPhases, t.Phases)
 	accSec := timing.PIMAcc(t.accUnits()).Seconds(accProf) + coh.Latency
 	res.ByMode[PIMAcc] = Evaluation{
 		Mode:    PIMAcc,
 		Profile: accProf,
-		Phases:  accPhases,
 		Energy:  e.PIMAccEnergy(accProf, accSec, coh),
 		Seconds: accSec,
 	}
 	return res
 }
 
-func selectPhases(total profile.Profile, phases map[string]profile.Profile, names []string) profile.Profile {
+// SelectPhases restricts a kernel profile to the named phases (the
+// evaluation scope of a target), or returns the total when names is empty.
+func SelectPhases(total profile.Profile, phases map[string]profile.Profile, names []string) profile.Profile {
 	if len(names) == 0 {
 		return total
 	}

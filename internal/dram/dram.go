@@ -45,16 +45,28 @@ func (t *Traffic) Add(other Traffic) {
 // Meter is a cache.MemorySink that counts line-granularity traffic.
 type Meter struct {
 	t Traffic
+	// line is the bytes one line event moves; 0 means mem.LineSize, so the
+	// zero value keeps the historical 64 B accounting. Hierarchies with
+	// wider lines (the design-space explorer sweeps 128 B) attach a meter
+	// built with the matching line size, or every event under-counts.
+	line uint64
 }
 
 // NewMeter returns a zeroed traffic meter.
 func NewMeter() *Meter { return &Meter{} }
 
+func (m *Meter) lineBytes() uint64 {
+	if m.line == 0 {
+		return mem.LineSize
+	}
+	return m.line
+}
+
 // ReadLine implements cache.MemorySink.
-func (m *Meter) ReadLine(addr uint64) { m.t.BytesRead += mem.LineSize }
+func (m *Meter) ReadLine(addr uint64) { m.t.BytesRead += m.lineBytes() }
 
 // WriteLine implements cache.MemorySink.
-func (m *Meter) WriteLine(addr uint64) { m.t.BytesWritten += mem.LineSize }
+func (m *Meter) WriteLine(addr uint64) { m.t.BytesWritten += m.lineBytes() }
 
 // Traffic returns the accumulated counts.
 func (m *Meter) Traffic() Traffic { return m.t }

@@ -42,6 +42,15 @@ type RowMeter struct {
 // NewRowMeter returns a zeroed row-aware traffic meter.
 func NewRowMeter() *RowMeter { return &RowMeter{} }
 
+// NewRowMeterLine returns a zeroed row-aware meter whose byte accounting
+// charges lineBytes per line event (0 means mem.LineSize). Attach it to
+// hierarchies whose line size differs from the 64 B default.
+func NewRowMeterLine(lineBytes int) *RowMeter {
+	m := &RowMeter{}
+	m.line = uint64(lineBytes)
+	return m
+}
+
 // ReadLine implements cache.MemorySink.
 func (m *RowMeter) ReadLine(addr uint64) {
 	m.Meter.ReadLine(addr)

@@ -25,7 +25,9 @@ func Workers(override int) int {
 }
 
 // ForEach runs fn(i) for every i in [0, n) using at most workers
-// goroutines. Indices are handed out through a shared counter in chunks of
+// goroutines (capped at GOMAXPROCS: extra goroutines cannot run
+// concurrently anyway and their scheduling overhead is measurable).
+// Indices are handed out through a shared counter in chunks of
 // several indices — about four chunks per worker — so uneven work items
 // still balance across workers while small, uniform items don't pay a
 // counter handoff each: with tiny units the per-index atomic (and the cache
@@ -37,6 +39,15 @@ func Workers(override int) int {
 func ForEach(workers, n int, fn func(i int)) {
 	if n <= 0 {
 		return
+	}
+	// Goroutines beyond the schedulable parallelism can't run concurrently;
+	// they only add scheduler handoffs (BenchmarkParMap showed workers=8
+	// trailing workers=1 on a single-core host for exactly this reason), so
+	// cap at GOMAXPROCS — on one core that lands in the inline serial path.
+	// Capping changes nothing about results: each index still writes only
+	// its own slot, so any worker count is bit-identical.
+	if max := runtime.GOMAXPROCS(0); workers > max {
+		workers = max
 	}
 	if workers <= 1 || n == 1 {
 		for i := 0; i < n; i++ {

@@ -65,6 +65,24 @@ func TestSerialPathIsInOrder(t *testing.T) {
 	}
 }
 
+// TestForEachCapsWorkersAtGOMAXPROCS pins the oversubscription fix: with
+// one schedulable core, any worker count degenerates to the inline serial
+// path, observable through its in-order execution guarantee.
+func TestForEachCapsWorkersAtGOMAXPROCS(t *testing.T) {
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	var order []int
+	ForEach(8, 10, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("capped ForEach not inline/in order: %v", order)
+		}
+	}
+	if len(order) != 10 {
+		t.Fatalf("ran %d of 10 indices", len(order))
+	}
+}
+
 func TestPanicPropagates(t *testing.T) {
 	for _, workers := range []int{1, 4} {
 		func() {

@@ -291,7 +291,10 @@ type Ctx struct {
 
 // NewCtx builds a fresh context for hw.
 func NewCtx(hw Hardware) *Ctx {
-	meter := dram.NewRowMeter()
+	// The meter's byte accounting follows the hierarchy's line size (one
+	// fill or writeback moves one line); identical to the historical
+	// accounting for every 64 B-line config.
+	meter := dram.NewRowMeterLine(hw.L1.LineSize)
 	l1 := cache.New(hw.L1)
 	var l2 *cache.Cache
 	if hw.L2 != nil {

@@ -208,6 +208,55 @@ func (c *Cache) Profile(hw profile.Hardware, kernel profile.Kernel) (profile.Pro
 	return re.prof, clonePhases(re.phases)
 }
 
+// TraceFor returns the kernel's recorded trace, executing the kernel at
+// most once across the process (and not at all when the persistent store
+// already holds it). It is the entry point for batch-replay consumers — the
+// design-space explorer prices hundreds of hardware configs against one
+// trace via Trace.ReplayBatch, where memoizing per-(kernel, hardware)
+// results in the cache would only bloat it. The recording slot is shared
+// with Profile: whichever asks first records, single-flight. Unkeyed
+// kernels (or a nil cache) record a fresh trace on every call — there is no
+// identity to memoize on.
+func (c *Cache) TraceFor(kernel profile.Kernel) *Trace {
+	key := profile.KeyOf(kernel)
+	if c == nil || key == "" {
+		if c != nil {
+			c.misses.Add(1)
+		}
+		rec := NewRecorder(kernel.Name())
+		profile.Record(profile.SoC(), kernel, rec)
+		return rec.Finish()
+	}
+
+	c.mu.Lock()
+	te, ok := c.traces[key]
+	if !ok {
+		te = &traceEntry{key: key}
+		c.traces[key] = te
+	}
+	if te.elem != nil {
+		c.lru.MoveToFront(te.elem)
+	}
+	c.mu.Unlock()
+
+	te.once.Do(func() {
+		if t, ok := c.Store.Load(key); ok {
+			te.trace = t
+			c.storeHits.Add(1)
+		} else {
+			hw := profile.SoC()
+			rec := NewRecorder(kernel.Name())
+			te.prof, te.phases = profile.Record(hw, kernel, rec)
+			te.trace = rec.Finish()
+			te.hwKey = HardwareKey(hw)
+			c.records.Add(1)
+			c.Store.SaveAsync(key, te.trace)
+		}
+		c.admit(te)
+	})
+	return te.trace
+}
+
 // admit enters a freshly recorded or loaded trace into the LRU accounting
 // and enforces Limit by evicting from the cold end. The admitting entry
 // itself is never evicted (a single oversized trace still gets used), and

@@ -96,11 +96,14 @@ func (t *Trace) compileOnce(lineSize uint64) *compiled {
 	seg := &c.segs[0]
 	var b cache.StreamBuilder
 
-	// span mirrors Hierarchy.span: line-aligned first..last, stepped by
-	// the line size.
+	// span mirrors Hierarchy.span: first..last aligned to the compilation's
+	// line size (not the global 64 B mem.LineSize — at 128 B lines a 64 B
+	// alignment would emit misaligned line addresses), stepped by the line
+	// size. Identical at 64 B.
+	mask := lineSize - 1
 	span := func(addr uint64, n int, write bool) {
-		first := mem.LineAddr(addr)
-		last := mem.LineAddr(addr + uint64(n) - 1)
+		first := addr &^ mask
+		last := (addr + uint64(n) - 1) &^ mask
 		for line := first; line <= last; line += lineSize {
 			b.Access(line, write)
 		}
@@ -194,6 +197,88 @@ func (t *Trace) replayCompiled(hw profile.Hardware) (profile.Profile, map[string
 		ctx.ReplayLines(&seg.stream)
 	}
 	return ctx.Finish()
+}
+
+// CompiledTrace is a handle on one trace lowered for one line size — the
+// unit a multi-config sweep shares: every hardware config with that line
+// size replays the same segments and the same line streams. Obtain one via
+// Trace.Compiled; the zero value is not usable.
+type CompiledTrace struct {
+	t        *Trace
+	c        *compiled
+	lineSize uint64
+}
+
+// Compiled returns the trace lowered for lineSize, compiling it on first
+// use (memoized on the Trace, single-flight, shared by every replay).
+func (t *Trace) Compiled(lineSize uint64) CompiledTrace {
+	return CompiledTrace{t: t, c: t.compile(lineSize), lineSize: lineSize}
+}
+
+// LineSize returns the line size this compilation was lowered for.
+func (ct CompiledTrace) LineSize() uint64 { return ct.lineSize }
+
+// BatchResult is one hardware config's replay outcome.
+type BatchResult struct {
+	Profile profile.Profile
+	Phases  map[string]profile.Profile
+}
+
+// ReplayBatch replays the compiled trace against all of hws in one walk:
+// per segment it fans the pre-summed counters and span-ref groups out to
+// every config's context and then drives the segment's line stream through
+// all K hierarchies via the batched stream walker (profile.CtxBatch /
+// cache.HierarchySet), decoding each RLE run once instead of once per
+// config. Results are index-aligned with hws and byte-identical to K
+// independent Trace.Replay calls.
+//
+// Every config's line size must equal the compilation's (that is the
+// sharing contract); ReplayBatch panics otherwise, mirroring the cache
+// layer's constructor checks.
+func (ct CompiledTrace) ReplayBatch(hws []profile.Hardware) []BatchResult {
+	for _, hw := range hws {
+		ls := hw.L1.LineSize
+		if ls == 0 {
+			ls = mem.LineSize
+		}
+		if uint64(ls) != ct.lineSize {
+			panic(fmt.Sprintf("trace: ReplayBatch config line size %d != compiled line size %d", ls, ct.lineSize))
+		}
+	}
+	batch := profile.NewCtxBatch(hws)
+	for i := range ct.c.segs {
+		seg := &ct.c.segs[i]
+		batch.SetPhase(seg.phase)
+		batch.AddCounters(seg.ops, seg.simd, seg.refs)
+		for _, g := range seg.scalar {
+			batch.AddSpanRefs(g.rowBytes, g.rows, false)
+		}
+		for _, g := range seg.vector {
+			batch.AddSpanRefs(g.rowBytes, g.rows, true)
+		}
+		batch.ReplayLines(&seg.stream)
+	}
+	profs, phases := batch.Finish()
+	out := make([]BatchResult, len(hws))
+	for i := range out {
+		out[i] = BatchResult{Profile: profs[i], Phases: phases[i]}
+	}
+	return out
+}
+
+// ReplayBatch replays the trace against all of hws, which must share one
+// line size, in a single batched walk (see CompiledTrace.ReplayBatch).
+// Callers with mixed line sizes group configs by line size and call once
+// per group.
+func (t *Trace) ReplayBatch(hws []profile.Hardware) []BatchResult {
+	if len(hws) == 0 {
+		return nil
+	}
+	ls := hws[0].L1.LineSize
+	if ls == 0 {
+		ls = mem.LineSize
+	}
+	return t.Compiled(uint64(ls)).ReplayBatch(hws)
 }
 
 // CompiledWords returns the size in 8-byte words of the compiled line

@@ -31,6 +31,17 @@ type Record struct {
 	Scale      string             `json:"scale"`
 	Benchmarks map[string]float64 `json:"benchmarks_ns_per_op"`
 	RunAll     RunAll             `json:"run_all"`
+	Explore    *Explore           `json:"explore,omitempty"`
+}
+
+// Explore times a full `pimsim explore -mode grid` sweep against the
+// packed trace store: every design priced by batched trace replay, no
+// kernel execution. ConfigsPerSec is the sweep's headline throughput.
+// Omitted from records predating the explorer.
+type Explore struct {
+	Configs       int     `json:"configs"`
+	MS            int64   `json:"ms"`
+	ConfigsPerSec float64 `json:"configs_per_sec"`
 }
 
 // RunAll is the end-to-end wall-clock comparison that the trace cache is
@@ -112,6 +123,29 @@ func main() {
 	}
 	coldMS, coldOut := timedRun(bin, *scale, "on", "-tracestore="+storeDir)
 
+	// Design-space sweep from the same packed store: the whole grid is
+	// priced from batch-replayed traces, so this times replay + pricing
+	// with zero kernel executions.
+	exArgs := []string{"-scale", *scale, "-tracestore=" + storeDir, "explore", "-mode", "grid"}
+	fmt.Fprintf(os.Stderr, "bench: %s %s\n", bin, strings.Join(exArgs, " "))
+	exStart := time.Now()
+	exOut, err := exec.Command(bin, exArgs...).Output()
+	if err != nil {
+		fatalf("pimsim explore: %v", err)
+	}
+	exMS := time.Since(exStart).Milliseconds()
+	configs := 0
+	if m := regexp.MustCompile(`^explore \(grid\): (\d+) design points`).FindSubmatch(exOut); m != nil {
+		configs, _ = strconv.Atoi(string(m[1]))
+	}
+	if configs == 0 {
+		fatalf("explore output has no design-point header:\n%s", exOut)
+	}
+	rec.Explore = &Explore{Configs: configs, MS: exMS}
+	if exMS > 0 {
+		rec.Explore.ConfigsPerSec = float64(configs) / (float64(exMS) / 1000)
+	}
+
 	rec.RunAll = RunAll{
 		TraceCacheOffMS: offMS,
 		TraceCacheOnMS:  onMS,
@@ -140,8 +174,9 @@ func main() {
 	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
 		fatalf("%v", err)
 	}
-	fmt.Printf("bench: run all %s scale: %d ms (cache off) -> %d ms (cache on) -> %d ms (cold, packed store), %.2fx, output identical; %d benchmarks -> %s\n",
-		*scale, offMS, onMS, coldMS, rec.RunAll.Speedup, len(rec.Benchmarks), *out)
+	fmt.Printf("bench: run all %s scale: %d ms (cache off) -> %d ms (cache on) -> %d ms (cold, packed store), %.2fx, output identical; explore %d configs in %d ms (%.0f configs/s); %d benchmarks -> %s\n",
+		*scale, offMS, onMS, coldMS, rec.RunAll.Speedup,
+		rec.Explore.Configs, rec.Explore.MS, rec.Explore.ConfigsPerSec, len(rec.Benchmarks), *out)
 }
 
 func timedRun(bin, scale, tracecache string, extra ...string) (int64, []byte) {

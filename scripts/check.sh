@@ -19,6 +19,18 @@ go test -race -timeout 45m ./...
 # bit-for-bit for every kernel family on every hardware config.
 go test -race -count=1 -run 'TestReplayEquivalence|TestCache' ./internal/trace
 
+# Batched-replay equivalence gate: one multi-config stream walk must be
+# byte-identical to K independent serial walks, at both layers.
+go test -race -count=1 -run 'TestReplayStreamBatch|TestReplayBatch|TestHierarchySet' ./internal/cache ./internal/trace
+
+# Batched-replay perf gate: pricing the K=8 sweep family in one walk must
+# be at least 2x faster than 8 serial replays (no -race: it times).
+GOPIM_PERF_GATE=1 go test -count=1 -run TestBatchReplaySpeedup -v ./internal/trace
+
+# Explorer equivalence gate: `explore -mode paper` must reproduce the
+# paper pipeline (Evaluator.Evaluate) exactly from batch-replayed traces.
+go test -race -count=1 -run TestExplorePaperConfigsMatchEvaluate ./experiments
+
 # End-to-end trace-cache gate: the full default-scale sweep must render
 # byte-identical output with the kernel trace cache on and off, and — with
 # it on — through both replay engines (the compiled line-stream engine and
@@ -32,6 +44,14 @@ go build -o "$tmpdir/pimsim" ./cmd/pimsim
 "$tmpdir/pimsim" -tracestore=off -tracecache=on -replay=interp run all > "$tmpdir/interp.txt"
 cmp "$tmpdir/off.txt" "$tmpdir/on.txt"
 cmp "$tmpdir/on.txt" "$tmpdir/interp.txt"
+
+# Explore smoke: a seeded random sweep renders in all three formats, and
+# its output is byte-identical across worker counts.
+"$tmpdir/pimsim" -tracestore=off explore -mode random -n 40 -seed 7 > "$tmpdir/explore.txt"
+"$tmpdir/pimsim" -tracestore=off -workers 4 explore -mode random -n 40 -seed 7 > "$tmpdir/explore-w4.txt"
+cmp "$tmpdir/explore.txt" "$tmpdir/explore-w4.txt"
+"$tmpdir/pimsim" -tracestore=off explore -mode random -n 40 -seed 7 -format csv > /dev/null
+"$tmpdir/pimsim" -tracestore=off explore -mode random -n 40 -seed 7 -format json > /dev/null
 
 # Persistent trace-store gate: pack a store, then require byte-identical
 # output from a cold process reading it, a clean `trace verify`, and — after
