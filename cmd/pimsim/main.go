@@ -8,6 +8,7 @@
 //	pimsim [flags] explore [-mode grid|random|paper] [-n N] [-seed S] [-format text|csv|json]
 //	pimsim trace pack
 //	pimsim trace verify [-prune]
+//	pimsim [flags] run all -stats -report r.json -metrics-addr host:port
 //
 // With no arguments it runs every experiment serially. The `run`
 // subcommand computes the selected experiments (or all of them)
@@ -36,6 +37,17 @@
 // deletes defective entries and stale-version directories). A corrupt or
 // stale entry is always treated as a cache miss and re-recorded — output
 // is byte-identical with the store on, off, or damaged.
+//
+// Observability (run and explore, accepted globally or after the
+// subcommand): -stats prints a run breakdown to stderr — phase timing
+// histograms (record, compile, replay, store I/O, pricing), trace cache
+// and store hit rates, worker utilization, the slowest experiments;
+// -report writes the same data plus derived headline ratios as a
+// versioned JSON run report (scripts/checkreport validates it);
+// -metrics-addr serves live JSON snapshots over HTTP at /metrics and
+// /healthz while the run is in flight. None of it touches stdout: output
+// stays byte-identical with observability on or off (gated in
+// scripts/check.sh, enforced statically by the obsout analyzer).
 package main
 
 import (
@@ -47,8 +59,103 @@ import (
 
 	"gopim"
 	"gopim/experiments"
+	"gopim/internal/obs"
+	"gopim/internal/par"
 	"gopim/internal/trace"
 )
+
+// obsConfig carries the observability flags (-stats, -report,
+// -metrics-addr). They are accepted both globally and after the run/explore
+// subcommands — `pimsim run all -stats -report r.json` is the documented
+// invocation — with the post-subcommand value winning. All observability
+// output goes to stderr, the report file, or the HTTP listener; stdout is
+// byte-identical with these flags on or off (gated in scripts/check.sh).
+type obsConfig struct {
+	stats   bool   // print a human-readable run breakdown to stderr
+	report  string // write a versioned JSON run report to this path
+	metrics string // serve live JSON snapshots on this host:port
+}
+
+func (oc obsConfig) enabled() bool {
+	return oc.stats || oc.report != "" || oc.metrics != ""
+}
+
+// register adds the observability flags to fs with oc as defaults, so a
+// subcommand FlagSet inherits the global values.
+func (oc *obsConfig) register(fs *flag.FlagSet) {
+	fs.BoolVar(&oc.stats, "stats", oc.stats, "print a run breakdown (phase timings, cache/store/worker metrics) to stderr")
+	fs.StringVar(&oc.report, "report", oc.report, "write a versioned JSON run report to this `file`")
+	fs.StringVar(&oc.metrics, "metrics-addr", oc.metrics, "serve live metrics snapshots as JSON on this `host:port` (/metrics, /healthz)")
+}
+
+// setupObs builds the metrics registry when any observability flag is set
+// (nil otherwise — the no-op path), threads it through the engine layers,
+// and starts the metrics listener. Callers must pair it with finishObs.
+func setupObs(oc obsConfig, opts *experiments.Options) (*obs.Registry, *obs.Server) {
+	if !oc.enabled() {
+		return nil, nil
+	}
+	reg := obs.NewRegistry()
+	opts.Obs = reg
+	par.SetObs(reg)
+	if opts.Traces != nil {
+		opts.Traces.Obs = reg
+		reg.AddSource(obs.PrefixTraceCache, opts.Traces)
+		if opts.Traces.Store != nil {
+			opts.Traces.Store.Obs = reg
+			reg.AddSource(obs.PrefixTraceStore, opts.Traces.Store)
+		}
+	}
+	var srv *obs.Server
+	if oc.metrics != "" {
+		var err error
+		srv, err = obs.Serve(oc.metrics, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pimsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "pimsim: serving metrics on http://%s/metrics\n", srv.Addr())
+	}
+	return reg, srv
+}
+
+// finishObs emits the end-of-run report (stderr text and/or JSON file) and
+// shuts the metrics listener down — after the report, so a live poller can
+// still grab the final state. No-op when setupObs returned nil.
+func finishObs(reg *obs.Registry, srv *obs.Server, oc obsConfig, meta obs.RunMeta, wallNS int64, times []obs.ExperimentTime) {
+	if reg == nil {
+		return
+	}
+	rep := obs.BuildReport(reg, meta, wallNS, times)
+	if oc.stats {
+		rep.WriteText(os.Stderr)
+	}
+	if oc.report != "" {
+		if err := rep.WriteFile(oc.report); err != nil {
+			fmt.Fprintf(os.Stderr, "pimsim: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	srv.Close()
+	par.SetObs(nil)
+}
+
+// parseInterleaved parses args with fs, allowing flags and positionals to
+// interleave (stock flag parsing stops at the first positional): each round
+// consumes leading flags, then shifts one positional. Returns the
+// positionals in order.
+func parseInterleaved(fs *flag.FlagSet, args []string) []string {
+	var pos []string
+	for {
+		fs.Parse(args)
+		args = fs.Args()
+		if len(args) == 0 {
+			return pos
+		}
+		pos = append(pos, args[0])
+		args = args[1:]
+	}
+}
 
 func main() {
 	scaleFlag := flag.String("scale", "quick", "input scale: quick or standard")
@@ -58,6 +165,8 @@ func main() {
 	replayFlag := flag.String("replay", "compiled", "trace replay engine: compiled (line-stream) or interp (reference interpreter); output is byte-identical")
 	storeFlag := flag.String("tracestore", "auto", "persistent trace store directory: auto ($GOPIM_TRACE_DIR or the user cache dir), off, or a path")
 	pruneFlag := flag.Bool("prune", false, "with `trace verify`: delete corrupt entries and stale-version directories")
+	var oc obsConfig
+	oc.register(flag.CommandLine)
 	flag.Usage = usage
 	flag.Parse()
 
@@ -90,9 +199,17 @@ func main() {
 	}
 
 	if len(names) > 0 && names[0] == "explore" {
-		exploreCommand(names[1:], opts, engine, *storeFlag, *limitFlag)
+		exploreCommand(names[1:], opts, engine, *replayFlag, *storeFlag, *limitFlag, oc)
 		return
 	}
+
+	// The observability flags are also accepted after `run` (and between
+	// experiment names): re-parse the remaining arguments interleaved, with
+	// the global values as defaults.
+	runFS := flag.NewFlagSet("run", flag.ExitOnError)
+	oc.register(runFS)
+	runFS.Usage = usage
+	names = parseInterleaved(runFS, names)
 
 	switch *traceFlag {
 	case "on":
@@ -121,6 +238,16 @@ func main() {
 		names = experiments.Names()
 	}
 
+	reg, srv := setupObs(oc, &opts)
+	meta := obs.RunMeta{
+		Command:      "run",
+		Scale:        *scaleFlag,
+		ReplayEngine: *replayFlag,
+		Workers:      par.Workers(opts.Workers),
+	}
+	runStart := obs.Now()
+	var times []obs.ExperimentTime
+
 	if parallel {
 		results, err := experiments.RunNamed(opts, names)
 		if err != nil {
@@ -139,7 +266,13 @@ func main() {
 			}
 			fmt.Println()
 		}
+		if reg != nil {
+			for _, r := range results {
+				times = append(times, obs.ExperimentTime{Name: r.Name, WallNS: r.WallNS})
+			}
+		}
 		waitStore(opts)
+		finishObs(reg, srv, oc, meta, obs.Since(runStart), times)
 		return
 	}
 
@@ -151,7 +284,11 @@ func main() {
 			os.Exit(2)
 		}
 		fmt.Printf("==== %s ====\n", name)
+		start := obs.Now()
 		data, err := runner.Compute(opts)
+		if reg != nil {
+			times = append(times, obs.ExperimentTime{Name: name, WallNS: obs.Since(start)})
+		}
 		if err == nil {
 			err = runner.Render(os.Stdout, data)
 		}
@@ -162,6 +299,7 @@ func main() {
 		fmt.Println()
 	}
 	waitStore(opts)
+	finishObs(reg, srv, oc, meta, obs.Since(runStart), times)
 }
 
 // waitStore lets pending asynchronous store writes land before exit, so a
@@ -268,6 +406,9 @@ func traceCommand(args []string, opts experiments.Options, engine trace.Engine, 
 			os.Exit(1)
 		}
 		fmt.Printf("trace verify: %d entries ok (%d bytes) in %s\n", rep.OK, rep.Bytes, st.Dir())
+		ss := st.Stats()
+		fmt.Printf("trace verify: store stats: %d hits, %d misses, %d corrupt, %d saves, %d save errors\n",
+			ss.Hits, ss.Misses, ss.Corrupt, ss.Saves, ss.SaveErrors)
 		for _, dir := range rep.StaleDirs {
 			action := "found"
 			if prune {
@@ -296,12 +437,13 @@ func traceCommand(args []string, opts experiments.Options, engine trace.Engine, 
 // capture-once/replay-many is the sweep's entire economy — with the
 // in-memory bound defaulted to 512 MiB (a sweep touches every kernel, so
 // an unbounded cache would peak at the sum of all trace streams).
-func exploreCommand(args []string, opts experiments.Options, engine trace.Engine, storeFlag string, limit int64) {
+func exploreCommand(args []string, opts experiments.Options, engine trace.Engine, engineName, storeFlag string, limit int64, oc obsConfig) {
 	fs := flag.NewFlagSet("explore", flag.ExitOnError)
 	mode := fs.String("mode", "grid", "sweep mode: grid (full factorial), random (sample -n points), or paper (the paper's three designs)")
 	n := fs.Int("n", 1024, "with -mode random: number of design points to sample")
 	seed := fs.Int64("seed", 1, "with -mode random: sampling seed (equal seeds give identical sweeps)")
 	format := fs.String("format", "text", "output format: text (Pareto frontiers), csv (every row), or json")
+	oc.register(fs)
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "pimsim: usage: pimsim [flags] explore [-mode grid|random|paper] [-n N] [-seed S] [-format text|csv|json]")
 		fs.PrintDefaults()
@@ -321,6 +463,9 @@ func exploreCommand(args []string, opts experiments.Options, engine trace.Engine
 		opts.Traces.Limit = 512 << 20
 	}
 
+	reg, srv := setupObs(oc, &opts)
+	runStart := obs.Now()
+
 	res, err := experiments.Explore(opts, experiments.ExploreOptions{Mode: *mode, N: *n, Seed: *seed})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pimsim: %v\n", err)
@@ -331,6 +476,21 @@ func exploreCommand(args []string, opts experiments.Options, engine trace.Engine
 		os.Exit(2)
 	}
 	waitStore(opts)
+	finishObs(reg, srv, oc, obs.RunMeta{
+		Command:      "explore",
+		Scale:        scaleName(opts.Scale),
+		ReplayEngine: engineName,
+		Workers:      par.Workers(opts.Workers),
+		Configs:      res.Configs,
+	}, obs.Since(runStart), nil)
+}
+
+// scaleName renders a scale for run reports.
+func scaleName(s gopim.Scale) string {
+	if s == gopim.Standard {
+		return "standard"
+	}
+	return "quick"
 }
 
 func usage() {
@@ -338,6 +498,8 @@ func usage() {
        pimsim [flags] explore [-mode grid|random|paper] [-n N] [-seed S] [-format text|csv|json]
        pimsim [flags] trace pack     (pre-warm the persistent trace store)
        pimsim [flags] trace verify   (check store integrity; -prune to clean)
+observability (stdout stays byte-identical; breakdowns go to stderr):
+       pimsim run all -stats -report r.json -metrics-addr host:port
 experiments: %s
 `, strings.Join(experiments.Names(), ", "))
 	flag.PrintDefaults()

@@ -14,6 +14,7 @@ import (
 
 	"gopim"
 	"gopim/internal/core"
+	"gopim/internal/obs"
 	"gopim/internal/par"
 	"gopim/internal/profile"
 	"gopim/internal/timing"
@@ -37,6 +38,11 @@ type Options struct {
 	// earlier run (or `pimsim trace pack`) load from disk instead of
 	// executing, making a cold sweep nearly as fast as a warm one.
 	Traces *trace.Cache
+	// Obs, when non-nil, receives per-experiment wall times (RunNamed) and
+	// pricing spans. It never influences results — observability output goes
+	// to stderr/files only, and stdout stays byte-identical with it on or
+	// off (gated in scripts/check.sh).
+	Obs *obs.Registry
 }
 
 // workers resolves the effective worker count.
@@ -52,6 +58,7 @@ func (o Options) run(hw profile.Hardware, k profile.Kernel) (profile.Profile, ma
 func (o Options) evaluator() *core.Evaluator {
 	ev := core.NewEvaluator()
 	ev.Traces = o.Traces
+	ev.Obs = o.Obs
 	return ev
 }
 

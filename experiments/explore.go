@@ -362,6 +362,13 @@ func Explore(o Options, x ExploreOptions) (*ExploreResult, error) {
 		groups[gi].idxs = append(groups[gi].idxs, i)
 	}
 
+	// Live sweep progress: totals as gauges, completed walks as a counter a
+	// -metrics-addr poller watches tick up mid-run.
+	o.Obs.Gauge("explore.configs").Set(int64(len(points)))
+	o.Obs.Gauge("explore.geometries").Set(int64(len(hws)))
+	o.Obs.Gauge("explore.batch_walks_total").Set(int64(len(targets) * len(groups)))
+	walksDone := o.Obs.Counter("explore.batch_walks_done")
+
 	// Replay every (target, line-size group) unit: one batched stream walk
 	// prices the whole group. Units write disjoint prof slots, so the
 	// fan-out is bit-identical at any worker count.
@@ -380,9 +387,15 @@ func Explore(o Options, x ExploreOptions) (*ExploreResult, error) {
 		for j, hi := range g.idxs {
 			prof[ti][hi] = core.SelectPhases(res[j].Profile, res[j].Phases, targets[ti].Phases)
 		}
+		walksDone.Add(1)
 	})
 
+	priceSpan := o.Obs.Span("phase.price")
 	ev := o.evaluator()
+	// The sweep times all pricing as one span; the evaluator's own per-call
+	// phase.price span (paper mode routes through EvaluateProfiles) would
+	// double-count inside it.
+	ev.Obs = nil
 
 	// Paper mode prices through core.EvaluateProfiles — the exact paper
 	// pipeline on the batch-replayed profiles — so its rows reproduce
@@ -432,6 +445,7 @@ func Explore(o Options, x ExploreOptions) (*ExploreResult, error) {
 		}
 		markPareto(res.Rows[start:])
 	}
+	priceSpan.End()
 	return res, nil
 }
 

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"gopim"
+	"gopim/internal/obs"
+	"gopim/internal/par"
+	"gopim/internal/trace"
+)
+
+// TestRunAllObsOutputIdentical is the observability ground-rule gate at the
+// experiments layer: a fully instrumented run — registry attached to the
+// options, the trace cache, and the worker pool — must render byte-identical
+// reports to a plain run, while the registry actually collects phase
+// timings, cache counters, worker time, and per-experiment wall times.
+// A representative subset keeps the package under the go-test timeout;
+// check.sh gates the full sweep end-to-end by comparing pimsim binaries.
+func TestRunAllObsOutputIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two experiment runs; skipped with -short")
+	}
+	names := []string{"fig1", "fig2", "fig7", "fig18", "headline"}
+
+	plain, err := RunNamed(Options{Scale: gopim.Quick, Workers: 1, Traces: trace.NewCache()}, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	par.SetObs(reg)
+	defer par.SetObs(nil)
+	c := trace.NewCache()
+	c.Obs = reg
+	reg.AddSource(obs.PrefixTraceCache, c)
+	instrumented, err := RunNamed(Options{Scale: gopim.Quick, Workers: 4, Traces: c, Obs: reg}, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rp, ri := renderResults(t, plain), renderResults(t, instrumented)
+	for name, text := range rp {
+		if !bytes.Equal(text, ri[name]) {
+			t.Errorf("%s: rendered output differs with observability attached:\nplain:\n%s\ninstrumented:\n%s",
+				name, text, ri[name])
+		}
+	}
+
+	for _, r := range instrumented {
+		if r.WallNS <= 0 {
+			t.Errorf("experiment %s has no wall time recorded", r.Name)
+		}
+	}
+
+	snap := reg.Snapshot()
+	for _, name := range []string{"phase.record", "phase.replay.compiled"} {
+		if snap.Histograms[name].Count == 0 {
+			t.Errorf("histogram %s recorded nothing", name)
+		}
+	}
+	if snap.Counters[obs.PrefixTraceCache+"requests"] == 0 {
+		t.Error("trace cache source exported no requests")
+	}
+	// The inline serial path (worker cap = GOMAXPROCS = 1) is deliberately
+	// instrumentation-free; pooled-path accounting is covered by
+	// internal/par's own obs test.
+	if runtime.GOMAXPROCS(0) > 1 && snap.Counters["par.worker.busy_ns"] <= 0 {
+		t.Error("worker pool recorded no busy time")
+	}
+
+	rep := obs.BuildReport(reg, obs.RunMeta{Command: "test", Scale: "quick", Workers: 4}, 1, nil)
+	if hr := rep.Derived.TraceCacheHitRate; hr <= 0 || hr > 1 {
+		t.Errorf("trace cache hit rate %.4f outside (0, 1]", hr)
+	}
+	if rep.Derived.KernelExecutions == 0 {
+		t.Error("cold sweep reports zero kernel executions")
+	}
+}

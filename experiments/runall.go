@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 
+	"gopim/internal/obs"
 	"gopim/internal/par"
 )
 
@@ -122,6 +123,10 @@ type RunResult struct {
 	Name string
 	Data any
 	Err  error
+	// WallNS is the experiment's compute wall time, recorded only when
+	// o.Obs is attached (0 otherwise). It never feeds rendering — the
+	// determinism gates compare Data and rendered bytes.
+	WallNS int64
 }
 
 // RunNamed computes the named experiments concurrently (bounded by
@@ -137,8 +142,13 @@ func RunNamed(o Options, names []string) ([]RunResult, error) {
 		rs[i] = r
 	}
 	return par.Map(o.workers(), len(rs), func(i int) RunResult {
+		if o.Obs == nil {
+			data, err := rs[i].Compute(o)
+			return RunResult{Name: rs[i].Name, Data: data, Err: err}
+		}
+		start := obs.Now()
 		data, err := rs[i].Compute(o)
-		return RunResult{Name: rs[i].Name, Data: data, Err: err}
+		return RunResult{Name: rs[i].Name, Data: data, Err: err, WallNS: obs.Since(start)}
 	}), nil
 }
 

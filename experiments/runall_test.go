@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"gopim"
+	"gopim/internal/trace"
 )
 
 // renderResults renders every experiment's payload and returns the bytes
@@ -28,14 +29,18 @@ func renderResults(t *testing.T, results []RunResult) map[string][]byte {
 
 // TestRunAllDeterministic is the concurrency regression gate: the parallel
 // engine must produce results bit-identical to itself across runs and to
-// the serial reference path, for every experiment.
+// the serial reference path, for every experiment. Each run gets its own
+// fresh trace cache — the production `run all` shape, where workers race
+// on single-flight recording and concurrent replays — which keeps the
+// three full sweeps inside the per-package test timeout on one core;
+// cached-vs-direct equivalence is TestRunAllTraceCacheMatchesDirect's job.
 func TestRunAllDeterministic(t *testing.T) {
 	if testing.Short() {
 		t.Skip("three full experiment sweeps; skipped with -short")
 	}
-	par1 := RunAll(Options{Scale: gopim.Quick, Workers: 8})
-	par2 := RunAll(Options{Scale: gopim.Quick, Workers: 8})
-	serial := RunAllSerial(Options{Scale: gopim.Quick})
+	par1 := RunAll(Options{Scale: gopim.Quick, Workers: 8, Traces: trace.NewCache()})
+	par2 := RunAll(Options{Scale: gopim.Quick, Workers: 8, Traces: trace.NewCache()})
+	serial := RunAllSerial(Options{Scale: gopim.Quick, Traces: trace.NewCache()})
 
 	if len(par1) != len(par2) || len(par1) != len(serial) {
 		t.Fatalf("result counts differ: %d / %d / %d", len(par1), len(par2), len(serial))

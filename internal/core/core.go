@@ -12,6 +12,7 @@ import (
 
 	"gopim/internal/dram"
 	"gopim/internal/energy"
+	"gopim/internal/obs"
 	"gopim/internal/profile"
 	"gopim/internal/timing"
 	"gopim/internal/trace"
@@ -136,6 +137,11 @@ type Evaluator struct {
 	// carries a persistent trace.Store, "once" stretches across processes:
 	// previously recorded kernels load from disk instead of executing.
 	Traces *trace.Cache
+
+	// Obs, when non-nil, times EvaluateProfiles (the pricing arithmetic)
+	// under the "phase.price" span. Pricing never touches the memory-system
+	// models, so the span measures pure arithmetic.
+	Obs *obs.Registry
 }
 
 // NewEvaluator returns an evaluator with the default parameters.
@@ -184,6 +190,7 @@ func (e *Evaluator) Evaluate(t Target) Result {
 // equal profiles are bit-identical. The returned Evaluations carry no
 // per-phase maps.
 func (e *Evaluator) EvaluateProfiles(t Target, cpuProf, pimProf, accProf profile.Profile) Result {
+	defer e.Obs.Span("phase.price").End()
 	res := Result{Target: t, ByMode: map[Mode]Evaluation{}}
 
 	cpuSec := timing.SoC().Seconds(cpuProf)

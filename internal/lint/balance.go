@@ -75,6 +75,16 @@ func (b *balanceChecker) stmt(s ast.Stmt, depth int) int {
 		}
 		return depth
 	case *ast.DeferStmt:
+		// A defer's receiver chain and arguments are evaluated now, at the
+		// defer statement — only the final call is postponed. An open that
+		// appears there (the one-liner `defer r.Span("x").End()`) takes
+		// effect immediately, so scan both before crediting the close.
+		if fun, ok := s.Call.Fun.(*ast.SelectorExpr); ok {
+			depth = b.expr(fun.X, depth)
+		}
+		for _, a := range s.Call.Args {
+			depth = b.expr(a, depth)
+		}
 		if b.isClose(s.Call) {
 			b.deferredCloses++
 		}

@@ -4,8 +4,9 @@
 // tracekey), batched span entry points must be used for row-structured
 // accesses (spanaccess), profile phase push/pop pairs must balance on
 // every control-flow path (phasebalance), sync.Pool values must not
-// leak (poolescape), and the persistent trace store's format version must
-// gate both the encoder and the decoder (storever). The compiler cannot see any of these rules; the
+// leak (poolescape), the persistent trace store's format version must
+// gate both the encoder and the decoder (storever), and observability must
+// stay off stdout with every timing span closed on every path (obsout). The compiler cannot see any of these rules; the
 // 45-minute end-to-end sweeps in scripts/check.sh can — but a static pass
 // catches violations in seconds, at the call site.
 //
@@ -56,6 +57,7 @@ func Analyzers() []*Analyzer {
 		PhasebalanceAnalyzer,
 		PoolescapeAnalyzer,
 		StoreverAnalyzer,
+		ObsoutAnalyzer,
 	}
 }
 

@@ -12,11 +12,19 @@ import (
 // in-scope module path, so the analyzers' scope filters apply to it.
 func loadFixture(t *testing.T, name string) *Package {
 	t.Helper()
+	return loadFixtureAt(t, name, "gopim/internal/fixture/"+name)
+}
+
+// loadFixtureAt type-checks testdata/src/<name> under an explicit import
+// path, for analyzers whose rules key on a specific package (obsout's
+// stdout ban inside gopim/internal/obs).
+func loadFixtureAt(t *testing.T, name, asPath string) *Package {
+	t.Helper()
 	l, err := NewLoader(".")
 	if err != nil {
 		t.Fatal(err)
 	}
-	pkg, err := l.LoadDir(filepath.Join("testdata", "src", name), "gopim/internal/fixture/"+name)
+	pkg, err := l.LoadDir(filepath.Join("testdata", "src", name), asPath)
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", name, err)
 	}
@@ -66,7 +74,13 @@ func wantsIn(t *testing.T, pkg *Package) []*wantSpec {
 // resulting diagnostics one-to-one against its // want comments.
 func checkFixture(t *testing.T, name string, analyzers ...*Analyzer) {
 	t.Helper()
-	pkg := loadFixture(t, name)
+	checkPkg(t, name, loadFixture(t, name), analyzers...)
+}
+
+// checkPkg matches a loaded fixture package's diagnostics against its
+// // want comments.
+func checkPkg(t *testing.T, name string, pkg *Package, analyzers ...*Analyzer) {
+	t.Helper()
 	wants := wantsIn(t, pkg)
 	diags := RunAnalyzers([]*Package{pkg}, analyzers)
 	for _, d := range diags {
@@ -95,6 +109,13 @@ func TestSpanaccessFixture(t *testing.T)   { checkFixture(t, "spanaccess", Spana
 func TestPhasebalanceFixture(t *testing.T) { checkFixture(t, "phasebalance", PhasebalanceAnalyzer) }
 func TestPoolescapeFixture(t *testing.T)   { checkFixture(t, "poolescape", PoolescapeAnalyzer) }
 func TestStoreverFixture(t *testing.T)     { checkFixture(t, "storever", StoreverAnalyzer) }
+func TestObsoutFixture(t *testing.T)       { checkFixture(t, "obsout", ObsoutAnalyzer) }
+
+// TestObsoutObsPackageFixture type-checks the obspkg fixture under the real
+// obs import path, where obsout bans every os.Stdout reference outright.
+func TestObsoutObsPackageFixture(t *testing.T) {
+	checkPkg(t, "obspkg", loadFixtureAt(t, "obspkg", "gopim/internal/obs"), ObsoutAnalyzer)
+}
 
 // TestCleanFixture runs every analyzer over the clean fixture; any
 // finding is a false positive.

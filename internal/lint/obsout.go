@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ObsoutAnalyzer enforces the observability layer's ground rule that
+// observation never changes what the simulator prints: `pimsim run all`
+// stdout must stay byte-identical with -stats/-report/-metrics-addr on or
+// off. Three checks encode it:
+//
+//   - package gopim/internal/obs may not reference os.Stdout at all — its
+//     output goes to stderr, files, or the HTTP listener;
+//   - nowhere in the module may a Report writer (WriteText, WriteJSON) be
+//     handed os.Stdout — the report is exactly the stats/-report surface,
+//     so routing it to stdout breaks the byte-identity gate in
+//     scripts/check.sh;
+//   - every Registry.Span begin must meet a Span.End on every control-flow
+//     path (mirroring phasebalance): a leaked span records nothing and
+//     silently under-reports its phase in every breakdown.
+var ObsoutAnalyzer = &Analyzer{
+	Name: "obsout",
+	Doc:  "observability output must avoid os.Stdout, and obs span begin/end must balance on every control-flow path",
+	Run:  runObsout,
+}
+
+// obsPath is the observability package the analyzer guards.
+const obsPath = "gopim/internal/obs"
+
+func runObsout(pass *Pass) {
+	checkObsStdout(pass)
+	checkSpanBalance(pass)
+}
+
+// forEachOSStdout reports the position of every os.Stdout reference under
+// root (an expression or a whole file) through report.
+func forEachOSStdout(info *types.Info, root ast.Node, report func(pos token.Pos)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Stdout" {
+			return true
+		}
+		obj := info.Uses[sel.Sel]
+		v, ok := obj.(*types.Var)
+		if ok && v.Pkg() != nil && v.Pkg().Path() == "os" {
+			report(sel.Pos())
+		}
+		return true
+	})
+}
+
+// checkObsStdout implements the stdout rules: a blanket ban inside package
+// obs, and a module-wide ban on pointing the run report's writers at
+// os.Stdout.
+func checkObsStdout(pass *Pass) {
+	if pass.Path == obsPath {
+		for _, f := range pass.Files {
+			forEachOSStdout(pass.Info, f, func(pos token.Pos) {
+				pass.Reportf(pos, "os.Stdout referenced in package obs: observability writes to stderr, files, or the HTTP listener only")
+			})
+		}
+		// The report-writer rule below would double-report the same
+		// selectors inside package obs; the blanket ban already covers them.
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj := calleeOf(pass.Info, call)
+			if obj == nil {
+				return true
+			}
+			if !methodOn(obj, obsPath, "Report", "WriteText") &&
+				!methodOn(obj, obsPath, "Report", "WriteJSON") {
+				return true
+			}
+			for _, a := range call.Args {
+				forEachOSStdout(pass.Info, a, func(pos token.Pos) {
+					pass.Reportf(pos, "obs run report written to os.Stdout: -stats/-report output must not break stdout byte-identity")
+				})
+			}
+			return true
+		})
+	}
+}
+
+// checkSpanBalance verifies Registry.Span / Span.End pairing on every
+// structured control-flow path, exactly as phasebalance does for profile
+// phases. The one-liner `defer r.Span("x").End()` balances: the deferred
+// call's receiver is evaluated at the defer statement (opening the span
+// there) and the End is credited as a deferred close.
+func checkSpanBalance(pass *Pass) {
+	if !simScope(pass.Path) {
+		return
+	}
+	isSpanCall := func(call *ast.CallExpr, typeName, name string) bool {
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != name {
+			return false
+		}
+		obj := pass.Info.Uses[sel.Sel]
+		return obj != nil && methodOn(obj, obsPath, typeName, name)
+	}
+	forEachFuncBody(pass.Files, func(name string, body *ast.BlockStmt, end token.Pos) {
+		b := &balanceChecker{
+			pass:    pass,
+			isOpen:  func(c *ast.CallExpr) bool { return isSpanCall(c, "Registry", "Span") },
+			isClose: func(c *ast.CallExpr) bool { return isSpanCall(c, "Span", "End") },
+			what:    "Span/End",
+		}
+		b.check(body, end)
+	})
+}

@@ -1,0 +1,98 @@
+// Package obsout exercises the obsout analyzer: obs spans must balance on
+// every control-flow path, and the run report must never target os.Stdout.
+package obsout
+
+import (
+	"os"
+
+	"gopim/internal/obs"
+)
+
+func balanced(r *obs.Registry) {
+	sp := r.Span("phase.record")
+	work()
+	sp.End()
+}
+
+func balancedEarlyReturn(r *obs.Registry, skip bool) {
+	sp := r.Span("phase.record")
+	if skip {
+		sp.End()
+		return
+	}
+	work()
+	sp.End()
+}
+
+func deferredEnd(r *obs.Registry, skip bool) {
+	sp := r.Span("phase.compile")
+	defer sp.End()
+	if skip {
+		return
+	}
+	work()
+}
+
+func deferredOneLiner(r *obs.Registry, skip bool) {
+	defer r.Span("phase.replay.batch").End()
+	if skip {
+		return
+	}
+	work()
+}
+
+func balancedLoop(r *obs.Registry) {
+	for i := 0; i < 4; i++ {
+		sp := r.Span("phase.price")
+		work()
+		sp.End()
+	}
+}
+
+func leakedSpan(r *obs.Registry) {
+	sp := r.Span("phase.record")
+	work()
+	_ = sp
+} // want `function exits at depth \+1`
+
+func earlyReturnLeak(r *obs.Registry, skip bool) {
+	sp := r.Span("phase.record")
+	if skip {
+		return // want `return at depth \+1`
+	}
+	work()
+	sp.End()
+}
+
+func unbalancedBranches(r *obs.Registry, deep bool) {
+	var sp obs.Span
+	if deep { // want "branches of if end at different depths"
+		sp = r.Span("phase.price")
+	}
+	work()
+	sp.End()
+}
+
+func loopNetOpen(r *obs.Registry) {
+	var last obs.Span
+	for i := 0; i < 4; i++ { // want `loop body has net depth \+1`
+		last = r.Span("phase.price")
+		work()
+	}
+	_ = last
+}
+
+func extraEnd(sp obs.Span) {
+	sp.End() // want "close without matching open"
+}
+
+func reportToStdout(rep *obs.Report) {
+	rep.WriteText(os.Stdout) // want "obs run report written to os.Stdout"
+}
+
+func reportToStderrOK(rep *obs.Report) error {
+	rep.WriteText(os.Stderr)
+	return rep.WriteJSON(os.Stderr)
+}
+
+func work() {}

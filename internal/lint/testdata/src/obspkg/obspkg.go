@@ -1,0 +1,21 @@
+// Package obs is a fixture type-checked under the import path
+// gopim/internal/obs (see TestObsoutObsPackageFixture), exercising the
+// obsout rule that the observability package itself may never reference
+// os.Stdout. It must not import the real obs package: it occupies its
+// import path in the loader.
+package obs
+
+import (
+	"fmt"
+	"os"
+)
+
+var stdoutAlias = os.Stdout // want "os.Stdout referenced in package obs"
+
+func writeToStderrOK() {
+	fmt.Fprintln(os.Stderr, "stats")
+}
+
+func writeToStdout() {
+	fmt.Fprintln(os.Stdout, "stats") // want "os.Stdout referenced in package obs"
+}

@@ -1,0 +1,45 @@
+package obs
+
+import "testing"
+
+// The hot-path budget: instrumentation must stay within 2% of any phase it
+// wraps. The benchmarks below put numbers on the primitives — a counter add
+// and a full span are each tens of nanoseconds, against phase durations of
+// milliseconds — and on the off switch (nil receivers), which must cost no
+// more than a branch.
+
+func BenchmarkCounterAdd(b *testing.B) {
+	c := NewRegistry().Counter("bench.counter")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("bench.hist")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}
+
+// BenchmarkSpan times a full begin/end pair against a live registry with
+// the handle pre-resolved the way instrumented call sites do it.
+func BenchmarkSpan(b *testing.B) {
+	r := NewRegistry()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Span("bench.span").End()
+	}
+}
+
+// BenchmarkSpanNil is the instrumentation-off cost: a span begun on a nil
+// registry must degrade to a pair of predictable branches.
+func BenchmarkSpanNil(b *testing.B) {
+	var r *Registry
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Span("bench.span").End()
+	}
+}

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+)
+
+// Server serves live registry snapshots over HTTP:
+//
+//	GET /metrics  -> Snapshot as JSON (counters incl. Source-exported,
+//	                 gauges, histograms)
+//	GET /healthz  -> {"status":"ok"}
+//
+// It is the seed of the pimsimd service surface: a background goroutine
+// that can be polled mid-run without perturbing the simulation.
+type Server struct {
+	reg      *Registry
+	addr     net.Addr
+	listener net.Listener
+	srv      *http.Server
+	done     chan struct{}
+
+	mu       sync.Mutex
+	closed   bool
+	serveErr error
+}
+
+// Serve starts serving snapshots of reg on addr (host:port; port 0 picks a
+// free port — read the resolved address from Addr). The listener is bound
+// synchronously, so a non-error return means /metrics is reachable.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: metrics listener: %w", err)
+	}
+	s := &Server{
+		reg:      reg,
+		addr:     ln.Addr(),
+		listener: ln,
+		done:     make(chan struct{}),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	s.srv = &http.Server{Handler: mux}
+	go func() {
+		defer close(s.done)
+		err := s.srv.Serve(ln)
+		if err != nil && err != http.ErrServerClosed {
+			s.mu.Lock()
+			s.serveErr = err
+			s.mu.Unlock()
+		}
+	}()
+	return s, nil
+}
+
+// Addr returns the server's resolved listen address.
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.addr.String()
+}
+
+// Close stops the listener and waits for the serve goroutine to exit. Safe
+// on nil and safe to call twice. In-flight snapshot requests are not
+// drained: the run is over, and a monitoring poll losing one response beats
+// the process hanging on a stuck client.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	err := s.srv.Close()
+	<-s.done
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err == nil {
+		err = s.serveErr
+	}
+	return err
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// Headers are already out; an encode/write error here means the client
+	// went away, which a metrics endpoint does not care about.
+	_ = enc.Encode(v)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, s.reg.Snapshot())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, map[string]string{"status": "ok"})
+}

@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading %s: %v", url, err)
+	}
+	return resp.StatusCode, body
+}
+
+func TestServeHealthz(t *testing.T) {
+	s, err := Serve("127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	code, body := get(t, "http://"+s.Addr()+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("healthz status = %d", code)
+	}
+	var status map[string]string
+	if err := json.Unmarshal(body, &status); err != nil {
+		t.Fatalf("healthz not JSON: %v", err)
+	}
+	if status["status"] != "ok" {
+		t.Fatalf("healthz = %+v", status)
+	}
+}
+
+// TestServeMetricsMidRun polls /metrics while goroutines are actively
+// mutating the registry — the live-monitoring scenario — and validates the
+// response parses into the Snapshot schema with coherent values.
+func TestServeMetricsMidRun(t *testing.T) {
+	reg := NewRegistry()
+	reg.AddSource(PrefixTraceCache, sourceFunc(func(emit func(string, int64)) {
+		emit("hits", 42)
+	}))
+	s, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := int64(0); !stop.Load(); i++ {
+				reg.Counter("explore.batch_walks_done").Add(1)
+				reg.Gauge("explore.configs").Set(128)
+				reg.Histogram("phase.replay.batch").Observe(i % 4096)
+			}
+		}()
+	}
+
+	url := "http://" + s.Addr() + "/metrics"
+	for poll := 0; poll < 5; poll++ {
+		code, body := get(t, url)
+		if code != http.StatusOK {
+			t.Fatalf("metrics status = %d", code)
+		}
+		var snap Snapshot
+		if err := json.Unmarshal(body, &snap); err != nil {
+			t.Fatalf("metrics response is not a Snapshot: %v\n%s", err, body)
+		}
+		if snap.Counters == nil || snap.Gauges == nil {
+			t.Fatalf("snapshot missing maps: %s", body)
+		}
+		if snap.Counters[PrefixTraceCache+"hits"] != 42 {
+			t.Fatalf("source counter missing from live snapshot: %+v", snap.Counters)
+		}
+		// Mid-run the snapshot tears (count and buckets are separate
+		// atomics), so only structural checks here; the exact sum
+		// invariant is asserted below once the writers quiesce.
+		if h, ok := snap.Histograms["phase.replay.batch"]; ok {
+			if h.Count <= 0 || h.Sum < 0 {
+				t.Fatalf("implausible live histogram: %+v", h)
+			}
+			for _, b := range h.Buckets {
+				if b.Count <= 0 {
+					t.Fatalf("empty bucket serialized: %+v", h.Buckets)
+				}
+			}
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	// After the writers stop, progress must be visible and monotone.
+	_, body := get(t, url)
+	var snap Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["explore.batch_walks_done"] <= 0 {
+		t.Fatalf("no progress recorded: %+v", snap.Counters)
+	}
+	if snap.Gauges["explore.configs"] != 128 {
+		t.Fatalf("gauge = %d, want 128", snap.Gauges["explore.configs"])
+	}
+	if h, ok := snap.Histograms["phase.replay.batch"]; ok {
+		var bucketSum int64
+		for _, b := range h.Buckets {
+			bucketSum += b.Count
+		}
+		if bucketSum != h.Count {
+			t.Fatalf("quiesced bucket sum %d != count %d", bucketSum, h.Count)
+		}
+	}
+}
+
+func TestServeRejectsNonGet(t *testing.T) {
+	s, err := Serve("127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	resp, err := http.Post("http://"+s.Addr()+"/metrics", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /metrics status = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestServeCloseIdempotent(t *testing.T) {
+	s, err := Serve("127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("first close: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	var nilSrv *Server
+	if err := nilSrv.Close(); err != nil {
+		t.Fatalf("nil close: %v", err)
+	}
+	if got := nilSrv.Addr(); got != "" {
+		t.Fatalf("nil Addr = %q", got)
+	}
+}
+
+func TestServeBadAddr(t *testing.T) {
+	if _, err := Serve("256.256.256.256:99999", NewRegistry()); err == nil {
+		t.Fatal("expected error for unusable address")
+	}
+}

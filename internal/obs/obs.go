@@ -1,0 +1,382 @@
+// Package obs is the simulator's observability layer: a concurrency-safe
+// metrics registry (counters, gauges, log-bucketed histograms), lightweight
+// timing spans wrapped around the pipeline's phases, a versioned
+// machine-readable run report, and a live HTTP snapshot endpoint — the seed
+// of the pimsimd service surface.
+//
+// Two rules govern everything here:
+//
+//   - Observation never changes results. All output goes to stderr, files,
+//     or the HTTP listener; `pimsim run all` stdout is byte-identical with
+//     instrumentation on or off (gated in scripts/check.sh), and the obsout
+//     lint analyzer statically forbids os.Stdout in this package and in
+//     -stats/report code paths.
+//   - Observation is cheap enough to stay on. The hot-path primitives are
+//     atomic adds with no allocation, and every entry point is nil-safe: a
+//     nil *Registry (the default — no -stats/-report/-metrics-addr flag)
+//     degrades to branch-predictable no-ops, so instrumented call sites cost
+//     a nil check when observability is off.
+//
+// This package is also the one place in the simulator allowed to read the
+// wall clock: spans measure the simulator, they never feed it, so no
+// profile, trace, or rendered figure can depend on these reads (the
+// nondeterm analyzer enforces the rest of the tree; the single suppression
+// lives on nowNanos).
+package obs
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// nowNanos is the observability clock, the package's only wall-clock read.
+func nowNanos() int64 {
+	//lint:ignore nondeterm observability measures wall time; it never feeds simulator results
+	return time.Now().UnixNano()
+}
+
+// Now returns the observability clock in nanoseconds. Instrumented
+// packages (par, experiments) use it for interval arithmetic that would be
+// too fine-grained for a Span, keeping every wall-clock read behind this
+// package's single suppression point.
+func Now() int64 { return nowNanos() }
+
+// Since returns the nanoseconds elapsed since a Now() reading.
+func Since(start int64) int64 { return nowNanos() - start }
+
+// Counter is a monotonically increasing metric. The zero value is ready to
+// use; a nil Counter ignores adds, so call sites resolved from a nil
+// Registry cost one branch.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a set-to-current-value metric (queue depths, totals known up
+// front). Nil-safe like Counter.
+type Gauge struct{ v atomic.Int64 }
+
+// Set records the gauge's current value.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Add adjusts the gauge by n.
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// Value returns the current value (0 for nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the fixed bucket count of every Histogram: bucket 0 holds
+// values <= 0 and bucket i (1..64) holds values v with 2^(i-1) <= v < 2^i,
+// so the index is simply bits.Len64(v). Fixed log-scale buckets make
+// Observe a pair of atomic adds with no comparisons and give nanosecond
+// spans ~2x resolution from 1 ns to ~580 years — plenty for phase timings.
+const histBuckets = 65
+
+// Histogram counts observations in fixed log2-scale buckets, tracking the
+// exact count and sum alongside (so means are exact even though bucket
+// boundaries are coarse). The zero value is ready to use; nil ignores
+// observations.
+type Histogram struct {
+	count, sum atomic.Int64
+	buckets    [histBuckets]atomic.Int64
+}
+
+// bucketIndex returns the bucket for value v.
+func bucketIndex(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// BucketBound returns bucket i's inclusive upper bound (its `le`).
+func BucketBound(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 64 {
+		return 1<<63 - 1
+	}
+	return 1<<i - 1
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bucketIndex(v)].Add(1)
+}
+
+// Span is one in-flight timed region. It is a value: starting a span
+// allocates nothing, and the zero Span (from a nil Registry) is a no-op.
+type Span struct {
+	h     *Histogram
+	start int64
+}
+
+// End closes the span, recording its duration. Every Span begin must meet
+// an End on all control-flow paths — the obsout analyzer enforces this
+// statically, mirroring phasebalance: a leaked span records nothing and
+// silently under-reports its phase.
+func (s Span) End() {
+	if s.h != nil {
+		s.h.Observe(nowNanos() - s.start)
+	}
+}
+
+// Source exports a component's internal counters into a snapshot. It is
+// the bridge for subsystems that already keep their own atomics
+// (trace.Cache, trace.Store): instead of double-counting on the hot path —
+// or forcing the registry's map lookups into code that predates it — the
+// registry pulls their values at snapshot time through this interface.
+type Source interface {
+	// MetricsInto emits every metric as a (name, value) pair. Values are
+	// read with the component's own synchronization; emit must not be
+	// retained.
+	MetricsInto(emit func(name string, value int64))
+}
+
+// Registry is a concurrency-safe metrics namespace. Counters, gauges and
+// histograms are created on first use and live for the registry's
+// lifetime; attached Sources are polled at snapshot time. A nil *Registry
+// is fully functional as a no-op: every method returns a nil-safe handle.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	sources  []sourceEntry
+}
+
+type sourceEntry struct {
+	prefix string
+	src    Source
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Returns nil
+// (a no-op counter) when r is nil; hot paths should resolve once and hold
+// the handle.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use (nil for nil r).
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use (nil for
+// nil r).
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Span begins a timed region recorded into the named histogram on End. A
+// nil registry returns the zero Span, whose End is a no-op, so the pattern
+//
+//	sp := reg.Span("phase.record")
+//	...
+//	sp.End()
+//
+// costs two nil checks when observability is off.
+func (r *Registry) Span(name string) Span {
+	if r == nil {
+		return Span{}
+	}
+	return Span{h: r.Histogram(name), start: nowNanos()}
+}
+
+// AddSource attaches a snapshot source; every metric it emits appears in
+// snapshots under prefix+name. No-op on a nil registry.
+func (r *Registry) AddSource(prefix string, src Source) {
+	if r == nil || src == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sources = append(r.sources, sourceEntry{prefix: prefix, src: src})
+}
+
+// Bucket is one non-empty histogram bucket: Count observations with values
+// <= Le (and greater than the previous bucket's Le).
+type Bucket struct {
+	Le    int64 `json:"le"`
+	Count int64 `json:"count"`
+}
+
+// HistogramSnapshot is one histogram's state at snapshot time.
+type HistogramSnapshot struct {
+	Count   int64    `json:"count"`
+	Sum     int64    `json:"sum"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// snapshot reads the histogram's current state; only non-empty buckets are
+// materialized (bucket index order, so the slice is always sorted by Le).
+func (h *Histogram) snapshot() HistogramSnapshot {
+	hs := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n > 0 {
+			hs.Buckets = append(hs.Buckets, Bucket{Le: BucketBound(i), Count: n})
+		}
+	}
+	return hs
+}
+
+// Mean returns the exact mean observation (0 when empty).
+func (h HistogramSnapshot) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Snapshot is a consistent-enough view of a registry: each value is read
+// atomically (the set is not a transaction — fine for monitoring).
+// Source-exported metrics land in Counters under their prefix.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures the registry's current state, polling every attached
+// Source. A nil registry snapshots empty (never nil) maps.
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return snap
+	}
+	r.mu.RLock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for name, c := range r.counters {
+		counters[name] = c
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for name, g := range r.gauges {
+		gauges[name] = g
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for name, h := range r.hists {
+		hists[name] = h
+	}
+	sources := append([]sourceEntry(nil), r.sources...)
+	r.mu.RUnlock()
+
+	for name, c := range counters {
+		snap.Counters[name] = c.Value()
+	}
+	for name, g := range gauges {
+		snap.Gauges[name] = g.Value()
+	}
+	for name, h := range hists {
+		snap.Histograms[name] = h.snapshot()
+	}
+	for _, se := range sources {
+		se.src.MetricsInto(func(name string, value int64) {
+			snap.Counters[se.prefix+name] = value
+		})
+	}
+	return snap
+}
+
+// sortedNames returns m's keys in sorted order — the blessed deterministic
+// map iteration pattern, local to obs (which cannot import experiments).
+func sortedNames[V any](m map[string]V) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		//lint:ignore nondeterm keys are fully sorted before any use
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -13,7 +13,21 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"gopim/internal/obs"
 )
+
+// obsReg is the registry worker busy/idle time is reported to, nil (no
+// accounting at all) by default. Package-level because ForEach call sites
+// are spread across the tree and threading a registry through each would
+// dwarf the feature; an atomic pointer keeps SetObs safe at any time.
+var obsReg atomic.Pointer[obs.Registry]
+
+// SetObs directs worker-utilization metrics (par.worker.busy_ns /
+// par.worker.idle_ns) at r; nil turns accounting off. The inline serial
+// path is never timed — with one worker utilization is 1 by construction,
+// and the serial reference path must stay instrumentation-free.
+func SetObs(r *obs.Registry) { obsReg.Store(r) }
 
 // Workers resolves a worker-count override: values > 0 are used as given,
 // anything else (0 or negative) means GOMAXPROCS.
@@ -62,6 +76,15 @@ func ForEach(workers, n int, fn func(i int)) {
 	if chunk < 1 {
 		chunk = 1
 	}
+	// Resolve the utilization counters once per ForEach, not per chunk: when
+	// observability is off (the default) workers pay a single nil check, and
+	// when it is on the hot loop does two clock reads per chunk plus a local
+	// add — the shared counters are only touched once per worker, at exit.
+	var busyCtr, idleCtr *obs.Counter
+	if reg := obsReg.Load(); reg != nil {
+		busyCtr = reg.Counter("par.worker.busy_ns")
+		idleCtr = reg.Counter("par.worker.idle_ns")
+	}
 	var (
 		next     atomic.Int64
 		wg       sync.WaitGroup
@@ -72,6 +95,14 @@ func ForEach(workers, n int, fn func(i int)) {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			var workerStart, busyNS int64
+			if busyCtr != nil {
+				workerStart = obs.Now()
+				defer func() {
+					busyCtr.Add(busyNS)
+					idleCtr.Add(obs.Since(workerStart) - busyNS)
+				}()
+			}
 			defer func() {
 				if r := recover(); r != nil {
 					panicOne.Do(func() { panicked = r })
@@ -88,6 +119,14 @@ func ForEach(workers, n int, fn func(i int)) {
 				end := start + chunk
 				if end > n {
 					end = n
+				}
+				if busyCtr != nil {
+					t0 := obs.Now()
+					for i := start; i < end; i++ {
+						fn(i)
+					}
+					busyNS += obs.Since(t0)
+					continue
 				}
 				for i := start; i < end; i++ {
 					fn(i)

@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sync/atomic"
 	"testing"
+
+	"gopim/internal/obs"
 )
 
 func TestWorkers(t *testing.T) {
@@ -98,4 +100,42 @@ func TestPanicPropagates(t *testing.T) {
 			})
 		}()
 	}
+}
+
+// TestForEachWorkerAccounting pins the pooled path's utilization metrics:
+// with a registry attached and enough schedulable parallelism to escape the
+// inline path, every worker reports busy time, and the inline serial path
+// (GOMAXPROCS=1) stays instrumentation-free.
+func TestForEachWorkerAccounting(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+
+	reg := obs.NewRegistry()
+	SetObs(reg)
+	defer SetObs(nil)
+
+	var sum atomic.Int64
+	ForEach(4, 64, func(i int) {
+		acc := 0
+		for j := 0; j < 20000; j++ {
+			acc += j ^ i
+		}
+		sum.Add(int64(acc))
+	})
+
+	snap := reg.Snapshot()
+	if snap.Counters["par.worker.busy_ns"] <= 0 {
+		t.Error("pooled ForEach recorded no busy time")
+	}
+	if snap.Counters["par.worker.idle_ns"] < 0 {
+		t.Error("negative idle time")
+	}
+
+	runtime.GOMAXPROCS(1)
+	ForEach(4, 16, func(i int) { sum.Add(1) })
+	after := reg.Snapshot()
+	if after.Counters["par.worker.busy_ns"] != snap.Counters["par.worker.busy_ns"] {
+		t.Error("inline serial path touched worker counters")
+	}
+	_ = sum.Load()
 }

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"gopim/internal/obs"
 	"gopim/internal/profile"
 )
 
@@ -31,9 +32,10 @@ func HardwareKey(hw profile.Hardware) string {
 
 // Stats reports what a Cache has done so far.
 type Stats struct {
+	Requests  int64 // all Profile requests, hit or not
 	Records   int64 // kernel executions (trace captures)
 	Replays   int64 // trace replays against a new hardware config
-	Hits      int64 // requests served from a memoized (kernel, hardware) result
+	Hits      int64 // requests served from memoized state (a (kernel, hardware) result, or a resident trace for TraceFor)
 	Misses    int64 // requests that fell through to direct execution (no key)
 	StoreHits int64 // traces loaded from the persistent store instead of recorded
 	Evictions int64 // traces evicted by the in-memory size bound (Limit)
@@ -83,13 +85,19 @@ type Cache struct {
 	// previous behavior. Set it before sharing the cache across goroutines.
 	Limit int64
 
+	// Obs, when non-nil, receives phase-timing spans (kernel record, trace
+	// replay) from cache-mediated work; the cache's own counters are exported
+	// separately via MetricsInto. Nil (the default) costs a branch per phase.
+	// Set it before sharing the cache across goroutines.
+	Obs *obs.Registry
+
 	mu      sync.Mutex
 	traces  map[string]*traceEntry
 	results map[string]*resultEntry
 	lru     *list.List // *traceEntry, front = most recently used
 	bytes   int64      // sum of admitted entries' bytes
 
-	records, replays, hits, misses, storeHits, evictions atomic.Int64
+	requests, records, replays, hits, misses, storeHits, evictions atomic.Int64
 }
 
 type traceEntry struct {
@@ -128,6 +136,7 @@ func NewCache() *Cache {
 // Stats returns a snapshot of the cache's activity counters.
 func (c *Cache) Stats() Stats {
 	return Stats{
+		Requests:  c.requests.Load(),
 		Records:   c.records.Load(),
 		Replays:   c.replays.Load(),
 		Hits:      c.hits.Load(),
@@ -135,6 +144,20 @@ func (c *Cache) Stats() Stats {
 		StoreHits: c.storeHits.Load(),
 		Evictions: c.evictions.Load(),
 	}
+}
+
+// MetricsInto implements obs.Source, exporting the cache's counters (and
+// current resident bytes) into registry snapshots — the same atomics Stats
+// reads, with no extra hot-path accounting.
+func (c *Cache) MetricsInto(emit func(name string, value int64)) {
+	emit("requests", c.requests.Load())
+	emit("records", c.records.Load())
+	emit("replays", c.replays.Load())
+	emit("hits", c.hits.Load())
+	emit("misses", c.misses.Load())
+	emit("store_hits", c.storeHits.Load())
+	emit("evictions", c.evictions.Load())
+	emit("mem_bytes", c.MemBytes())
 }
 
 // MemBytes returns the bytes of recorded trace streams currently held in
@@ -152,10 +175,12 @@ func (c *Cache) Profile(hw profile.Hardware, kernel profile.Kernel) (profile.Pro
 	key := profile.KeyOf(kernel)
 	if c == nil || key == "" {
 		if c != nil {
+			c.requests.Add(1)
 			c.misses.Add(1)
 		}
 		return profile.Run(hw, kernel)
 	}
+	c.requests.Add(1)
 	hwKey := HardwareKey(hw)
 
 	c.mu.Lock()
@@ -182,13 +207,16 @@ func (c *Cache) Profile(hw profile.Hardware, kernel profile.Kernel) (profile.Pro
 				te.trace = t
 				c.storeHits.Add(1)
 			} else {
+				sp := c.Obs.Span("phase.record")
 				rec := NewRecorder(kernel.Name())
 				te.prof, te.phases = profile.Record(hw, kernel, rec)
 				te.trace = rec.Finish()
+				sp.End()
 				te.hwKey = hwKey
 				c.records.Add(1)
 				c.Store.SaveAsync(key, te.trace)
 			}
+			te.trace.Obs = c.Obs
 			c.admit(te)
 		})
 		if te.hwKey == hwKey {
@@ -196,9 +224,13 @@ func (c *Cache) Profile(hw profile.Hardware, kernel profile.Kernel) (profile.Pro
 			return
 		}
 		if c.Engine == EngineInterp {
+			sp := c.Obs.Span("phase.replay.interp")
 			re.prof, re.phases = te.trace.ReplayInterp(hw)
+			sp.End()
 		} else {
+			sp := c.Obs.Span("phase.replay.compiled")
 			re.prof, re.phases = te.trace.Replay(hw)
+			sp.End()
 		}
 		c.replays.Add(1)
 	})
@@ -221,12 +253,14 @@ func (c *Cache) TraceFor(kernel profile.Kernel) *Trace {
 	key := profile.KeyOf(kernel)
 	if c == nil || key == "" {
 		if c != nil {
+			c.requests.Add(1)
 			c.misses.Add(1)
 		}
 		rec := NewRecorder(kernel.Name())
 		profile.Record(profile.SoC(), kernel, rec)
 		return rec.Finish()
 	}
+	c.requests.Add(1)
 
 	c.mu.Lock()
 	te, ok := c.traces[key]
@@ -239,21 +273,29 @@ func (c *Cache) TraceFor(kernel profile.Kernel) *Trace {
 	}
 	c.mu.Unlock()
 
+	first := false
 	te.once.Do(func() {
+		first = true
 		if t, ok := c.Store.Load(key); ok {
 			te.trace = t
 			c.storeHits.Add(1)
 		} else {
 			hw := profile.SoC()
+			sp := c.Obs.Span("phase.record")
 			rec := NewRecorder(kernel.Name())
 			te.prof, te.phases = profile.Record(hw, kernel, rec)
 			te.trace = rec.Finish()
+			sp.End()
 			te.hwKey = HardwareKey(hw)
 			c.records.Add(1)
 			c.Store.SaveAsync(key, te.trace)
 		}
+		te.trace.Obs = c.Obs
 		c.admit(te)
 	})
+	if !first {
+		c.hits.Add(1)
+	}
 	return te.trace
 }
 

@@ -84,7 +84,11 @@ func (t *Trace) compile(lineSize uint64) *compiled {
 		t.compiledBy[lineSize] = e
 	}
 	t.mu.Unlock()
-	e.once.Do(func() { e.c = t.compileOnce(lineSize) })
+	e.once.Do(func() {
+		sp := t.Obs.Span("phase.compile")
+		e.c = t.compileOnce(lineSize)
+		sp.End()
+	})
 	return e.c
 }
 
@@ -245,6 +249,7 @@ func (ct CompiledTrace) ReplayBatch(hws []profile.Hardware) []BatchResult {
 			panic(fmt.Sprintf("trace: ReplayBatch config line size %d != compiled line size %d", ls, ct.lineSize))
 		}
 	}
+	defer ct.t.Obs.Span("phase.replay.batch").End()
 	batch := profile.NewCtxBatch(hws)
 	for i := range ct.c.segs {
 		seg := &ct.c.segs[i]

@@ -11,6 +11,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"gopim/internal/obs"
 )
 
 // Store is a persistent, content-addressed cache of recorded traces: the
@@ -37,6 +39,11 @@ import (
 type Store struct {
 	root string // as given to OpenStore
 	dir  string // version-qualified entry root
+
+	// Obs, when non-nil, receives load/save phase spans (the store's own
+	// counters are exported via MetricsInto). Set it before sharing the
+	// store across goroutines.
+	Obs *obs.Registry
 
 	wg sync.WaitGroup
 
@@ -90,6 +97,17 @@ func (s *Store) Stats() StoreStats {
 	}
 }
 
+// MetricsInto implements obs.Source, exporting the store's counters into
+// registry snapshots — the same atomics Stats reads.
+func (s *Store) MetricsInto(emit func(name string, value int64)) {
+	st := s.Stats()
+	emit("hits", st.Hits)
+	emit("misses", st.Misses)
+	emit("corrupt", st.Corrupt)
+	emit("saves", st.Saves)
+	emit("save_errors", st.SaveErrors)
+}
+
 // Load returns the stored trace for key, or ok == false on any miss —
 // absent entry, unreadable file, corrupt or version-mismatched contents,
 // or an entry whose recorded key does not match (a hash filed under the
@@ -98,6 +116,7 @@ func (s *Store) Load(key string) (*Trace, bool) {
 	if s == nil {
 		return nil, false
 	}
+	defer s.Obs.Span("phase.store.load").End()
 	data, err := os.ReadFile(s.entryPath(key))
 	if err != nil {
 		s.misses.Add(1)
@@ -123,6 +142,7 @@ func (s *Store) SaveAsync(key string, t *Trace) {
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
+		defer s.Obs.Span("phase.store.save").End()
 		if err := s.save(key, t); err != nil {
 			s.saveErrors.Add(1)
 			return
@@ -212,10 +232,12 @@ func (s *Store) Verify(prune bool) (VerifyReport, error) {
 		}
 		key, _, derr := decodeTrace(data)
 		if derr != nil {
+			s.corrupt.Add(1)
 			rep.Issues = append(rep.Issues, VerifyIssue{Path: path, Reason: derr.Error()})
 			return nil
 		}
 		if want := s.entryPath(key); want != path {
+			s.corrupt.Add(1)
 			rep.Issues = append(rep.Issues, VerifyIssue{Path: path, Reason: "entry filed under the wrong key hash"})
 			return nil
 		}

@@ -32,6 +32,7 @@ import (
 	"sync"
 
 	"gopim/internal/mem"
+	"gopim/internal/obs"
 	"gopim/internal/profile"
 )
 
@@ -54,6 +55,11 @@ const (
 type Trace struct {
 	// Kernel is the kernel's report name (not the cache key).
 	Kernel string
+
+	// Obs, when non-nil, receives compile and batch-replay phase spans.
+	// trace.Cache sets it while the trace is still private to the recording
+	// single-flight; set it before sharing a hand-built Trace.
+	Obs *obs.Registry
 
 	events []uint64
 	phases []string // interned phase names, indexed by phase events

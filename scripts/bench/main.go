@@ -21,6 +21,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"gopim/internal/obs"
 )
 
 // Record is one point of the performance trajectory.
@@ -32,6 +34,31 @@ type Record struct {
 	Benchmarks map[string]float64 `json:"benchmarks_ns_per_op"`
 	RunAll     RunAll             `json:"run_all"`
 	Explore    *Explore           `json:"explore,omitempty"`
+	Obs        *ObsStats          `json:"obs,omitempty"`
+}
+
+// ObsStats is what the observability layer's run reports say about the
+// timed passes: the instrumented repeat of the cache-on run (its wall time
+// bounds the -stats/-report overhead), the trace-cache and store headline
+// hit rates, and pool utilization. Omitted from records predating the obs
+// layer.
+type ObsStats struct {
+	// RunAllObsMS repeats the tracecache-on run with -stats/-report
+	// enabled; OverheadPct is its cost relative to the plain run (the
+	// layer's budget is <= 2%, though single-run noise can exceed it).
+	RunAllObsMS int64   `json:"run_all_obs_ms"`
+	OverheadPct float64 `json:"overhead_pct"`
+	// TraceCacheHitRate and WorkerUtilization come from the instrumented
+	// cache-on run's report.
+	TraceCacheHitRate float64 `json:"trace_cache_hit_rate"`
+	WorkerUtilization float64 `json:"worker_utilization"`
+	// StoreColdHitRate is the store hit rate of the first process reading
+	// the freshly packed store; StoreWarmHitRate is a second pass over the
+	// same store. Both must be 1.0 — KernelExecutionsCold doubles as the
+	// warm-store assertion (0 means no kernel ran).
+	StoreColdHitRate     float64 `json:"store_cold_hit_rate"`
+	StoreWarmHitRate     float64 `json:"store_warm_hit_rate"`
+	KernelExecutionsCold int64   `json:"kernel_executions_cold"`
 }
 
 // Explore times a full `pimsim explore -mode grid` sweep against the
@@ -83,6 +110,7 @@ func main() {
 		{".", "BenchmarkParMap"},
 		{"./internal/trace", "BenchmarkTraceReplay|BenchmarkDirectRun"},
 		{"./internal/vp9", "BenchmarkSWARSAD|BenchmarkScalarSAD"},
+		{"./internal/obs", "BenchmarkSpan|BenchmarkCounterAdd|BenchmarkHistogramObserve"},
 	} {
 		fmt.Fprintf(os.Stderr, "bench: go test -bench %s %s\n", b.pattern, b.pkg)
 		cmd := exec.Command("go", "test", "-run", "^$", "-bench", b.pattern, "-benchtime", *benchtime, b.pkg)
@@ -113,6 +141,12 @@ func main() {
 	offMS, offOut := timedRun(bin, *scale, "off", "-tracestore=off")
 	onMS, onOut := timedRun(bin, *scale, "on", "-tracestore=off")
 
+	// Repeat the cache-on run with full instrumentation (-stats, -report):
+	// the wall-time delta bounds the observability overhead, and the report
+	// supplies the trace-cache hit rate and worker utilization.
+	obsOnReport := filepath.Join(tmp, "obs-on.json")
+	obsOnMS, obsOnOut := timedRun(bin, *scale, "on", "-tracestore=off", "-stats", "-report", obsOnReport)
+
 	// Cold-start with a packed persistent store: pack (untimed), then time
 	// a fresh process that loads every trace from disk instead of
 	// executing kernels.
@@ -122,6 +156,14 @@ func main() {
 		fatalf("pimsim trace pack: %v\n%s", err, outB)
 	}
 	coldMS, coldOut := timedRun(bin, *scale, "on", "-tracestore="+storeDir)
+
+	// Two instrumented passes over the packed store: the first is a cold
+	// process (every trace loads from disk), the second a warm repeat.
+	// Their reports carry the store hit rates the trajectory records.
+	storeColdReport := filepath.Join(tmp, "store-cold.json")
+	_, storeColdOut := timedRun(bin, *scale, "on", "-tracestore="+storeDir, "-report", storeColdReport)
+	storeWarmReport := filepath.Join(tmp, "store-warm.json")
+	_, storeWarmOut := timedRun(bin, *scale, "on", "-tracestore="+storeDir, "-report", storeWarmReport)
 
 	// Design-space sweep from the same packed store: the whole grid is
 	// priced from batch-replayed traces, so this times replay + pricing
@@ -150,13 +192,30 @@ func main() {
 		TraceCacheOffMS: offMS,
 		TraceCacheOnMS:  onMS,
 		ColdStoreMS:     coldMS,
-		OutputIdentical: string(offOut) == string(onOut) && string(offOut) == string(coldOut),
+		OutputIdentical: string(offOut) == string(onOut) && string(offOut) == string(coldOut) &&
+			string(offOut) == string(obsOnOut) && string(offOut) == string(storeColdOut) &&
+			string(offOut) == string(storeWarmOut),
 	}
 	if onMS > 0 {
 		rec.RunAll.Speedup = float64(offMS) / float64(onMS)
 	}
 	if !rec.RunAll.OutputIdentical {
-		fatalf("run all output differs across -tracecache=off, -tracecache=on, and a packed -tracestore")
+		fatalf("run all output differs across -tracecache=off, -tracecache=on, a packed -tracestore, and instrumented (-stats/-report) repeats")
+	}
+
+	obsOn := readReport(obsOnReport)
+	storeCold := readReport(storeColdReport)
+	storeWarm := readReport(storeWarmReport)
+	rec.Obs = &ObsStats{
+		RunAllObsMS:          obsOnMS,
+		TraceCacheHitRate:    obsOn.Derived.TraceCacheHitRate,
+		WorkerUtilization:    obsOn.Derived.WorkerUtilization,
+		StoreColdHitRate:     storeCold.Derived.StoreHitRate,
+		StoreWarmHitRate:     storeWarm.Derived.StoreHitRate,
+		KernelExecutionsCold: storeCold.Derived.KernelExecutions,
+	}
+	if onMS > 0 {
+		rec.Obs.OverheadPct = (float64(obsOnMS) - float64(onMS)) / float64(onMS) * 100
 	}
 
 	// Append to the trajectory.
@@ -174,9 +233,27 @@ func main() {
 	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
 		fatalf("%v", err)
 	}
-	fmt.Printf("bench: run all %s scale: %d ms (cache off) -> %d ms (cache on) -> %d ms (cold, packed store), %.2fx, output identical; explore %d configs in %d ms (%.0f configs/s); %d benchmarks -> %s\n",
+	fmt.Printf("bench: run all %s scale: %d ms (cache off) -> %d ms (cache on) -> %d ms (cold, packed store), %.2fx, output identical; obs on: %d ms (%+.1f%%), cache hit %.1f%%, store cold/warm hit %.0f%%/%.0f%%, workers %.1f%% busy; explore %d configs in %d ms (%.0f configs/s); %d benchmarks -> %s\n",
 		*scale, offMS, onMS, coldMS, rec.RunAll.Speedup,
+		rec.Obs.RunAllObsMS, rec.Obs.OverheadPct, rec.Obs.TraceCacheHitRate*100,
+		rec.Obs.StoreColdHitRate*100, rec.Obs.StoreWarmHitRate*100, rec.Obs.WorkerUtilization*100,
 		rec.Explore.Configs, rec.Explore.MS, rec.Explore.ConfigsPerSec, len(rec.Benchmarks), *out)
+}
+
+// readReport parses a run report written by -report.
+func readReport(path string) *obs.Report {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatalf("reading run report: %v", err)
+	}
+	var rep obs.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		fatalf("parsing run report %s: %v", path, err)
+	}
+	if rep.Version != obs.ReportVersion {
+		fatalf("run report %s has version %d, want %d", path, rep.Version, obs.ReportVersion)
+	}
+	return &rep
 }
 
 func timedRun(bin, scale, tracecache string, extra ...string) (int64, []byte) {

@@ -71,3 +71,20 @@ fi
 cmp "$tmpdir/off.txt" "$tmpdir/corrupt.txt"
 # The corrupted run's write-through must have repaired the store.
 "$tmpdir/pimsim" -tracestore="$store" trace verify
+
+# Observability gate: -stats, -report, and a live -metrics-addr listener
+# must leave stdout byte-identical to a plain run; the stats breakdown goes
+# to stderr; and the warm-store report must validate (100% store hit rate,
+# zero kernel executions — checkreport -warm).
+"$tmpdir/pimsim" -tracestore="$store" run all -stats -report "$tmpdir/report.json" -metrics-addr 127.0.0.1:0 \
+	> "$tmpdir/obs.txt" 2> "$tmpdir/obs.log"
+cmp "$tmpdir/off.txt" "$tmpdir/obs.txt"
+grep -q '== pimsim run report' "$tmpdir/obs.log"
+go run ./scripts/checkreport -warm "$tmpdir/report.json"
+
+# Same identity for the explorer: a swept -stats run renders byte-identical
+# output and a valid (cold: no store attached) report.
+"$tmpdir/pimsim" -tracestore=off explore -mode random -n 40 -seed 7 -stats -report "$tmpdir/explore-report.json" \
+	> "$tmpdir/explore-obs.txt" 2> /dev/null
+cmp "$tmpdir/explore.txt" "$tmpdir/explore-obs.txt"
+go run ./scripts/checkreport "$tmpdir/explore-report.json"
