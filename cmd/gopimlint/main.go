@@ -6,16 +6,27 @@
 //
 // Usage:
 //
-//	gopimlint [./...]
+//	gopimlint [-json] [-workers N] [./...]
+//	gopimlint -annotate report.json
 //
-// The only accepted pattern is the whole module ("./..." or no
-// argument): the analyzers encode cross-package invariants, so partial
-// runs would give a false sense of cleanliness.
+// -json replaces the human-readable finding lines on stdout with a
+// machine-readable JSON array (the summary stays on stderr). -annotate
+// converts a saved -json report into GitHub Actions ::error annotations —
+// the CI path that surfaces findings inline on pull requests without
+// re-analyzing the tree. -workers bounds the analysis worker pool
+// (default: GOMAXPROCS).
+//
+// The only accepted package pattern is the whole module ("./..." or no
+// argument): the analyzers encode cross-package invariants — puritypath's
+// reachability closure, goroleak's module-wide WaitGroup facts — so
+// partial runs would give a false sense of cleanliness.
 package main
 
 import (
 	"fmt"
 	"os"
+	"runtime"
+	"strconv"
 
 	"gopim/internal/lint"
 )
@@ -24,13 +35,49 @@ func main() {
 	os.Exit(run(os.Args[1:]))
 }
 
+func usage() int {
+	fmt.Fprint(os.Stderr, "usage: gopimlint [-json] [-workers N] [./...]\n"+
+		"       gopimlint -annotate report.json\n")
+	return 2
+}
+
 func run(args []string) int {
-	for _, a := range args {
-		if a != "./..." {
-			fmt.Fprintf(os.Stderr, "usage: gopimlint [./...]  (unrecognized argument %q)\n", a)
-			return 2
+	jsonOut := false
+	workers := runtime.GOMAXPROCS(0)
+	var annotate string
+	for i := 0; i < len(args); i++ {
+		switch a := args[i]; a {
+		case "-json":
+			jsonOut = true
+		case "-annotate":
+			i++
+			if i >= len(args) {
+				return usage()
+			}
+			annotate = args[i]
+		case "-workers":
+			i++
+			if i >= len(args) {
+				return usage()
+			}
+			n, err := strconv.Atoi(args[i])
+			if err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "gopimlint: -workers wants a positive integer, got %q\n", args[i])
+				return 2
+			}
+			workers = n
+		case "./...":
+			// the whole module — the only accepted pattern
+		default:
+			fmt.Fprintf(os.Stderr, "gopimlint: unrecognized argument %q\n", a)
+			return usage()
 		}
 	}
+
+	if annotate != "" {
+		return runAnnotate(annotate)
+	}
+
 	loader, err := lint.NewLoader(".")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gopimlint: %v\n", err)
@@ -42,14 +89,45 @@ func run(args []string) int {
 		return 2
 	}
 	analyzers := lint.Analyzers()
-	diags := lint.RunAnalyzers(pkgs, analyzers)
-	for _, d := range diags {
-		fmt.Println(d.String())
+	diags := lint.RunAnalyzersParallel(pkgs, analyzers, workers)
+	if jsonOut {
+		if err := lint.WriteJSON(os.Stdout, diags); err != nil {
+			fmt.Fprintf(os.Stderr, "gopimlint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d.String())
+		}
 	}
 	fmt.Fprintf(os.Stderr, "gopimlint: %d analyzers over %d files in %d packages: %d finding(s)\n",
 		len(analyzers), lint.FileCount(pkgs), len(pkgs), len(diags))
 	if len(diags) > 0 {
 		return 1
+	}
+	return 0
+}
+
+// runAnnotate converts a saved -json report into GitHub annotations.
+func runAnnotate(path string) int {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gopimlint: %v\n", err)
+		return 2
+	}
+	defer f.Close()
+	diags, err := lint.ReadJSON(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gopimlint: %v\n", err)
+		return 2
+	}
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		root = ""
+	}
+	if err := lint.WriteGitHub(os.Stdout, diags, root); err != nil {
+		fmt.Fprintf(os.Stderr, "gopimlint: %v\n", err)
+		return 2
 	}
 	return 0
 }

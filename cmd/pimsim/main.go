@@ -130,14 +130,18 @@ func finishObs(reg *obs.Registry, srv *obs.Server, oc obsConfig, meta obs.RunMet
 	if oc.stats {
 		rep.WriteText(os.Stderr)
 	}
+	var reportErr error
 	if oc.report != "" {
-		if err := rep.WriteFile(oc.report); err != nil {
-			fmt.Fprintf(os.Stderr, "pimsim: %v\n", err)
-			os.Exit(1)
-		}
+		reportErr = rep.WriteFile(oc.report)
 	}
+	// Shut the listener down before any error exit: bailing out above the
+	// Close used to strand the serve goroutine and its handlers.
 	srv.Close()
 	par.SetObs(nil)
+	if reportErr != nil {
+		fmt.Fprintf(os.Stderr, "pimsim: %v\n", reportErr)
+		os.Exit(1)
+	}
 }
 
 // parseInterleaved parses args with fs, allowing flags and positionals to

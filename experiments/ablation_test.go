@@ -79,6 +79,9 @@ func TestAblationAccEfficiencySaturates(t *testing.T) {
 }
 
 func TestBatteryLife(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full battery-life sweep (~17s, minutes under -race); skipped with -short")
+	}
 	rows := BatteryLife(quick)
 	if len(rows) != 4 {
 		t.Fatalf("got %d scenarios", len(rows))

@@ -312,6 +312,9 @@ func TestFig19Shape(t *testing.T) {
 }
 
 func TestFig20Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full energy sweep (~17s, minutes under -race); skipped with -short")
+	}
 	rows, err := Fig20(quick)
 	if err != nil {
 		t.Fatal(err)
@@ -387,6 +390,9 @@ func TestFig21Shape(t *testing.T) {
 }
 
 func TestHeadlineShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full headline sweep (~17s, minutes under -race); skipped with -short")
+	}
 	res := Headline(quick)
 	t.Logf("Headline: DM %.1f%% (paper 62.7%%); PIM-Core -%.1f%% / %.2fx (paper 49.1%%/1.45x); PIM-Acc -%.1f%% / %.2fx (paper 55.4%%/1.54x); max %.2fx/%.2fx (paper 2.2x/2.5x)",
 		res.AvgDataMovementFraction*100,

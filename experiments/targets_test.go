@@ -7,6 +7,9 @@ import (
 )
 
 func TestTargetStatsCriteria(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full target sweep (~18s, minutes under -race); skipped with -short")
+	}
 	rows := TargetStats(quick)
 	if len(rows) != 9 {
 		t.Fatalf("got %d rows", len(rows))
@@ -50,6 +53,9 @@ func TestTabSwitchLatency(t *testing.T) {
 }
 
 func TestPlanFitsBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full planning sweep (~17s, minutes under -race); skipped with -short")
+	}
 	res := Plan(quick)
 	if res.AreaUsedMM2 > res.BudgetMM2 {
 		t.Fatalf("plan area %.2f exceeds budget %.2f", res.AreaUsedMM2, res.BudgetMM2)

@@ -1,0 +1,499 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file is the interprocedural layer of the lint framework: a
+// module-wide static call graph computed once per run and shared by every
+// analyzer through Pass.Graph. Local analyzers (nondeterm, spanaccess, ...)
+// inspect one function at a time; the graph lets the interprocedural
+// analyzers (puritypath, goroleak, ctxflow, lockheld) reason about what a
+// function *transitively* does — a helper that reads the wall clock two
+// frames below a replay path is exactly as much a violation as the replay
+// path doing it directly.
+//
+// The graph is conservative (over-approximating) in the directions the
+// invariants care about:
+//
+//   - Direct calls and concrete method calls resolve through go/types to
+//     their single static target (EdgeCall).
+//   - A call through an interface method fans out to every module method
+//     that implements the interface, resolved via go/types method sets
+//     (EdgeInterface).
+//   - A call of a function *value* (a func-typed variable, struct field,
+//     parameter, or call result) fans out to every module function whose
+//     value is taken somewhere and whose signature matches the call site
+//     (EdgeDynamic) — this is how the experiment registry's Compute/Render
+//     columns and profile.KernelFunc.Fn resolve.
+//   - A function that merely *references* another function as a value
+//     (passes it, stores it, assigns it) gets an EdgeRef to it: the callee
+//     may run it, so for reachability purposes the referencer can reach it.
+//
+// Function literals are attributed to their enclosing declared function:
+// the closure's body is treated as part of the encloser, which
+// over-approximates (the encloser "reaches" the closure's effects even if
+// the closure is never invoked) but never misses a real path. Calls inside
+// package-level variable initializers are not graph edges (there is no
+// enclosing function); address-taken detection still sees them, which is
+// what makes registry tables like experiments.registry resolve.
+
+// EdgeKind classifies how a call-graph edge was resolved.
+type EdgeKind uint8
+
+const (
+	// EdgeCall is a direct static call (function or concrete method).
+	EdgeCall EdgeKind = iota
+	// EdgeInterface is a call through an interface method, fanned out to
+	// every implementing module method.
+	EdgeInterface
+	// EdgeDynamic is a call of a func-typed value, fanned out to every
+	// address-taken module function with an identical signature.
+	EdgeDynamic
+	// EdgeRef records that a function takes another function's value
+	// without calling it; the value's eventual caller is unknown, so
+	// reachability treats the reference as a possible call.
+	EdgeRef
+)
+
+// String names the edge kind for diagnostics.
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeCall:
+		return "calls"
+	case EdgeInterface:
+		return "calls via interface"
+	case EdgeDynamic:
+		return "calls via func value"
+	case EdgeRef:
+		return "references"
+	}
+	return "?"
+}
+
+// Edge is one resolved call (or reference) from a node.
+type Edge struct {
+	Kind EdgeKind
+	To   *Node
+	Pos  token.Pos // call or reference site in the caller
+}
+
+// Node is one declared module function or method in the call graph.
+type Node struct {
+	Func *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+	Out  []Edge
+}
+
+// Name returns the node's diagnostic name: pkg.Func or pkg.Recv.Method.
+func (n *Node) Name() string {
+	fn := n.Func
+	name := fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			name = named.Obj().Name() + "." + name
+		}
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + name
+	}
+	return name
+}
+
+// methodInfo is one concrete module method, a candidate target for
+// interface dispatch.
+type methodInfo struct {
+	node *Node
+	recv types.Type // receiver type as declared (pointer kept)
+}
+
+// CallGraph is the module-wide static call graph.
+type CallGraph struct {
+	nodes map[*types.Func]*Node
+	// order lists nodes sorted by source position, for deterministic
+	// iteration (map order would make diagnostics flap between runs).
+	order []*Node
+}
+
+// NodeOf returns the graph node for fn, or nil if fn is not a declared
+// module function.
+func (g *CallGraph) NodeOf(fn *types.Func) *Node {
+	if g == nil || fn == nil {
+		return nil
+	}
+	return g.nodes[fn.Origin()]
+}
+
+// Nodes returns every node in deterministic (source position) order.
+func (g *CallGraph) Nodes() []*Node {
+	if g == nil {
+		return nil
+	}
+	return g.order
+}
+
+// valueSig returns the signature a function has when used as a value: for
+// methods, the receiver moves out of the parameter list, so a method value
+// t.M and a plain function with M's remaining parameters compare equal.
+func valueSig(fn *types.Func) *types.Signature {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	if sig.Recv() == nil {
+		return sig
+	}
+	return types.NewSignatureType(nil, nil, nil, sig.Params(), sig.Results(), sig.Variadic())
+}
+
+// BuildCallGraph constructs the call graph over pkgs. It is pure analysis
+// state: build once, then share read-only across analyzers and goroutines.
+func BuildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{nodes: map[*types.Func]*Node{}}
+
+	// Pass 1: one node per declared function/method, plus the set of
+	// concrete methods (candidate targets for interface dispatch).
+	var methods []methodInfo
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				n := &Node{Func: fn, Decl: fd, Pkg: pkg}
+				g.nodes[fn] = n
+				g.order = append(g.order, n)
+				if sig := fn.Type().(*types.Signature); sig.Recv() != nil {
+					methods = append(methods, methodInfo{node: n, recv: sig.Recv().Type()})
+				}
+			}
+		}
+	}
+	sort.Slice(g.order, func(i, j int) bool {
+		pi := g.order[i].Pkg.Fset.Position(g.order[i].Func.Pos())
+		pj := g.order[j].Pkg.Fset.Position(g.order[j].Func.Pos())
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		return pi.Offset < pj.Offset
+	})
+
+	// Pass 2: the address-taken set — functions whose value escapes into a
+	// variable, field, argument, or composite literal anywhere in the
+	// module (including package-level initializers like the experiments
+	// registry). These are the candidate targets of dynamic calls.
+	var taken []*Node
+	seenTaken := map[*Node]bool{}
+	for _, pkg := range pkgs {
+		callees := calleeIdents(pkg.Files)
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(nd ast.Node) bool {
+				id, ok := nd.(*ast.Ident)
+				if !ok || callees[id] {
+					return true
+				}
+				fn, ok := pkg.Info.Uses[id].(*types.Func)
+				if !ok {
+					return true
+				}
+				if n := g.nodes[fn.Origin()]; n != nil && !seenTaken[n] {
+					seenTaken[n] = true
+					taken = append(taken, n)
+				}
+				return true
+			})
+		}
+	}
+
+	// Pass 3: edges. Each declared function's body — including any function
+	// literals it encloses — is scanned for calls and references.
+	for _, pkg := range pkgs {
+		callees := calleeIdents(pkg.Files)
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				from := g.nodes[fn]
+				if from == nil {
+					continue
+				}
+				b := &edgeBuilder{
+					g: g, pkg: pkg, from: from,
+					methods: methods, taken: taken, callees: callees,
+				}
+				ast.Inspect(fd.Body, b.visit)
+				from.Out = b.out
+			}
+		}
+	}
+	return g
+}
+
+// calleeIdents marks every identifier appearing in call position (f(...)
+// or x.f(...)); any other identifier resolving to a module function is an
+// address-taken use of its value.
+func calleeIdents(files []*ast.File) map[*ast.Ident]bool {
+	callees := map[*ast.Ident]bool{}
+	for _, f := range files {
+		ast.Inspect(f, func(nd ast.Node) bool {
+			call, ok := nd.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch fun := ast.Unparen(call.Fun).(type) {
+			case *ast.Ident:
+				callees[fun] = true
+			case *ast.SelectorExpr:
+				callees[fun.Sel] = true
+			}
+			return true
+		})
+	}
+	return callees
+}
+
+// edgeBuilder accumulates one function's outgoing edges.
+type edgeBuilder struct {
+	g       *CallGraph
+	pkg     *Package
+	from    *Node
+	methods []methodInfo
+	taken   []*Node
+	callees map[*ast.Ident]bool
+
+	out  []Edge
+	seen map[edgeKey]bool
+}
+
+type edgeKey struct {
+	kind EdgeKind
+	to   *Node
+}
+
+func (b *edgeBuilder) add(kind EdgeKind, to *Node, pos token.Pos) {
+	if to == nil || to == b.from {
+		return
+	}
+	if b.seen == nil {
+		b.seen = map[edgeKey]bool{}
+	}
+	k := edgeKey{kind, to}
+	if b.seen[k] {
+		return
+	}
+	b.seen[k] = true
+	b.out = append(b.out, Edge{Kind: kind, To: to, Pos: pos})
+}
+
+func (b *edgeBuilder) visit(nd ast.Node) bool {
+	switch nd := nd.(type) {
+	case *ast.CallExpr:
+		b.call(nd)
+	case *ast.Ident:
+		// A module function referenced outside call position: its value
+		// escapes here, so the enclosing function may cause it to run.
+		if !b.callees[nd] {
+			if fn, ok := b.pkg.Info.Uses[nd].(*types.Func); ok {
+				b.add(EdgeRef, b.g.nodes[fn.Origin()], nd.Pos())
+			}
+		}
+	}
+	return true
+}
+
+// call resolves one call expression into edges.
+func (b *edgeBuilder) call(call *ast.CallExpr) {
+	// Type conversions are not calls.
+	if tv, ok := b.pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+		return
+	}
+
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		switch obj := b.pkg.Info.Uses[fun].(type) {
+		case *types.Func:
+			b.add(EdgeCall, b.g.nodes[obj.Origin()], call.Pos())
+			return
+		case *types.Builtin, *types.TypeName:
+			return
+		default:
+			_ = obj // func-typed variable or unresolved: dynamic call below
+		}
+	case *ast.SelectorExpr:
+		if obj, ok := b.pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+			if sel, ok := b.pkg.Info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+				if recv := sel.Recv(); recv != nil {
+					if iface, ok := recv.Underlying().(*types.Interface); ok {
+						b.interfaceCall(obj.Name(), iface, call.Pos())
+						return
+					}
+				}
+			}
+			b.add(EdgeCall, b.g.nodes[obj.Origin()], call.Pos())
+			return
+		}
+	}
+
+	// Anything else with a function type is a dynamic call: a func-typed
+	// variable, field, parameter, map element, or call result.
+	if tv, ok := b.pkg.Info.Types[call.Fun]; ok {
+		if sig, ok := tv.Type.Underlying().(*types.Signature); ok {
+			b.dynamicCall(sig, call.Pos())
+		}
+	}
+}
+
+// interfaceCall fans an interface method call out to every module method
+// implementing the interface.
+func (b *edgeBuilder) interfaceCall(name string, iface *types.Interface, pos token.Pos) {
+	for _, m := range b.methods {
+		if m.node.Func.Name() != name {
+			continue
+		}
+		if types.Implements(m.recv, iface) || types.Implements(types.NewPointer(m.recv), iface) {
+			b.add(EdgeInterface, m.node, pos)
+		}
+	}
+}
+
+// dynamicCall fans a func-value call out to every address-taken module
+// function whose value signature matches the call site.
+func (b *edgeBuilder) dynamicCall(sig *types.Signature, pos token.Pos) {
+	for _, n := range b.taken {
+		if vs := valueSig(n.Func); vs != nil && types.Identical(vs, sig) {
+			b.add(EdgeDynamic, n, pos)
+		}
+	}
+}
+
+// ---- reachability ----
+
+// Walk is one reachability computation over the graph: a BFS from a root
+// set across a caller-selected set of edge kinds, retaining parent
+// pointers so diagnostics can print the full call chain from an entry
+// point to a violation.
+type Walk struct {
+	parent map[*Node]Edge // discovered node -> edge whose To is the CALLER
+	root   map[*Node]bool
+	order  []*Node // visit order (deterministic)
+}
+
+// Reach computes reachability from roots across edges whose kind passes
+// follow (nil follows every kind). Roots are visited in the given order
+// and edges in declaration order, so chains are deterministic: the chain
+// reported for a node is the first (shortest, then earliest) one found.
+func (g *CallGraph) Reach(roots []*Node, follow func(EdgeKind) bool) *Walk {
+	w := &Walk{parent: map[*Node]Edge{}, root: map[*Node]bool{}}
+	queue := make([]*Node, 0, len(roots))
+	for _, r := range roots {
+		if r == nil || w.root[r] {
+			continue
+		}
+		w.root[r] = true
+		queue = append(queue, r)
+		w.order = append(w.order, r)
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, e := range n.Out {
+			if follow != nil && !follow(e.Kind) {
+				continue
+			}
+			if w.root[e.To] {
+				continue
+			}
+			if _, ok := w.parent[e.To]; ok {
+				continue
+			}
+			w.parent[e.To] = Edge{Kind: e.Kind, To: n, Pos: e.Pos}
+			queue = append(queue, e.To)
+			w.order = append(w.order, e.To)
+		}
+	}
+	return w
+}
+
+// Reachable reports whether n was reached (roots count as reached).
+func (w *Walk) Reachable(n *Node) bool {
+	if n == nil {
+		return false
+	}
+	if w.root[n] {
+		return true
+	}
+	_, ok := w.parent[n]
+	return ok
+}
+
+// Visited returns every reached node in deterministic visit order.
+func (w *Walk) Visited() []*Node { return w.order }
+
+// ChainStep is one frame of a printed call chain. Kind labels the edge
+// from this step to the next (meaningless on the final step).
+type ChainStep struct {
+	Node *Node
+	Kind EdgeKind
+}
+
+// Chain returns the call chain from a root to n: [root, ..., n]. Nil if n
+// was not reached.
+func (w *Walk) Chain(n *Node) []ChainStep {
+	if !w.Reachable(n) {
+		return nil
+	}
+	// Walk parent pointers from n up to a root; rev[i].Kind labels the
+	// edge from rev[i]'s caller into rev[i].
+	var rev []ChainStep
+	cur, kind := n, EdgeCall
+	for {
+		rev = append(rev, ChainStep{Node: cur, Kind: kind})
+		if w.root[cur] {
+			break
+		}
+		e := w.parent[cur]
+		kind = e.Kind
+		cur = e.To
+	}
+	// Reverse into root-first order. rev[i].Kind labels the edge from
+	// rev[i] into rev[i-1], so after reversal out[j].Kind is exactly "how
+	// out[j] reaches out[j+1]".
+	out := make([]ChainStep, len(rev))
+	for i, st := range rev {
+		out[len(rev)-1-i] = st
+	}
+	return out
+}
+
+// ChainString renders a chain as "a -> b -> c" with edge-kind annotations
+// on non-direct links.
+func ChainString(chain []ChainStep) string {
+	var b strings.Builder
+	for i, st := range chain {
+		if i > 0 {
+			b.WriteString(" -> ")
+		}
+		b.WriteString(st.Node.Name())
+		if i+1 < len(chain) && st.Kind != EdgeCall {
+			b.WriteString(" [" + st.Kind.String() + "]")
+		}
+	}
+	return b.String()
+}

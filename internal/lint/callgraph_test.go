@@ -1,0 +1,124 @@
+package lint
+
+import "testing"
+
+// loadGraph builds the call graph over the callgraph fixture.
+func loadGraph(t *testing.T) *CallGraph {
+	t.Helper()
+	pkg := loadFixture(t, "callgraph")
+	return BuildCallGraph([]*Package{pkg})
+}
+
+// findNode locates a node by its diagnostic name (pkg.Func or
+// pkg.Recv.Method).
+func findNode(t *testing.T, g *CallGraph, name string) *Node {
+	t.Helper()
+	for _, n := range g.Nodes() {
+		if n.Name() == name {
+			return n
+		}
+	}
+	t.Fatalf("no node named %s in graph (have %v)", name, nodeNames(g))
+	return nil
+}
+
+func nodeNames(g *CallGraph) []string {
+	var out []string
+	for _, n := range g.Nodes() {
+		out = append(out, n.Name())
+	}
+	return out
+}
+
+// edgesTo returns the kinds of from's edges into to.
+func edgesTo(from, to *Node) []EdgeKind {
+	var kinds []EdgeKind
+	for _, e := range from.Out {
+		if e.To == to {
+			kinds = append(kinds, e.Kind)
+		}
+	}
+	return kinds
+}
+
+func hasEdge(from, to *Node, kind EdgeKind) bool {
+	for _, k := range edgesTo(from, to) {
+		if k == kind {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCallGraphDirectCall(t *testing.T) {
+	g := loadGraph(t)
+	direct := findNode(t, g, "callgraph.direct")
+	leaf := findNode(t, g, "callgraph.leaf")
+	if !hasEdge(direct, leaf, EdgeCall) {
+		t.Errorf("direct -> leaf: want an EdgeCall, got %v", edgesTo(direct, leaf))
+	}
+}
+
+func TestCallGraphInterfaceDispatch(t *testing.T) {
+	g := loadGraph(t)
+	via := findNode(t, g, "callgraph.viaInterface")
+	doA := findNode(t, g, "callgraph.impA.Do")
+	doB := findNode(t, g, "callgraph.impB.Do")
+	// The d.Do() call must fan out to both implementations — impA by value
+	// receiver, impB by pointer receiver.
+	if !hasEdge(via, doA, EdgeInterface) {
+		t.Errorf("viaInterface -> impA.Do: want an EdgeInterface, got %v", edgesTo(via, doA))
+	}
+	if !hasEdge(via, doB, EdgeInterface) {
+		t.Errorf("viaInterface -> impB.Do: want an EdgeInterface, got %v", edgesTo(via, doB))
+	}
+}
+
+func TestCallGraphMethodValue(t *testing.T) {
+	g := loadGraph(t)
+	mv := findNode(t, g, "callgraph.methodValue")
+	get := findNode(t, g, "callgraph.box.get")
+	// f := b.get references the method; f() resolves dynamically back to it
+	// (the receiver moves out of the value signature, so func() int matches).
+	if !hasEdge(mv, get, EdgeRef) {
+		t.Errorf("methodValue -> box.get: want an EdgeRef for the bound-method value, got %v", edgesTo(mv, get))
+	}
+	if !hasEdge(mv, get, EdgeDynamic) {
+		t.Errorf("methodValue -> box.get: want an EdgeDynamic for the f() call, got %v", edgesTo(mv, get))
+	}
+}
+
+func TestCallGraphDeferredCall(t *testing.T) {
+	g := loadGraph(t)
+	def := findNode(t, g, "callgraph.deferred")
+	cleanup := findNode(t, g, "callgraph.cleanup")
+	if !hasEdge(def, cleanup, EdgeCall) {
+		t.Errorf("deferred -> cleanup: want an EdgeCall for the defer site, got %v", edgesTo(def, cleanup))
+	}
+}
+
+func TestCallGraphReachAndChain(t *testing.T) {
+	g := loadGraph(t)
+	via := findNode(t, g, "callgraph.viaInterface")
+	doA := findNode(t, g, "callgraph.impA.Do")
+	leaf := findNode(t, g, "callgraph.leaf")
+
+	w := g.Reach([]*Node{via}, nil)
+	if !w.Reachable(doA) {
+		t.Fatal("impA.Do should be reachable from viaInterface")
+	}
+	if w.Reachable(leaf) {
+		t.Error("leaf must not be reachable from viaInterface")
+	}
+	got := ChainString(w.Chain(doA))
+	want := "callgraph.viaInterface [calls via interface] -> callgraph.impA.Do"
+	if got != want {
+		t.Errorf("chain = %q, want %q", got, want)
+	}
+
+	// Restricting the walk to direct-call edges prunes the interface hop.
+	direct := g.Reach([]*Node{via}, func(k EdgeKind) bool { return k == EdgeCall })
+	if direct.Reachable(doA) {
+		t.Error("impA.Do must not be reachable over EdgeCall only")
+	}
+}

@@ -1,0 +1,177 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxflowAnalyzer enforces the cancellation plumbing pimsimd (ROADMAP
+// item 1) depends on: once a function accepts a context.Context it must
+// actually thread it —
+//
+//   - it must not mint a fresh context.Background()/context.TODO() (that
+//     silently detaches every callee from the caller's cancellation), and
+//   - on sweep/replay paths (functions reachable from the determinism
+//     entry points plus the experiment sweep drivers), loops that do real
+//     work must observe the context — reference ctx somewhere in the loop
+//     (ctx.Err() check, select on ctx.Done(), or passing ctx into a
+//     callee) — so a cancelled job stops in bounded time instead of
+//     finishing a multi-second sweep it no longer owns.
+//
+// The tree has no context plumbing yet; this analyzer is the rail it
+// grows along.
+var CtxflowAnalyzer = &Analyzer{
+	Name:   "ctxflow",
+	Doc:    "a ctx-receiving function must not mint context.Background/TODO, and its long-running loops on sweep/replay paths must observe ctx",
+	Run:    runCtxflow,
+	Module: true,
+}
+
+func runCtxflow(pass *Pass) {
+	// Sweep/replay closure: the determinism entries plus the experiment
+	// sweep drivers (RunAll/RunNamed/Warm and the explore surface).
+	var roots []*Node
+	for _, n := range pass.Graph.Nodes() {
+		if isDeterminismEntry(n) || isSweepDriver(n) {
+			roots = append(roots, n)
+		}
+	}
+	onSweepPath := pass.Graph.Reach(roots, nil)
+
+	for _, n := range pass.Graph.Nodes() {
+		if n.Decl == nil || n.Decl.Body == nil {
+			continue
+		}
+		ctxParams := contextParams(n)
+		if len(ctxParams) == 0 {
+			continue
+		}
+		checkCtxBody(pass, n, ctxParams, onSweepPath.Reachable(n))
+	}
+}
+
+// isSweepDriver matches the experiment sweep entry points by name in the
+// experiments package (RunAll, RunNamed, Warm, Explore*).
+func isSweepDriver(n *Node) bool {
+	fn := n.Func
+	if fn.Pkg() == nil || fn.Pkg().Path() != "gopim/experiments" {
+		return false
+	}
+	switch name := fn.Name(); {
+	case name == "RunAll" || name == "RunNamed" || name == "Warm":
+		return true
+	case len(name) >= 7 && name[:7] == "Explore":
+		return true
+	}
+	return false
+}
+
+// contextParams returns the objects of n's context.Context parameters.
+func contextParams(n *Node) []types.Object {
+	sig, ok := n.Func.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	var out []types.Object
+	for i := 0; i < sig.Params().Len(); i++ {
+		p := sig.Params().At(i)
+		if isContextType(p.Type()) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "context" && named.Obj().Name() == "Context"
+}
+
+// checkCtxBody walks one ctx-receiving function.
+func checkCtxBody(pass *Pass, n *Node, ctxParams []types.Object, onSweepPath bool) {
+	info := n.Pkg.Info
+
+	usesCtx := func(sub ast.Node) bool {
+		found := false
+		ast.Inspect(sub, func(nd ast.Node) bool {
+			if id, ok := nd.(*ast.Ident); ok {
+				for _, p := range ctxParams {
+					if info.Uses[id] == p {
+						found = true
+						return false
+					}
+				}
+			}
+			return true
+		})
+		return found
+	}
+
+	// flagged tracks loops already reported (or covered), so a nested loop
+	// under an already-reported one is not re-reported.
+	flagged := map[ast.Node]bool{}
+
+	ast.Inspect(n.Decl.Body, func(nd ast.Node) bool {
+		switch nd := nd.(type) {
+		case *ast.CallExpr:
+			obj := calleeOf(info, nd)
+			if isPkgFunc(obj, "context", "Background") || isPkgFunc(obj, "context", "TODO") {
+				pass.Reportf(nd.Pos(),
+					"%s receives a context.Context but mints context.%s here, detaching callees from the caller's cancellation; thread the incoming ctx instead",
+					n.Name(), obj.Name())
+			}
+		case *ast.ForStmt, *ast.RangeStmt:
+			if !onSweepPath || flagged[nd] {
+				return true
+			}
+			// A loop that references ctx anywhere in its subtree observes
+			// cancellation (directly or by passing ctx down). One that does
+			// real work (contains calls) without any ctx reference cannot be
+			// cancelled.
+			if usesCtx(nd) || !loopHasCall(loopBody(nd)) {
+				return true
+			}
+			pass.Reportf(nd.Pos(),
+				"loop in %s (on a sweep/replay path) never observes its context: check ctx.Err() or select on ctx.Done() per iteration, or pass ctx into the loop body",
+				n.Name())
+			// Suppress nested duplicates.
+			ast.Inspect(loopBody(nd), func(inner ast.Node) bool {
+				switch inner.(type) {
+				case *ast.ForStmt, *ast.RangeStmt:
+					flagged[inner] = true
+				}
+				return true
+			})
+		}
+		return true
+	})
+}
+
+// loopBody returns the body block of a for or range statement.
+func loopBody(nd ast.Node) *ast.BlockStmt {
+	switch nd := nd.(type) {
+	case *ast.ForStmt:
+		return nd.Body
+	case *ast.RangeStmt:
+		return nd.Body
+	}
+	return nil
+}
+
+// loopHasCall reports whether the subtree performs any call (loops that
+// only shuffle locals are not cancellation points).
+func loopHasCall(sub ast.Node) bool {
+	found := false
+	ast.Inspect(sub, func(nd ast.Node) bool {
+		if _, ok := nd.(*ast.CallExpr); ok {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

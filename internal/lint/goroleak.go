@@ -1,0 +1,217 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroleakAnalyzer requires every `go` statement to have a statically
+// visible join, so no goroutine outlives the work that spawned it — the
+// difference between a clean `pimsim` exit and a per-request leak once
+// pimsimd keeps the process alive for millions of requests. Accepted
+// join evidence, searched through the spawned body and its transitive
+// callees (the WaitGroup may balance interprocedurally):
+//
+//   - a sync.WaitGroup Done whose WaitGroup object also has an Add and a
+//     Wait somewhere in the module (the Add/Done/Wait triple);
+//   - a send on, or close of, a channel that the module also receives
+//     from (a drained completion channel);
+//   - an explicit daemon annotation: //lint:ignore goroleak <reason> at
+//     the go statement (the obs HTTP server pattern — its join is the
+//     Close/<-done handshake).
+//
+// Object identity is the declared variable or field (s.wg matches across
+// methods of one type); a WaitGroup passed by pointer into a helper gets
+// distinct parameter identity and needs the triple visible on one object
+// or an annotation.
+var GoroleakAnalyzer = &Analyzer{
+	Name:   "goroleak",
+	Doc:    "every go statement needs a matching join: a balanced WaitGroup Add/Done/Wait triple, a drained channel, or a //lint:ignore goroleak daemon annotation",
+	Run:    runGoroleak,
+	Module: true,
+}
+
+// joinFacts is the module-wide evidence base goroutine joins are checked
+// against.
+type joinFacts struct {
+	wgAdds    map[types.Object]bool // objects with a WaitGroup.Add call
+	wgWaits   map[types.Object]bool // objects with a WaitGroup.Wait call
+	chanRecvs map[types.Object]bool // channels received from (<-, range, select)
+}
+
+func runGoroleak(pass *Pass) {
+	facts := collectJoinFacts(pass.AllPkgs)
+	for _, pkg := range pass.AllPkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(nd ast.Node) bool {
+				gs, ok := nd.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				if !goroutineJoins(pass, pkg, gs, facts) {
+					pass.Reportf(gs.Pos(), "goroutine has no visible join: add a WaitGroup Add/Done/Wait triple or a drained channel, "+
+						"or annotate a true daemon with //lint:ignore goroleak <reason>")
+				}
+				return true
+			})
+		}
+	}
+}
+
+// collectJoinFacts scans every package for WaitGroup Add/Wait calls and
+// channel receives, keyed by object identity.
+func collectJoinFacts(pkgs []*Package) *joinFacts {
+	facts := &joinFacts{
+		wgAdds:    map[types.Object]bool{},
+		wgWaits:   map[types.Object]bool{},
+		chanRecvs: map[types.Object]bool{},
+	}
+	for _, pkg := range pkgs {
+		info := pkg.Info
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(nd ast.Node) bool {
+				switch nd := nd.(type) {
+				case *ast.CallExpr:
+					sel, ok := ast.Unparen(nd.Fun).(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					obj := info.Uses[sel.Sel]
+					switch {
+					case methodOn(obj, "sync", "WaitGroup", "Add"):
+						if o := leafObj(info, sel.X); o != nil {
+							facts.wgAdds[o] = true
+						}
+					case methodOn(obj, "sync", "WaitGroup", "Wait"):
+						if o := leafObj(info, sel.X); o != nil {
+							facts.wgWaits[o] = true
+						}
+					}
+				case *ast.UnaryExpr:
+					if nd.Op == token.ARROW {
+						if o := leafObj(info, nd.X); o != nil {
+							facts.chanRecvs[o] = true
+						}
+					}
+				case *ast.RangeStmt:
+					if t := info.TypeOf(nd.X); t != nil {
+						if _, ok := t.Underlying().(*types.Chan); ok {
+							if o := leafObj(info, nd.X); o != nil {
+								facts.chanRecvs[o] = true
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return facts
+}
+
+// leafObj resolves the object a selector or identifier expression names:
+// the field for s.wg (stable across every method of the type), the
+// variable for a local or parameter.
+func leafObj(info *types.Info, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if o := info.Uses[e]; o != nil {
+			return o
+		}
+		return info.Defs[e]
+	case *ast.SelectorExpr:
+		return info.Uses[e.Sel]
+	}
+	return nil
+}
+
+// goroutineJoins reports whether the goroutine spawned by gs carries join
+// evidence in its body or any function it transitively calls.
+func goroutineJoins(pass *Pass, pkg *Package, gs *ast.GoStmt, facts *joinFacts) bool {
+	// Resolve the spawned body: a function literal's own body, or the
+	// declaration of a named function/method. A dynamic spawn (go fn() on
+	// a func value) has no statically known body and needs an annotation.
+	var bodies []*ast.BlockStmt
+	var pkgs []*Package
+	switch fun := ast.Unparen(gs.Call.Fun).(type) {
+	case *ast.FuncLit:
+		bodies = append(bodies, fun.Body)
+		pkgs = append(pkgs, pkg)
+	default:
+		if obj, ok := calleeOf(pkg.Info, gs.Call).(*types.Func); ok {
+			if n := pass.Graph.NodeOf(obj); n != nil && n.Decl != nil {
+				bodies = append(bodies, n.Decl.Body)
+				pkgs = append(pkgs, n.Pkg)
+			}
+		}
+	}
+	if len(bodies) == 0 {
+		return false
+	}
+
+	visited := map[*ast.BlockStmt]bool{}
+	var search func(body *ast.BlockStmt, p *Package) bool
+	search = func(body *ast.BlockStmt, p *Package) bool {
+		if body == nil || visited[body] {
+			return false
+		}
+		visited[body] = true
+		found := false
+		ast.Inspect(body, func(nd ast.Node) bool {
+			if found {
+				return false
+			}
+			switch nd := nd.(type) {
+			case *ast.CallExpr:
+				if joinEvidenceCall(p.Info, nd, facts) {
+					found = true
+					return false
+				}
+				// Recurse into statically resolved module callees: the
+				// Done/send may live in a helper the goroutine calls.
+				if obj, ok := calleeOf(p.Info, nd).(*types.Func); ok {
+					if n := pass.Graph.NodeOf(obj); n != nil && n.Decl != nil {
+						if search(n.Decl.Body, n.Pkg) {
+							found = true
+							return false
+						}
+					}
+				}
+			case *ast.SendStmt:
+				if o := leafObj(p.Info, nd.Chan); o != nil && facts.chanRecvs[o] {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		return found
+	}
+	for i, body := range bodies {
+		if search(body, pkgs[i]) {
+			return true
+		}
+	}
+	return false
+}
+
+// joinEvidenceCall reports whether one call is join evidence: a Done on a
+// fully tripled WaitGroup, or a close of a drained channel.
+func joinEvidenceCall(info *types.Info, call *ast.CallExpr, facts *joinFacts) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if methodOn(info.Uses[fun.Sel], "sync", "WaitGroup", "Done") {
+			if o := leafObj(info, fun.X); o != nil && facts.wgAdds[o] && facts.wgWaits[o] {
+				return true
+			}
+		}
+	case *ast.Ident:
+		if b, ok := info.Uses[fun].(*types.Builtin); ok && b.Name() == "close" && len(call.Args) == 1 {
+			if o := leafObj(info, call.Args[0]); o != nil && facts.chanRecvs[o] {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"bytes"
+	"go/token"
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	in := []Diagnostic{
+		{Analyzer: "nondeterm", Pos: token.Position{Filename: "/m/a.go", Line: 3, Column: 7}, Message: "wall clock"},
+		{Analyzer: "lockheld", Pos: token.Position{Filename: "/m/b.go", Line: 14, Column: 2}, Message: "channel send while mutex mu is held"},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, in) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, in)
+	}
+}
+
+func TestJSONEmptyReport(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("empty report decoded to %d diagnostics", len(got))
+	}
+}
+
+func TestWriteGitHub(t *testing.T) {
+	diags := []Diagnostic{
+		{
+			Analyzer: "puritypath",
+			Pos:      token.Position{Filename: "/m/src/internal/x.go", Line: 9, Column: 5},
+			Message:  "50% off\nline2",
+		},
+		{
+			// A file outside the root passes through unrewritten.
+			Analyzer: "goroleak",
+			Pos:      token.Position{Filename: "/elsewhere/y.go", Line: 1, Column: 1},
+			Message:  "no join",
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteGitHub(&buf, diags, "/m/src"); err != nil {
+		t.Fatal(err)
+	}
+	want := "::error file=internal/x.go,line=9,col=5,title=puritypath::50%25 off%0Aline2\n" +
+		"::error file=/elsewhere/y.go,line=1,col=1,title=goroleak::no join\n"
+	if buf.String() != want {
+		t.Errorf("annotations:\n got %q\nwant %q", buf.String(), want)
+	}
+}
+
+// BenchmarkGopimlint measures one full analysis pass (all analyzers,
+// call-graph build included) over the already-loaded module — the
+// recurring cost a developer pays per gopimlint run, minus the one-time
+// parse/type-check. Guarded by the <30s wall gate in scripts/check.sh.
+func BenchmarkGopimlint(b *testing.B) {
+	l, err := NewLoader(".")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pkgs, err := l.LoadAll()
+	if err != nil {
+		b.Fatal(err)
+	}
+	analyzers := Analyzers()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		diags := RunAnalyzersParallel(pkgs, analyzers, runtime.GOMAXPROCS(0))
+		_ = diags
+	}
+}

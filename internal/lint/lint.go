@@ -5,10 +5,17 @@
 // accesses (spanaccess), profile phase push/pop pairs must balance on
 // every control-flow path (phasebalance), sync.Pool values must not
 // leak (poolescape), the persistent trace store's format version must
-// gate both the encoder and the decoder (storever), and observability must
-// stay off stdout with every timing span closed on every path (obsout). The compiler cannot see any of these rules; the
-// 45-minute end-to-end sweeps in scripts/check.sh can — but a static pass
-// catches violations in seconds, at the call site.
+// gate both the encoder and the decoder (storever), and observability
+// must stay off stdout with every timing span closed on every path
+// (obsout). On top of those local checks sit four interprocedural
+// analyzers backed by a module-wide call graph (callgraph.go): nothing
+// reachable from a replay/kernel/render entry point may touch a
+// nondeterministic primitive (puritypath), every go statement needs a
+// visible join (goroleak), received contexts must be threaded and
+// observed on sweep paths (ctxflow), and no blocking work may run while
+// a mutex is held (lockheld). The compiler cannot see any of these
+// rules; the 45-minute end-to-end sweeps in scripts/check.sh can — but a
+// static pass catches violations in seconds, at the call site.
 //
 // The framework deliberately mirrors golang.org/x/tools/go/analysis in
 // miniature (Analyzer, Pass, Reportf) without importing it, keeping go.mod
@@ -16,12 +23,17 @@
 package lint
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
+	"io"
+	"path/filepath"
 	"sort"
 	"strings"
+
+	"gopim/internal/par"
 )
 
 // Diagnostic is one finding, positioned in the analyzed source.
@@ -44,8 +56,13 @@ type Analyzer struct {
 	Name string
 	// Doc is a one-line description of the invariant the analyzer encodes.
 	Doc string
-	// Run inspects one package and reports findings through the pass.
+	// Run inspects one package (or, for Module analyzers, the whole run)
+	// and reports findings through the pass.
 	Run func(*Pass)
+	// Module marks an interprocedural analyzer: it runs once per
+	// RunAnalyzers call over Pass.AllPkgs and Pass.Graph instead of once
+	// per package (Pass.Pkg/Files/Path are unset for it).
+	Module bool
 }
 
 // Analyzers returns every registered analyzer, in stable order.
@@ -58,6 +75,10 @@ func Analyzers() []*Analyzer {
 		PoolescapeAnalyzer,
 		StoreverAnalyzer,
 		ObsoutAnalyzer,
+		PuritypathAnalyzer,
+		GoroleakAnalyzer,
+		CtxflowAnalyzer,
+		LockheldAnalyzer,
 	}
 }
 
@@ -69,6 +90,14 @@ type Pass struct {
 	Pkg      *types.Package
 	Info     *types.Info
 	Files    []*ast.File
+
+	// Graph is the module-wide call graph over every package of the run —
+	// the interprocedural fact layer. Built once per RunAnalyzers call and
+	// shared read-only by all analyzers; local analyzers may ignore it.
+	Graph *CallGraph
+	// AllPkgs is the full package set of the run (the graph's universe),
+	// for analyzers whose facts span packages.
+	AllPkgs []*Package
 
 	diags []Diagnostic
 }
@@ -148,28 +177,65 @@ func suppressed(d Diagnostic, dirs []ignoreDirective) bool {
 // //lint:ignore suppression, and returns the surviving diagnostics sorted
 // by position. Malformed directives are returned as diagnostics too.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	return RunAnalyzersParallel(pkgs, analyzers, 1)
+}
+
+// RunAnalyzersParallel is RunAnalyzers on a bounded worker pool: the
+// packages are type-checked and the call graph built once (serially, up
+// front), then the per-package analyzer passes and the module-wide passes
+// run concurrently via internal/par, each writing into its own result
+// slot. The final sort makes output identical for every worker count.
+func RunAnalyzersParallel(pkgs []*Package, analyzers []*Analyzer, workers int) []Diagnostic {
+	graph := BuildCallGraph(pkgs)
+
+	// Suppression directives are collected module-wide up front: an
+	// interprocedural diagnostic lands at its sink, which may be in a
+	// different package than the one whose pass reported it.
+	var dirs []ignoreDirective
 	var out []Diagnostic
+	var fset *token.FileSet
 	for _, pkg := range pkgs {
-		var dirs []ignoreDirective
+		fset = pkg.Fset
 		for _, f := range pkg.Files {
 			ds, bad := parseDirectives(pkg.Fset, f)
 			dirs = append(dirs, ds...)
 			out = append(out, bad...)
 		}
-		for _, a := range analyzers {
-			pass := &Pass{
-				Analyzer: a,
-				Fset:     pkg.Fset,
-				Path:     pkg.Path,
-				Pkg:      pkg.Pkg,
-				Info:     pkg.Info,
-				Files:    pkg.Files,
-			}
-			a.Run(pass)
-			for _, d := range pass.diags {
-				if !suppressed(d, dirs) {
-					out = append(out, d)
-				}
+	}
+
+	// One work cell per (package, local analyzer) pair plus one per
+	// module-wide analyzer.
+	type cell struct {
+		pkg *Package // nil for module-wide analyzers
+		a   *Analyzer
+	}
+	var cells []cell
+	for _, a := range analyzers {
+		if a.Module {
+			cells = append(cells, cell{a: a})
+			continue
+		}
+		for _, pkg := range pkgs {
+			cells = append(cells, cell{pkg: pkg, a: a})
+		}
+	}
+	diags := par.Map(workers, len(cells), func(i int) []Diagnostic {
+		c := cells[i]
+		pass := &Pass{Analyzer: c.a, Fset: fset, Graph: graph, AllPkgs: pkgs}
+		if c.pkg != nil {
+			pass.Fset = c.pkg.Fset
+			pass.Path = c.pkg.Path
+			pass.Pkg = c.pkg.Pkg
+			pass.Info = c.pkg.Info
+			pass.Files = c.pkg.Files
+		}
+		c.a.Run(pass)
+		return pass.diags
+	})
+	for _, ds := range diags {
+		for _, d := range ds {
+			if !suppressed(d, dirs) {
+				out = append(out, d)
 			}
 		}
 	}
@@ -190,6 +256,89 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		return a.Message < b.Message
 	})
 	return out
+}
+
+// jsonDiag is the wire shape of one diagnostic in a -json report.
+type jsonDiag struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// WriteJSON renders diagnostics as a machine-readable JSON array —
+// `gopimlint -json` output, consumed by CI to emit GitHub annotations.
+func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	out := make([]jsonDiag, len(diags))
+	for i, d := range diags {
+		out[i] = jsonDiag{
+			Analyzer: d.Analyzer,
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Message:  d.Message,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadJSON parses a report produced by WriteJSON back into diagnostics —
+// the `gopimlint -annotate` input path.
+func ReadJSON(r io.Reader) ([]Diagnostic, error) {
+	var in []jsonDiag
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("lint: parsing JSON report: %w", err)
+	}
+	diags := make([]Diagnostic, len(in))
+	for i, d := range in {
+		diags[i] = Diagnostic{
+			Analyzer: d.Analyzer,
+			Pos:      token.Position{Filename: d.File, Line: d.Line, Column: d.Col},
+			Message:  d.Message,
+		}
+	}
+	return diags, nil
+}
+
+// WriteGitHub renders diagnostics as GitHub Actions workflow commands
+// (::error annotations) so findings surface inline on pull requests. File
+// paths are rewritten relative to root (the checkout directory); paths
+// outside root pass through unchanged.
+func WriteGitHub(w io.Writer, diags []Diagnostic, root string) error {
+	for _, d := range diags {
+		file := d.Pos.Filename
+		if root != "" {
+			if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+				file = filepath.ToSlash(rel)
+			}
+		}
+		_, err := fmt.Fprintf(w, "::error file=%s,line=%d,col=%d,title=%s::%s\n",
+			escapeGitHubProperty(file), d.Pos.Line, d.Pos.Column,
+			escapeGitHubProperty(d.Analyzer), escapeGitHubData(d.Message))
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// escapeGitHubData escapes the message part of a workflow command.
+func escapeGitHubData(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
+}
+
+// escapeGitHubProperty escapes a property value of a workflow command.
+func escapeGitHubProperty(s string) string {
+	s = escapeGitHubData(s)
+	s = strings.ReplaceAll(s, ":", "%3A")
+	s = strings.ReplaceAll(s, ",", "%2C")
+	return s
 }
 
 // ---- shared scope and type helpers ----

@@ -81,8 +81,19 @@ func checkFixture(t *testing.T, name string, analyzers ...*Analyzer) {
 // // want comments.
 func checkPkg(t *testing.T, name string, pkg *Package, analyzers ...*Analyzer) {
 	t.Helper()
-	wants := wantsIn(t, pkg)
-	diags := RunAnalyzers([]*Package{pkg}, analyzers)
+	checkPkgs(t, name, []*Package{pkg}, analyzers...)
+}
+
+// checkPkgs runs the analyzers over several fixture packages at once (for
+// interprocedural analyzers whose entry point and sink live in different
+// packages) and matches diagnostics against the combined // want set.
+func checkPkgs(t *testing.T, name string, pkgs []*Package, analyzers ...*Analyzer) {
+	t.Helper()
+	var wants []*wantSpec
+	for _, pkg := range pkgs {
+		wants = append(wants, wantsIn(t, pkg)...)
+	}
+	diags := RunAnalyzers(pkgs, analyzers)
 	for _, d := range diags {
 		found := false
 		for _, w := range wants {
@@ -116,6 +127,37 @@ func TestObsoutFixture(t *testing.T)       { checkFixture(t, "obsout", ObsoutAna
 func TestObsoutObsPackageFixture(t *testing.T) {
 	checkPkg(t, "obspkg", loadFixtureAt(t, "obspkg", "gopim/internal/obs"), ObsoutAnalyzer)
 }
+
+// TestPuritypathFixture loads the fixture under gopim/internal/trace/...
+// so its Replay* methods count as determinism entry points.
+func TestPuritypathFixture(t *testing.T) {
+	checkPkg(t, "puritypath", loadFixtureAt(t, "puritypath", "gopim/internal/trace/fixture"), PuritypathAnalyzer)
+}
+
+// TestPuritypathCrossPackage proves reachability crosses package
+// boundaries: the entry point lives in puritypathx (loaded as a trace
+// package), the wall-clock sink in puritypathdep, and the diagnostic
+// lands at the sink with the cross-package chain. The dep package is
+// loaded first so the entry package's import resolves to the fixture.
+func TestPuritypathCrossPackage(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := l.LoadDir(filepath.Join("testdata", "src", "puritypathdep"), "gopim/internal/fixture/puritypathdep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry, err := l.LoadDir(filepath.Join("testdata", "src", "puritypathx"), "gopim/internal/trace/puritypathx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPkgs(t, "puritypathx", []*Package{dep, entry}, PuritypathAnalyzer)
+}
+
+func TestGoroleakFixture(t *testing.T) { checkFixture(t, "goroleak", GoroleakAnalyzer) }
+func TestCtxflowFixture(t *testing.T)  { checkFixture(t, "ctxflow", CtxflowAnalyzer) }
+func TestLockheldFixture(t *testing.T) { checkFixture(t, "lockheld", LockheldAnalyzer) }
 
 // TestCleanFixture runs every analyzer over the clean fixture; any
 // finding is a false positive.

@@ -1,0 +1,410 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LockheldAnalyzer forbids slow or blocking work while a sync.Mutex or
+// sync.RWMutex is held: channel operations, file or network I/O, and obs
+// span boundaries. Every mutex in the simulator guards in-memory state on
+// a hot path (trace cache admission, metrics registry maps); one blocking
+// call under such a lock turns into a convoy the moment pimsimd puts
+// concurrent requests behind it, and a span boundary under a lock times
+// the lock instead of the phase. The check is interprocedural: the lock
+// may be taken here and the blocking call three frames down — calls into
+// module functions are checked against their transitive closure (direct
+// and interface edges), and the diagnostic prints the chain from the call
+// site to the sink.
+var LockheldAnalyzer = &Analyzer{
+	Name:   "lockheld",
+	Doc:    "no channel ops, file/network I/O, or obs span boundaries while a sync.Mutex/RWMutex is held, transitively through callees",
+	Run:    runLockheld,
+	Module: true,
+}
+
+// lockSink is one blocking primitive found directly in a function body.
+type lockSink struct {
+	pos  token.Pos
+	desc string
+}
+
+// ioPkgs are the stdlib packages whose calls count as file/network I/O.
+var ioPkgs = map[string]bool{"os": true, "net": true, "net/http": true}
+
+// ioExempt lists os functions that only read process state, never touch
+// the filesystem or block.
+var ioExempt = map[string]bool{
+	"Getenv": true, "LookupEnv": true, "Environ": true, "Getpid": true,
+	"IsNotExist": true, "IsExist": true, "IsPermission": true, "IsTimeout": true,
+}
+
+func runLockheld(pass *Pass) {
+	// Per-node direct sinks, then a reverse BFS from sink-bearing nodes so
+	// each node knows its next step toward the nearest sink (for chains).
+	direct := map[*Node]lockSink{}
+	for _, n := range pass.Graph.Nodes() {
+		if n.Decl == nil || n.Decl.Body == nil {
+			continue
+		}
+		if s, ok := firstDirectSink(n); ok {
+			direct[n] = s
+		}
+	}
+	toward, sinkOf := reverseReach(pass.Graph, direct)
+
+	for _, n := range pass.Graph.Nodes() {
+		if n.Decl == nil || n.Decl.Body == nil {
+			continue
+		}
+		lc := &lockChecker{pass: pass, node: n, direct: direct, toward: toward, sinkOf: sinkOf}
+		lc.stmts(n.Decl.Body.List, map[types.Object]string{})
+	}
+}
+
+// firstDirectSink scans one body for its first blocking primitive
+// (function literals excluded — they run later, under whatever locks
+// their caller holds then).
+func firstDirectSink(n *Node) (lockSink, bool) {
+	info := n.Pkg.Info
+	var sink lockSink
+	found := false
+	ast.Inspect(n.Decl.Body, func(nd ast.Node) bool {
+		if found {
+			return false
+		}
+		switch nd := nd.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			sink, found = lockSink{nd.Pos(), "channel send"}, true
+		case *ast.SelectStmt:
+			sink, found = lockSink{nd.Pos(), "select"}, true
+		case *ast.UnaryExpr:
+			if nd.Op == token.ARROW {
+				sink, found = lockSink{nd.Pos(), "channel receive"}, true
+			}
+		case *ast.RangeStmt:
+			if t := info.TypeOf(nd.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					sink, found = lockSink{nd.Pos(), "range over channel"}, true
+				}
+			}
+		case *ast.CallExpr:
+			if desc, ok := directSinkCall(info, nd); ok {
+				sink, found = lockSink{nd.Pos(), desc}, true
+			}
+		}
+		return !found
+	})
+	return sink, found
+}
+
+// directSinkCall classifies one call as I/O or a span boundary.
+func directSinkCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	obj := calleeOf(info, call)
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", false
+	}
+	path := fn.Pkg().Path()
+	if ioPkgs[path] && !ioExempt[fn.Name()] {
+		return path + "." + fn.Name() + " (file/network I/O)", true
+	}
+	if methodOn(obj, obsPkgPath, "Registry", "Span") || methodOn(obj, obsPkgPath, "Span", "End") {
+		return "obs span boundary (" + fn.Name() + ")", true
+	}
+	return "", false
+}
+
+// reverseReach runs a multi-source BFS over reversed EdgeCall/EdgeInterface
+// edges from every sink-bearing node. toward[n] is n's first call edge on
+// the (shortest) path to a sink; sinkOf[n] is that path's sink node.
+func reverseReach(g *CallGraph, direct map[*Node]lockSink) (toward map[*Node]Edge, sinkOf map[*Node]*Node) {
+	rev := map[*Node][]Edge{} // callee -> edges whose To is the CALLER
+	for _, n := range g.Nodes() {
+		for _, e := range n.Out {
+			if e.Kind != EdgeCall && e.Kind != EdgeInterface {
+				continue
+			}
+			rev[e.To] = append(rev[e.To], Edge{Kind: e.Kind, To: n, Pos: e.Pos})
+		}
+	}
+	toward = map[*Node]Edge{}
+	sinkOf = map[*Node]*Node{}
+	var queue []*Node
+	for _, n := range g.Nodes() { // deterministic seeding order
+		if _, ok := direct[n]; ok {
+			sinkOf[n] = n
+			queue = append(queue, n)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, e := range rev[n] {
+			caller := e.To
+			if _, ok := sinkOf[caller]; ok {
+				continue
+			}
+			toward[caller] = Edge{Kind: e.Kind, To: n, Pos: e.Pos}
+			sinkOf[caller] = sinkOf[n]
+			queue = append(queue, caller)
+		}
+	}
+	return toward, sinkOf
+}
+
+// sinkChain renders the call path from node n to its nearest sink.
+func sinkChain(n *Node, toward map[*Node]Edge) string {
+	var b strings.Builder
+	b.WriteString(n.Name())
+	for {
+		e, ok := toward[n]
+		if !ok {
+			break
+		}
+		b.WriteString(" -> ")
+		b.WriteString(e.To.Name())
+		n = e.To
+	}
+	return b.String()
+}
+
+// lockChecker walks one function body tracking which mutexes are held.
+// The walk is structural: branch bodies see a copy of the held set (their
+// lock/unlock effects don't leak out), matching how the simulator's lock
+// regions are written (linear lock..unlock, or lock + defer unlock).
+type lockChecker struct {
+	pass   *Pass
+	node   *Node
+	direct map[*Node]lockSink
+	toward map[*Node]Edge
+	sinkOf map[*Node]*Node
+}
+
+func copyHeld(held map[types.Object]string) map[types.Object]string {
+	out := make(map[types.Object]string, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+func (lc *lockChecker) stmts(list []ast.Stmt, held map[types.Object]string) {
+	for _, s := range list {
+		lc.stmt(s, held)
+	}
+}
+
+func (lc *lockChecker) stmt(s ast.Stmt, held map[types.Object]string) {
+	info := lc.node.Pkg.Info
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if obj, recv, ok := mutexOp(info, call); ok {
+				switch obj {
+				case "Lock", "RLock":
+					if o := leafObj(info, recv); o != nil {
+						held[o] = mutexName(recv)
+					}
+				case "Unlock", "RUnlock":
+					if o := leafObj(info, recv); o != nil {
+						delete(held, o)
+					}
+				}
+				return
+			}
+		}
+		lc.checkExpr(s.X, held)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the lock held to function end — the held
+		// set simply stays as-is. Other deferred calls run at exit, still
+		// under any lock deferred-unlocked here; check them against the
+		// current held set (conservative, and exactly right for the
+		// lock-then-defer-unlock idiom).
+		if _, _, ok := mutexOp(info, s.Call); ok {
+			return
+		}
+		lc.checkExpr(s.Call, held)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			lc.checkExpr(e, held)
+		}
+		for _, e := range s.Lhs {
+			lc.checkExpr(e, held)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			lc.checkExpr(e, held)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						lc.checkExpr(v, held)
+					}
+				}
+			}
+		}
+	case *ast.SendStmt:
+		if len(held) > 0 {
+			lc.report(s.Pos(), "channel send", held)
+		}
+	case *ast.SelectStmt:
+		if len(held) > 0 {
+			lc.report(s.Pos(), "select", held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				lc.stmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.BlockStmt:
+		lc.stmts(s.List, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			lc.stmt(s.Init, held)
+		}
+		lc.checkExpr(s.Cond, held)
+		lc.stmts(s.Body.List, copyHeld(held))
+		if s.Else != nil {
+			lc.stmt(s.Else, copyHeld(held))
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			lc.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			lc.checkExpr(s.Cond, held)
+		}
+		inner := copyHeld(held)
+		lc.stmts(s.Body.List, inner)
+		if s.Post != nil {
+			lc.stmt(s.Post, inner)
+		}
+	case *ast.RangeStmt:
+		if t := info.TypeOf(s.X); t != nil && len(held) > 0 {
+			if _, ok := t.Underlying().(*types.Chan); ok {
+				lc.report(s.Pos(), "range over channel", held)
+			}
+		}
+		lc.checkExpr(s.X, held)
+		lc.stmts(s.Body.List, copyHeld(held))
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			lc.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			lc.checkExpr(s.Tag, held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				lc.stmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			lc.stmt(s.Init, held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				lc.stmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.GoStmt:
+		// The goroutine body runs later, not under these locks; its
+		// argument expressions are evaluated now.
+		for _, a := range s.Call.Args {
+			lc.checkExpr(a, held)
+		}
+	case *ast.LabeledStmt:
+		lc.stmt(s.Stmt, held)
+	}
+}
+
+// checkExpr scans an expression subtree for sinks while any lock is held.
+// Function literals are skipped: they execute later.
+func (lc *lockChecker) checkExpr(e ast.Expr, held map[types.Object]string) {
+	if e == nil || len(held) == 0 {
+		return
+	}
+	info := lc.node.Pkg.Info
+	ast.Inspect(e, func(nd ast.Node) bool {
+		switch nd := nd.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if nd.Op == token.ARROW {
+				lc.report(nd.Pos(), "channel receive", held)
+			}
+		case *ast.CallExpr:
+			if desc, ok := directSinkCall(info, nd); ok {
+				lc.report(nd.Pos(), desc, held)
+				return true
+			}
+			// A call into a module function whose closure reaches a sink.
+			if obj, ok := calleeOf(info, nd).(*types.Func); ok {
+				if callee := lc.pass.Graph.NodeOf(obj); callee != nil {
+					if sink, ok := lc.sinkOf[callee]; ok {
+						lc.report(nd.Pos(), lc.direct[sink].desc+" via "+sinkChain(callee, lc.toward), held)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// report emits one lockheld diagnostic naming the held mutexes.
+func (lc *lockChecker) report(pos token.Pos, what string, held map[types.Object]string) {
+	names := make([]string, 0, len(held))
+	for _, name := range held {
+		//lint:ignore nondeterm names are fully sorted before use
+		names = append(names, name)
+	}
+	sortStrings(names)
+	lc.pass.Reportf(pos, "%s while mutex %s is held (in %s); release the lock first or move the blocking work out of the critical section",
+		what, strings.Join(names, ", "), lc.node.Name())
+}
+
+// mutexOp matches a call as a sync.Mutex/RWMutex Lock/RLock/Unlock/RUnlock
+// and returns the method name and receiver expression.
+func mutexOp(info *types.Info, call *ast.CallExpr) (method string, recv ast.Expr, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", nil, false
+	}
+	obj := info.Uses[sel.Sel]
+	for _, m := range []string{"Lock", "Unlock", "RLock", "RUnlock"} {
+		if methodOn(obj, "sync", "Mutex", m) || methodOn(obj, "sync", "RWMutex", m) {
+			return m, sel.X, true
+		}
+	}
+	return "", nil, false
+}
+
+// mutexName renders the receiver expression of a lock call for
+// diagnostics (s.mu, clipOnce, ...).
+func mutexName(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return mutexName(e.X) + "." + e.Sel.Name
+	}
+	return "mutex"
+}
+
+// sortStrings is a tiny insertion sort, avoiding a sort import collision
+// with the rest of the file set.
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

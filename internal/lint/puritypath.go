@@ -1,0 +1,215 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// PuritypathAnalyzer is the interprocedural closure of nondeterm: any
+// function transitively reachable from a determinism-critical entry point —
+// Trace.Replay* (the replay engines), kernel Run bodies, or the
+// experiments.RunAll renderers — must not reach wall-clock reads, the
+// global math/rand source, environment lookups, or order-sensitive map
+// iteration. nondeterm flags those primitives wherever they occur in
+// simulator packages; puritypath proves the transitive property the
+// byte-identity gates depend on, across package boundaries and dynamic
+// calls, and prints the full call chain from entry point to violation so
+// a finding two frames below a replay path is diagnosable at a glance.
+//
+// gopim/internal/obs is a sanctioned boundary: it is the one package
+// allowed to read the wall clock (observation measures the simulator, it
+// never feeds it — enforced separately by obsout and the byte-identity
+// gate), so sinks inside it are not reported.
+var PuritypathAnalyzer = &Analyzer{
+	Name:   "puritypath",
+	Doc:    "forbids wall-clock, global rand, env reads, and unsorted map iteration anywhere reachable from replay/kernel/render entry points, with the full call chain in the diagnostic",
+	Run:    runPuritypath,
+	Module: true,
+}
+
+// obsPkgPath is the sanctioned wall-clock boundary package.
+const obsPkgPath = "gopim/internal/obs"
+
+// determinismEntries returns the call-graph roots whose transitive
+// closure must stay deterministic:
+//
+//   - methods named Replay* in gopim/internal/trace (the replay engines);
+//   - kernel Run bodies: methods named Run taking a single *Ctx parameter
+//     (the profile.Kernel shape);
+//   - the experiments.RunAll render column: address-taken functions in
+//     gopim/experiments with the Runner.Render signature
+//     func(io.Writer, any) error.
+func determinismEntries(g *CallGraph) []*Node {
+	var roots []*Node
+	for _, n := range g.Nodes() {
+		if isDeterminismEntry(n) {
+			roots = append(roots, n)
+		}
+	}
+	return roots
+}
+
+func isDeterminismEntry(n *Node) bool {
+	fn := n.Func
+	pkgPath := ""
+	if fn.Pkg() != nil {
+		pkgPath = fn.Pkg().Path()
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	// Replay engines: Replay* methods in the trace package.
+	if sig.Recv() != nil && strings.HasPrefix(fn.Name(), "Replay") &&
+		strings.HasPrefix(pkgPath, "gopim/internal/trace") {
+		return true
+	}
+	// Kernel bodies: method Run(ctx *Ctx) — the profile.Kernel shape.
+	if sig.Recv() != nil && fn.Name() == "Run" && sig.Params().Len() == 1 {
+		if ptr, ok := sig.Params().At(0).Type().(*types.Pointer); ok {
+			if named, ok := ptr.Elem().(*types.Named); ok && named.Obj().Name() == "Ctx" {
+				return true
+			}
+		}
+	}
+	// RunAll renderers: Runner.Render-shaped functions in experiments.
+	if pkgPath == "gopim/experiments" && sig.Recv() == nil && isRenderSig(sig) {
+		return true
+	}
+	return false
+}
+
+// isRenderSig reports whether sig is func(io.Writer, any) error.
+func isRenderSig(sig *types.Signature) bool {
+	if sig.Params().Len() != 2 || sig.Results().Len() != 1 {
+		return false
+	}
+	p0, ok := sig.Params().At(0).Type().(*types.Named)
+	if !ok || p0.Obj().Pkg() == nil || p0.Obj().Pkg().Path() != "io" || p0.Obj().Name() != "Writer" {
+		return false
+	}
+	if iface, ok := sig.Params().At(1).Type().(*types.Interface); !ok || !iface.Empty() {
+		return false
+	}
+	named, ok := sig.Results().At(0).Type().(*types.Named)
+	return ok && named.Obj().Name() == "error"
+}
+
+// puritySink is one nondeterministic primitive found in a function body.
+type puritySink struct {
+	pos  token.Pos
+	desc string
+}
+
+func runPuritypath(pass *Pass) {
+	roots := determinismEntries(pass.Graph)
+	if len(roots) == 0 {
+		return
+	}
+	walk := pass.Graph.Reach(roots, nil) // all edge kinds: conservative closure
+
+	// nondetermIgnored marks file:line positions whose map-iteration sink
+	// already carries a nondeterm suppression: the justification ("keys
+	// fully sorted before use") neutralizes the nondeterminism itself, so
+	// puritypath accepts it too. Wall-clock/env/rand suppressions are NOT
+	// honored transitively — a claim that a clock read doesn't feed results
+	// needs its own puritypath justification when it sits on a replay path.
+	nondetermIgnored := map[string]map[int]bool{}
+	for _, pkg := range pass.AllPkgs {
+		for _, f := range pkg.Files {
+			dirs, _ := parseDirectives(pkg.Fset, f)
+			for _, d := range dirs {
+				if d.analyzer != NondetermAnalyzer.Name {
+					continue
+				}
+				if nondetermIgnored[d.file] == nil {
+					nondetermIgnored[d.file] = map[int]bool{}
+				}
+				nondetermIgnored[d.file][d.line] = true
+				nondetermIgnored[d.file][d.line+1] = true
+			}
+		}
+	}
+
+	for _, n := range walk.Visited() {
+		if n.Decl == nil || n.Decl.Body == nil {
+			continue
+		}
+		if n.Func.Pkg() != nil && n.Func.Pkg().Path() == obsPkgPath {
+			continue // sanctioned wall-clock boundary
+		}
+		chain := ChainString(walk.Chain(n))
+		for _, sink := range puritySinksIn(n, nondetermIgnored) {
+			pass.Reportf(sink.pos, "%s on a determinism-critical path: %s", sink.desc, chain)
+		}
+	}
+}
+
+// puritySinksIn scans one function body for nondeterministic primitives,
+// in source order.
+func puritySinksIn(n *Node, nondetermIgnored map[string]map[int]bool) []puritySink {
+	var sinks []puritySink
+	info := n.Pkg.Info
+	ast.Inspect(n.Decl.Body, func(nd ast.Node) bool {
+		switch nd := nd.(type) {
+		case *ast.CallExpr:
+			obj := calleeOf(info, nd)
+			if obj == nil {
+				return true
+			}
+			switch {
+			case isPkgFunc(obj, "time", "Now") || isPkgFunc(obj, "time", "Since"):
+				sinks = append(sinks, puritySink{nd.Pos(), "time." + obj.Name() + " reads the wall clock"})
+			case isPkgFunc(obj, "os", "Getenv") || isPkgFunc(obj, "os", "LookupEnv") || isPkgFunc(obj, "os", "Environ"):
+				sinks = append(sinks, puritySink{nd.Pos(), "os." + obj.Name() + " reads the process environment"})
+			case isGlobalRandFunc(obj):
+				sinks = append(sinks, puritySink{nd.Pos(), "global math/rand." + obj.Name() + " draws from the shared process-wide source"})
+			}
+		case *ast.RangeStmt:
+			t := info.TypeOf(nd.X)
+			if t == nil {
+				return true
+			}
+			if _, ok := t.Underlying().(*types.Map); !ok {
+				return true
+			}
+			for _, pos := range orderSensitiveMapUses(info, nd) {
+				p := n.Pkg.Fset.Position(pos)
+				if lines := nondetermIgnored[p.Filename]; lines != nil && lines[p.Line] {
+					continue
+				}
+				sinks = append(sinks, puritySink{pos, "order-sensitive use of map iteration"})
+			}
+		}
+		return true
+	})
+	return sinks
+}
+
+// orderSensitiveMapUses returns the positions inside a range-over-map body
+// where iteration order escapes (the nondeterm pattern: append or output).
+func orderSensitiveMapUses(info *types.Info, rng *ast.RangeStmt) []token.Pos {
+	var out []token.Pos
+	ast.Inspect(rng.Body, func(nd ast.Node) bool {
+		call, ok := nd.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "append" {
+				out = append(out, call.Pos())
+				return true
+			}
+		}
+		if obj := calleeOf(info, call); obj != nil {
+			if fn, ok := obj.(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" &&
+				(strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint")) {
+				out = append(out, call.Pos())
+			}
+		}
+		return true
+	})
+	return out
+}

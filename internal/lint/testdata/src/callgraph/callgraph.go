@@ -1,0 +1,41 @@
+// Package callgraph is the unit-test fixture for the call-graph builder:
+// direct calls, interface dispatch, method values, dynamic func-value
+// calls, and deferred calls.
+package callgraph
+
+type doer interface{ Do() int }
+
+type impA struct{}
+
+func (impA) Do() int { return 1 }
+
+type impB struct{}
+
+func (b *impB) Do() int { return 2 }
+
+// viaInterface dispatches through the interface: the call fans out to
+// every implementing module method.
+func viaInterface(d doer) int { return d.Do() }
+
+func direct() int { return leaf() }
+
+func leaf() int { return 7 }
+
+type box struct{ v int }
+
+func (b *box) get() int { return b.v }
+
+// methodValue takes a bound method as a value (a reference edge) and
+// calls it through the variable (a dynamic edge back to the method).
+func methodValue(b *box) int {
+	f := b.get
+	return f()
+}
+
+// deferred calls cleanup at function exit; defer sites are ordinary call
+// edges.
+func deferred() {
+	defer cleanup()
+}
+
+func cleanup() {}

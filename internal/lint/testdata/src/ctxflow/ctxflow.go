@@ -1,0 +1,92 @@
+// Package ctxflow exercises the context-threading analyzer. A function
+// that accepts a context.Context must not mint context.Background/TODO
+// (that detaches callees from the caller's cancellation), and on
+// sweep/replay paths — here, everything reachable from kern.Run — its
+// loops that do real work must observe ctx somewhere: a ctx.Err() check,
+// a select on ctx.Done(), or passing ctx into the loop body.
+package ctxflow
+
+import "context"
+
+// Ctx gives Run the kernel entry shape, putting everything it calls on a
+// sweep/replay path.
+type Ctx struct{ N int }
+
+type kern struct{}
+
+// Run takes no context itself, so the TODO mint here is not flagged; it
+// exists only to root the sweep path.
+func (kern) Run(c *Ctx) {
+	ctx := context.TODO()
+	sweep(ctx, c.N)
+	sweepChecked(ctx, c.N)
+	sweepThreads(ctx, c.N)
+	localOnly(ctx, c.N)
+	nested(ctx, nil)
+}
+
+// sweep loops on a sweep path without ever observing ctx.
+func sweep(ctx context.Context, n int) {
+	for i := 0; i < n; i++ { // want "never observes its context"
+		step(i)
+	}
+}
+
+// sweepChecked observes ctx.Err() in the loop condition.
+func sweepChecked(ctx context.Context, n int) {
+	for i := 0; i < n && ctx.Err() == nil; i++ {
+		step(i)
+	}
+}
+
+// sweepThreads passes ctx into the loop body callee.
+func sweepThreads(ctx context.Context, n int) {
+	for i := 0; i < n; i++ {
+		stepCtx(ctx, i)
+	}
+}
+
+// localOnly's loop performs no calls: it is not a cancellation point.
+func localOnly(ctx context.Context, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}
+
+// nested reports only the outer loop; the inner one is covered by it.
+func nested(ctx context.Context, grid [][]int) {
+	for _, row := range grid { // want "never observes its context"
+		for _, v := range row {
+			step(v)
+		}
+	}
+}
+
+// detach mints a fresh context despite receiving one. Flagged on every
+// function, sweep path or not.
+func detach(ctx context.Context, n int) {
+	bg := context.Background() // want "mints context.Background"
+	stepCtx(bg, n)
+}
+
+// todoDetach is the context.TODO variant.
+func todoDetach(ctx context.Context, n int) {
+	stepCtx(context.TODO(), n) // want "mints context.TODO"
+}
+
+// offPath is reachable from no entry, so its ctx-blind loop is tolerated
+// (the mint ban would still apply).
+func offPath(ctx context.Context, n int) {
+	for i := 0; i < n; i++ {
+		step(i)
+	}
+}
+
+func step(i int) { _ = i }
+
+func stepCtx(ctx context.Context, i int) {
+	_ = ctx
+	_ = i
+}

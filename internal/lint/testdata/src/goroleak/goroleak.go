@@ -1,0 +1,115 @@
+// Package goroleak exercises the goroutine-join analyzer: every go
+// statement needs a statically visible join — a WaitGroup Add/Done/Wait
+// triple (possibly spread across functions, matched by object identity),
+// a drained channel (send or close met by a receive somewhere in the
+// module), or an explicit daemon annotation. Joinless spawns and spawns
+// of unknown func values are flagged.
+package goroleak
+
+import "sync"
+
+// leak spawns with no join of any kind.
+func leak() {
+	go func() { // want "goroutine has no visible join"
+		_ = 1 + 1
+	}()
+}
+
+// tripled balances a local WaitGroup in one function.
+func tripled(items []int) int {
+	var wg sync.WaitGroup
+	total := 0
+	for range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			total++
+		}()
+	}
+	wg.Wait()
+	return total
+}
+
+// halfTriple has Add and Done but nothing ever Waits: not a join.
+func halfTriple() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want "goroutine has no visible join"
+		defer wg.Done()
+	}()
+}
+
+// pool spreads its triple across three methods: Add at spawn, Done inside
+// the worker, Wait in drain. The identity that ties them together is the
+// wg field, stable across every method of the type.
+type pool struct {
+	wg sync.WaitGroup
+	n  int
+}
+
+func (p *pool) spawn() {
+	p.wg.Add(1)
+	go p.work()
+}
+
+func (p *pool) work() {
+	defer p.wg.Done()
+	p.n++
+}
+
+func (p *pool) drain() {
+	p.wg.Wait()
+}
+
+// helper reaches its Done through a callee of the spawned body.
+type helper struct{ wg sync.WaitGroup }
+
+func (h *helper) run() {
+	h.wg.Add(1)
+	go func() {
+		h.finish()
+	}()
+	h.wg.Wait()
+}
+
+func (h *helper) finish() { h.wg.Done() }
+
+// drained signals completion by closing a channel the caller receives.
+func drained() {
+	done := make(chan struct{})
+	go func() {
+		close(done)
+	}()
+	<-done
+}
+
+// sends delivers its result on a channel the caller drains.
+func sends() int {
+	ch := make(chan int)
+	go func() { ch <- 42 }()
+	return <-ch
+}
+
+// undrained sends on a channel nothing receives from: not a join.
+func undrained() {
+	ch := make(chan int, 1)
+	go func() { // want "goroutine has no visible join"
+		ch <- 1
+	}()
+}
+
+// dynamic spawns an unknown func value: no statically known body, so it
+// needs an annotation.
+func dynamic(fn func()) {
+	go fn() // want "goroutine has no visible join"
+}
+
+// daemon is a process-lifetime goroutine, annotated as such.
+func daemon() {
+	//lint:ignore goroleak fixture: metrics pump lives for the process lifetime
+	go func() {
+		for {
+			_ = 1
+		}
+	}()
+}

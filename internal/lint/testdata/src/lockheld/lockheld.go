@@ -1,0 +1,138 @@
+// Package lockheld exercises the held-mutex analyzer: no channel
+// operation, file/network I/O, or obs span boundary may happen while a
+// sync.Mutex or RWMutex is held, including through callees (the lock may
+// be taken here and the blocking call frames below). Releasing before
+// the blocking work, unlocking on an early-out branch, and deferring
+// work into a closure that runs after the unlock are all clean.
+package lockheld
+
+import (
+	"os"
+	"sync"
+
+	"gopim/internal/obs"
+)
+
+type guarded struct {
+	mu sync.Mutex
+	ch chan int
+	m  map[string]int
+}
+
+// recvHeld receives on a channel while mu is held.
+func (g *guarded) recvHeld() int {
+	g.mu.Lock()
+	v := <-g.ch // want `channel receive while mutex g.mu is held`
+	g.mu.Unlock()
+	return v
+}
+
+// sendHeld holds the lock to function end through a defer.
+func (g *guarded) sendHeld(v int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.ch <- v // want `channel send while mutex g.mu is held`
+}
+
+// ioHeld does file I/O under the lock.
+func (g *guarded) ioHeld(path string) ([]byte, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return os.ReadFile(path) // want `os.ReadFile .file/network I/O. while mutex g.mu is held`
+}
+
+// selectHeld blocks in a select while holding the lock.
+func (g *guarded) selectHeld() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	select { // want `select while mutex g.mu is held`
+	case v := <-g.ch:
+		g.m["v"] = v
+	default:
+	}
+}
+
+// spanHeld opens and closes an obs span under the lock: the span would
+// time the lock, not the phase.
+func (g *guarded) spanHeld(reg *obs.Registry) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	sp := reg.Span("phase") // want `obs span boundary .Span. while mutex g.mu is held`
+	sp.End()                // want `obs span boundary .End. while mutex g.mu is held`
+}
+
+// released unlocks before the blocking work: clean.
+func (g *guarded) released(path string) ([]byte, error) {
+	g.mu.Lock()
+	n := len(g.m)
+	g.mu.Unlock()
+	if n == 0 {
+		return nil, nil
+	}
+	return os.ReadFile(path)
+}
+
+// earlyOut unlocks inside a branch and returns; the fall-through path
+// also unlocks before the I/O (the double-checked close shape): clean.
+func (g *guarded) earlyOut(path string) error {
+	g.mu.Lock()
+	if g.m == nil {
+		g.mu.Unlock()
+		return nil
+	}
+	g.m["hits"]++
+	g.mu.Unlock()
+	_, err := os.ReadFile(path)
+	return err
+}
+
+// deferredWork builds a closure under the lock but the closure runs after
+// release: clean.
+func (g *guarded) deferredWork(path string) func() ([]byte, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return func() ([]byte, error) { return os.ReadFile(path) }
+}
+
+// slowHelper hides file I/O one frame down.
+func slowHelper(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}
+
+// relay adds a second frame between the lock and the I/O.
+func relay(path string) ([]byte, error) {
+	return slowHelper(path)
+}
+
+// callsHelperHeld reaches the I/O through one callee while locked.
+func (g *guarded) callsHelperHeld(path string) ([]byte, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return slowHelper(path) // want `os.ReadFile .file/network I/O. via lockheld.slowHelper while mutex g.mu is held`
+}
+
+// deepHeld reaches it through two callees; the chain names both frames.
+func (g *guarded) deepHeld(path string) ([]byte, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return relay(path) // want `os.ReadFile .file/network I/O. via lockheld.relay -> lockheld.slowHelper while mutex g.mu is held`
+}
+
+// callsHelperReleased makes the same calls with the lock released: clean.
+func (g *guarded) callsHelperReleased(path string) ([]byte, error) {
+	g.mu.Lock()
+	g.m["calls"]++
+	g.mu.Unlock()
+	return relay(path)
+}
+
+type rguard struct {
+	rw sync.RWMutex
+}
+
+// readHeld does I/O under a read lock: readers block writers all the same.
+func (r *rguard) readHeld(path string) ([]byte, error) {
+	r.rw.RLock()
+	defer r.rw.RUnlock()
+	return os.ReadFile(path) // want `os.ReadFile .file/network I/O. while mutex r.rw is held`
+}

@@ -1,0 +1,95 @@
+// Package puritypath exercises the interprocedural determinism closure.
+// The fixture loads under gopim/internal/trace/..., so its Replay*
+// methods are determinism entry points; sinks one or more frames below
+// them are flagged with the full call chain, sinks off every entry path
+// are not (they are nondeterm's business, at the site). A nondeterm
+// suppression neutralizes a map-iteration sink (the justification — keys
+// sorted before use — removes the nondeterminism itself) but does NOT
+// excuse a wall-clock read on a replay path.
+package puritypath
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Stream stands in for a trace; its Replay* methods are entry points.
+type Stream struct{ n int }
+
+func (s *Stream) ReplayAll() int {
+	return helper() + dispatch()
+}
+
+// helper sits one frame below the replay path.
+func helper() int {
+	t := time.Now() // want `time.Now reads the wall clock on a determinism-critical path: puritypath.Stream.ReplayAll -> puritypath.helper`
+	return int(t.Unix())
+}
+
+// hooks makes impl address-taken: dispatch's h() call resolves to it as a
+// dynamic (func value) edge.
+var hooks = []func() int{impl}
+
+func dispatch() int {
+	total := 0
+	for _, h := range hooks {
+		total += h()
+	}
+	return total
+}
+
+func impl() int {
+	return rand.Intn(10) // want `global math/rand.Intn draws from the shared process-wide source on a determinism-critical path: puritypath.Stream.ReplayAll -> puritypath.dispatch \[calls via func value\] -> puritypath.impl`
+}
+
+// Ctx and kern give Run the kernel entry shape: method Run with a single
+// *Ctx parameter.
+type Ctx struct{ V int }
+
+type kern struct{}
+
+func (kern) Run(c *Ctx) {
+	c.V = readEnv()
+}
+
+func readEnv() int {
+	if os.Getenv("GOPIM_FIXTURE") != "" { // want `os.Getenv reads the process environment on a determinism-critical path: puritypath.kern.Run -> puritypath.readEnv`
+		return 1
+	}
+	return 0
+}
+
+// ReplayOrder leaks map iteration order into a slice with no suppression.
+func (s *Stream) ReplayOrder(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `order-sensitive use of map iteration on a determinism-critical path: puritypath.Stream.ReplayOrder`
+	}
+	return keys
+}
+
+// ReplayMap carries a nondeterm suppression whose justification (keys
+// sorted before use) neutralizes the map-order sink; puritypath honors it.
+func (s *Stream) ReplayMap(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		//lint:ignore nondeterm keys are fully sorted by the caller before use
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// ReplayTimed shows a nondeterm suppression does NOT excuse a clock read
+// on a replay path: the wall clock stays nondeterministic no matter the
+// justification, so puritypath needs its own directive.
+func (s *Stream) ReplayTimed() int64 {
+	//lint:ignore nondeterm fixture: suppressing nondeterm must not silence puritypath
+	return time.Now().Unix() // want `time.Now reads the wall clock on a determinism-critical path: puritypath.Stream.ReplayTimed`
+}
+
+// offPath is reachable from no entry point; its clock read is out of
+// puritypath's scope.
+func offPath() int64 {
+	return time.Now().Unix()
+}

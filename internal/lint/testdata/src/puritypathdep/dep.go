@@ -1,0 +1,12 @@
+// Package puritypathdep is the cross-package half of the puritypath
+// fixtures: a helper package whose clock read is flagged only because a
+// replay entry point in the puritypathx fixture reaches it across the
+// package boundary. The diagnostic lands here, at the sink.
+package puritypathdep
+
+import "time"
+
+// Stamp reads the wall clock; puritypathx.Stream.ReplayStream reaches it.
+func Stamp() int64 {
+	return time.Now().Unix() // want `time.Now reads the wall clock on a determinism-critical path: puritypathx.Stream.ReplayStream -> puritypathdep.Stamp`
+}

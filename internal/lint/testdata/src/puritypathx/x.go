@@ -1,0 +1,14 @@
+// Package puritypathx is the entry-point half of the cross-package
+// puritypath fixtures: loaded under gopim/internal/trace/..., its
+// ReplayStream method is a determinism entry whose closure crosses into
+// the puritypathdep package.
+package puritypathx
+
+import "gopim/internal/fixture/puritypathdep"
+
+// Stream stands in for a trace.
+type Stream struct{}
+
+func (s *Stream) ReplayStream() int64 {
+	return puritypathdep.Stamp()
+}

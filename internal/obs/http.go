@@ -23,6 +23,13 @@ type Server struct {
 	srv      *http.Server
 	done     chan struct{}
 
+	// handlers counts in-flight request handlers. net/http runs each one
+	// on its own goroutine and Server.Close does not wait for them, so
+	// without this Close could return while a snapshot encode still runs —
+	// a goroutine leak per straggling request once pimsimd keeps the
+	// process alive.
+	handlers sync.WaitGroup
+
 	mu       sync.Mutex
 	closed   bool
 	serveErr error
@@ -45,7 +52,7 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
-	s.srv = &http.Server{Handler: mux}
+	s.srv = &http.Server{Handler: s.tracked(mux)}
 	go func() {
 		defer close(s.done)
 		err := s.srv.Serve(ln)
@@ -66,10 +73,20 @@ func (s *Server) Addr() string {
 	return s.addr.String()
 }
 
-// Close stops the listener and waits for the serve goroutine to exit. Safe
-// on nil and safe to call twice. In-flight snapshot requests are not
-// drained: the run is over, and a monitoring poll losing one response beats
-// the process hanging on a stuck client.
+// tracked wraps the mux so every in-flight handler is counted, giving
+// Close a join for the goroutines net/http spawns per request.
+func (s *Server) tracked(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.handlers.Add(1)
+		defer s.handlers.Done()
+		h.ServeHTTP(w, r)
+	})
+}
+
+// Close stops the listener, waits for the serve goroutine to exit, and
+// drains in-flight request handlers. Safe on nil and safe to call twice.
+// The drain is bounded: srv.Close has already torn down every connection,
+// so a handler mid-write fails fast instead of hanging on a stuck client.
 func (s *Server) Close() error {
 	if s == nil {
 		return nil
@@ -83,6 +100,7 @@ func (s *Server) Close() error {
 	s.mu.Unlock()
 	err := s.srv.Close()
 	<-s.done
+	s.handlers.Wait()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err == nil {

@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// settleGoroutines polls until the process goroutine count drops back to
+// at most base, failing after a generous deadline. Polling (rather than a
+// single read) absorbs scheduler lag between a join returning and the
+// joined goroutine's stack actually retiring.
+func settleGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines did not settle: %d running, want <= %d\n%s",
+				runtime.NumGoroutine(), base, buf[:n])
+		}
+		runtime.Gosched()
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestServeCloseLeaksNoGoroutines pins the Server shutdown contract: after
+// Close returns, the serve goroutine and every request handler have
+// exited. Runs in -short mode — it is the cheap gate for the leak class
+// the race job cannot see.
+func TestServeCloseLeaksNoGoroutines(t *testing.T) {
+	base := runtime.NumGoroutine()
+	for round := 0; round < 3; round++ {
+		s, err := Serve("127.0.0.1:0", NewRegistry())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 4; i++ {
+			get(t, "http://"+s.Addr()+"/metrics")
+		}
+		if err := s.Close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+	}
+	settleGoroutines(t, base)
+}

@@ -1,0 +1,43 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestSaveAsyncLeaksNoGoroutines pins the write-through contract: after
+// Wait returns, every SaveAsync goroutine has exited, across enough
+// writes to cycle the bounded writer pool several times. Runs in -short
+// mode — the settle check is the cheap gate for leaks the race job
+// cannot see.
+func TestSaveAsyncLeaksNoGoroutines(t *testing.T) {
+	base := runtime.NumGoroutine()
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := randomTrace(rand.New(rand.NewSource(11)), "kern")
+	for i := 0; i < 4*storeSaveConcurrency; i++ {
+		st.SaveAsync(fmt.Sprintf("leak-key-%d", i), tr)
+	}
+	st.Wait()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines did not settle after Wait: %d running, want <= %d\n%s",
+				runtime.NumGoroutine(), base, buf[:n])
+		}
+		runtime.Gosched()
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	if got := st.Stats().Saves; got != int64(4*storeSaveConcurrency) {
+		t.Fatalf("saves = %d, want %d", got, 4*storeSaveConcurrency)
+	}
+}

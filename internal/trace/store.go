@@ -46,11 +46,19 @@ type Store struct {
 	Obs *obs.Registry
 
 	wg sync.WaitGroup
+	// sem bounds concurrent background writers: a sweep can issue one
+	// SaveAsync per kernel in a burst, and an unbounded goroutine-per-save
+	// fan-out would stack thousands of writers against the same disk.
+	sem chan struct{}
 
 	hits, misses, saves, saveErrors, corrupt atomic.Int64
 }
 
 const storeEntryExt = ".trace"
+
+// storeSaveConcurrency is the maximum number of in-flight SaveAsync
+// writers per store.
+const storeSaveConcurrency = 8
 
 // versionDirRx matches version-qualified entry directories under the root.
 var versionDirRx = regexp.MustCompile(`^v[0-9]+$`)
@@ -61,7 +69,7 @@ func OpenStore(dir string) (*Store, error) {
 	if err := os.MkdirAll(vdir, 0o755); err != nil {
 		return nil, fmt.Errorf("opening trace store: %w", err)
 	}
-	return &Store{root: dir, dir: vdir}, nil
+	return &Store{root: dir, dir: vdir, sem: make(chan struct{}, storeSaveConcurrency)}, nil
 }
 
 // Dir returns the store's root directory.
@@ -142,6 +150,10 @@ func (s *Store) SaveAsync(key string, t *Trace) {
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
+		if s.sem != nil {
+			s.sem <- struct{}{}
+			defer func() { <-s.sem }()
+		}
 		defer s.Obs.Span("phase.store.save").End()
 		if err := s.save(key, t); err != nil {
 			s.saveErrors.Add(1)

@@ -296,6 +296,7 @@ func TestCacheLimitEviction(t *testing.T) {
 	if s := cs.Stats(); s.Records != 2 || s.StoreHits != 1 {
 		t.Fatalf("store-backed stats = %+v, want the eviction refilled from disk (1 store hit, no third record)", s)
 	}
+	st.Wait() // drain async write-through before TempDir cleanup removes the store dir
 }
 
 // TestCacheUnlimitedByDefault: Limit zero must preserve the historical

@@ -8,8 +8,17 @@ set -eux
 cd "$(dirname "$0")/.."
 
 # Static invariants (internal/lint): the stderr summary line reports
-# analyzer count and files scanned; nonzero exit means findings.
+# analyzer count and files scanned; nonzero exit means findings. The lint
+# pass builds a module-wide call graph, so gate its wall time too — if it
+# creeps past 30 seconds it has stopped being the cheap first check this
+# script depends on (see also BenchmarkGopimlint in internal/lint).
+lint_start=$(date +%s)
 go run ./cmd/gopimlint ./...
+lint_elapsed=$(( $(date +%s) - lint_start ))
+if [ "$lint_elapsed" -ge 30 ]; then
+	echo "check.sh: gopimlint took ${lint_elapsed}s (budget: 30s); profile the analyzers before merging" >&2
+	exit 1
+fi
 
 go vet ./...
 go build ./...
