@@ -18,6 +18,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -280,6 +281,11 @@ type ExploreResult struct {
 // slot per distinct cache geometry, and pure arithmetic per design point.
 // Output is deterministic and independent of Options.Workers.
 func Explore(o Options, x ExploreOptions) (*ExploreResult, error) {
+	return ExploreCtx(context.Background(), o, x)
+}
+
+// explorePoints enumerates the sweep's design points for a mode.
+func explorePoints(x ExploreOptions) ([]DesignPoint, error) {
 	var points []DesignPoint
 	switch x.Mode {
 	case "grid":
@@ -297,17 +303,12 @@ func Explore(o Options, x ExploreOptions) (*ExploreResult, error) {
 	for i := range points {
 		points[i].ID = i
 	}
+	return points, nil
+}
 
-	targets := gopim.Targets(o.Scale)
-	tc := o.Traces
-	if tc == nil {
-		// The sweep's whole economy is capture-once/replay-many: a private
-		// cache still executes each kernel once within this call.
-		tc = trace.NewCache()
-	}
-
-	// Workload presentation order and per-workload target indices, from
-	// the canonical Targets order.
+// exploreWorkloads returns workload presentation order and per-workload
+// target indices, from the canonical Targets order.
+func exploreWorkloads(targets []gopim.Target) ([]string, map[string][]int) {
 	var workloads []string
 	wTargets := map[string][]int{}
 	for ti, t := range targets {
@@ -316,17 +317,14 @@ func Explore(o Options, x ExploreOptions) (*ExploreResult, error) {
 		}
 		wTargets[t.Workload] = append(wTargets[t.Workload], ti)
 	}
+	return workloads, wTargets
+}
 
-	// Record (or load) each target's trace exactly once, in parallel.
-	traces := par.Map(o.workers(), len(targets), func(i int) *trace.Trace {
-		return tc.TraceFor(targets[i].Kernel)
-	})
-
-	// Dedup geometries in first-occurrence order and group them by line
-	// size: each group shares one compiled program and one batched walk.
-	var hws []profile.Hardware
+// dedupGeometries maps points onto distinct cache geometries in
+// first-occurrence order: pointHW[i] indexes hws.
+func dedupGeometries(points []DesignPoint) (hws []profile.Hardware, pointHW []int) {
 	hwIdx := map[string]int{}
-	pointHW := make([]int, len(points))
+	pointHW = make([]int, len(points))
 	for i, p := range points {
 		hw := p.hardware()
 		key := trace.HardwareKey(hw)
@@ -338,10 +336,19 @@ func Explore(o Options, x ExploreOptions) (*ExploreResult, error) {
 		}
 		pointHW[i] = idx
 	}
-	type hwGroup struct {
-		line int
-		idxs []int
-	}
+	return hws, pointHW
+}
+
+// hwGroup is one same-line-size geometry group: its members share one
+// compiled program and one batched walk per target.
+type hwGroup struct {
+	line int
+	idxs []int
+}
+
+// lineGroups groups geometry indices by line size, in first-occurrence
+// order.
+func lineGroups(hws []profile.Hardware) []hwGroup {
 	var groups []hwGroup
 	for i, hw := range hws {
 		line := hw.L1.LineSize
@@ -361,6 +368,70 @@ func Explore(o Options, x ExploreOptions) (*ExploreResult, error) {
 		}
 		groups[gi].idxs = append(groups[gi].idxs, i)
 	}
+	return groups
+}
+
+// makeProfMatrix allocates the [target][geometry] profile matrix the
+// batched walks fill.
+func makeProfMatrix(nTargets, nHW int) [][]profile.Profile {
+	prof := make([][]profile.Profile, nTargets)
+	for ti := range prof {
+		prof[ti] = make([]profile.Profile, nHW)
+	}
+	return prof
+}
+
+// replayGroup prices one (target, line-size group) unit: one batched
+// stream walk fills the group's prof slots for the target.
+func replayGroup(tr *trace.Trace, target gopim.Target, g hwGroup, hws []profile.Hardware, prof []profile.Profile) {
+	ghws := make([]profile.Hardware, len(g.idxs))
+	for j, hi := range g.idxs {
+		ghws[j] = hws[hi]
+	}
+	res := tr.ReplayBatch(ghws)
+	for j, hi := range g.idxs {
+		prof[hi] = core.SelectPhases(res[j].Profile, res[j].Phases, target.Phases)
+	}
+}
+
+// ExploreCtx is Explore under a cancellation context: the trace-recording
+// and batched-replay fan-outs check ctx before each unit of work, so a
+// cancelled sweep (a pimsimd job whose client went away) stops in bounded
+// time. A cancelled sweep returns ctx's error and no result; a sweep that
+// completes is bit-identical to Explore.
+func ExploreCtx(ctx context.Context, o Options, x ExploreOptions) (*ExploreResult, error) {
+	points, err := explorePoints(x)
+	if err != nil {
+		return nil, err
+	}
+
+	targets := gopim.Targets(o.Scale)
+	tc := o.Traces
+	if tc == nil {
+		// The sweep's whole economy is capture-once/replay-many: a private
+		// cache still executes each kernel once within this call.
+		tc = trace.NewCache()
+	}
+
+	workloads, wTargets := exploreWorkloads(targets)
+
+	// Record (or load) each target's trace exactly once, in parallel. A
+	// cancelled unit records nothing; the post-fan-out ctx check bails
+	// before any nil trace is replayed.
+	traces := par.Map(o.workers(), len(targets), func(i int) *trace.Trace {
+		if ctx.Err() != nil {
+			return nil
+		}
+		return tc.TraceFor(targets[i].Kernel)
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Dedup geometries in first-occurrence order and group them by line
+	// size: each group shares one compiled program and one batched walk.
+	hws, pointHW := dedupGeometries(points)
+	groups := lineGroups(hws)
 
 	// Live sweep progress: totals as gauges, completed walks as a counter a
 	// -metrics-addr poller watches tick up mid-run.
@@ -372,25 +443,33 @@ func Explore(o Options, x ExploreOptions) (*ExploreResult, error) {
 	// Replay every (target, line-size group) unit: one batched stream walk
 	// prices the whole group. Units write disjoint prof slots, so the
 	// fan-out is bit-identical at any worker count.
-	prof := make([][]profile.Profile, len(targets))
-	for ti := range prof {
-		prof[ti] = make([]profile.Profile, len(hws))
-	}
+	prof := makeProfMatrix(len(targets), len(hws))
 	par.ForEach(o.workers(), len(targets)*len(groups), func(u int) {
+		if ctx.Err() != nil {
+			return
+		}
 		ti, gi := u/len(groups), u%len(groups)
-		g := groups[gi]
-		ghws := make([]profile.Hardware, len(g.idxs))
-		for j, hi := range g.idxs {
-			ghws[j] = hws[hi]
-		}
-		res := traces[ti].ReplayBatch(ghws)
-		for j, hi := range g.idxs {
-			prof[ti][hi] = core.SelectPhases(res[j].Profile, res[j].Phases, targets[ti].Phases)
-		}
+		replayGroup(traces[ti], targets[ti], groups[gi], hws, prof[ti])
 		walksDone.Add(1)
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	priceSpan := o.Obs.Span("phase.price")
+	res := priceSweep(o, x, points, targets, workloads, wTargets, hws, pointHW, len(groups), prof)
+	priceSpan.End()
+	return res, nil
+}
+
+// priceSweep prices every (workload, point) row from the replayed profiles
+// and marks each workload's Pareto frontier. Pure arithmetic — it finishes
+// in milliseconds, so it runs to completion even under a cancelled ctx
+// (the expensive record/replay fan-outs above it are the cancellation
+// points).
+func priceSweep(o Options, x ExploreOptions, points []DesignPoint, targets []gopim.Target,
+	workloads []string, wTargets map[string][]int,
+	hws []profile.Hardware, pointHW []int, nGroups int, prof [][]profile.Profile) *ExploreResult {
 	ev := o.evaluator()
 	// The sweep times all pricing as one span; the evaluator's own per-call
 	// phase.price span (paper mode routes through EvaluateProfiles) would
@@ -413,7 +492,7 @@ func Explore(o Options, x ExploreOptions) (*ExploreResult, error) {
 		Mode:       x.Mode,
 		Configs:    len(points),
 		Geometries: len(hws),
-		BatchWalks: len(targets) * len(groups),
+		BatchWalks: len(targets) * nGroups,
 		Workloads:  workloads,
 	}
 	for _, w := range workloads {
@@ -445,8 +524,7 @@ func Explore(o Options, x ExploreOptions) (*ExploreResult, error) {
 		}
 		markPareto(res.Rows[start:])
 	}
-	priceSpan.End()
-	return res, nil
+	return res
 }
 
 // pricePoint models one target's profile on one design point. The

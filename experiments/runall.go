@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -133,15 +134,31 @@ type RunResult struct {
 // o.Workers) and returns results in the given order. Unknown names fail
 // before any work starts.
 func RunNamed(o Options, names []string) ([]RunResult, error) {
+	return RunNamedCtx(context.Background(), o, names)
+}
+
+// RunNamedCtx is RunNamed under a cancellation context: each experiment
+// checks ctx before computing, so a cancelled sweep (a pimsimd job whose
+// client went away) stops in bounded time instead of finishing work it no
+// longer owns. A cancelled run returns ctx's error and no results; a run
+// that completes is bit-identical to RunNamed — cancellation either stops
+// the sweep or changes nothing.
+func RunNamedCtx(ctx context.Context, o Options, names []string) ([]RunResult, error) {
 	rs := make([]Runner, len(names))
 	for i, name := range names {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		r, ok := RunnerFor(name)
 		if !ok {
 			return nil, fmt.Errorf("unknown experiment %q", name)
 		}
 		rs[i] = r
 	}
-	return par.Map(o.workers(), len(rs), func(i int) RunResult {
+	results := par.Map(o.workers(), len(rs), func(i int) RunResult {
+		if err := ctx.Err(); err != nil {
+			return RunResult{Name: rs[i].Name, Err: err}
+		}
 		if o.Obs == nil {
 			data, err := rs[i].Compute(o)
 			return RunResult{Name: rs[i].Name, Data: data, Err: err}
@@ -149,7 +166,11 @@ func RunNamed(o Options, names []string) ([]RunResult, error) {
 		start := obs.Now()
 		data, err := rs[i].Compute(o)
 		return RunResult{Name: rs[i].Name, Data: data, Err: err, WallNS: obs.Since(start)}
-	}), nil
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
 }
 
 // RunAll computes every experiment concurrently, in sorted-name order.
@@ -159,6 +180,11 @@ func RunAll(o Options) []RunResult {
 		panic(err) // unreachable: Names() only lists registered runners
 	}
 	return res
+}
+
+// RunAllCtx is RunAll under a cancellation context (see RunNamedCtx).
+func RunAllCtx(ctx context.Context, o Options) ([]RunResult, error) {
+	return RunNamedCtx(ctx, o, Names())
 }
 
 // Warm computes every experiment and discards the payloads, returning the

@@ -25,8 +25,11 @@ var obsReg atomic.Pointer[obs.Registry]
 
 // SetObs directs worker-utilization metrics (par.worker.busy_ns /
 // par.worker.idle_ns) at r; nil turns accounting off. The inline serial
-// path is never timed — with one worker utilization is 1 by construction,
-// and the serial reference path must stay instrumentation-free.
+// path is timed too (busy only — one worker never idles), so a run on a
+// single-core host (where ForEach degrades to the inline path) still
+// reports a real, nonzero utilization instead of the 0/0 ratio the pr8
+// bench records carried. Timing never feeds results: the serial path's
+// output stays bit-identical with accounting on or off.
 func SetObs(r *obs.Registry) { obsReg.Store(r) }
 
 // Workers resolves a worker-count override: values > 0 are used as given,
@@ -64,6 +67,15 @@ func ForEach(workers, n int, fn func(i int)) {
 		workers = max
 	}
 	if workers <= 1 || n == 1 {
+		if reg := obsReg.Load(); reg != nil {
+			busy := reg.Counter("par.worker.busy_ns")
+			t0 := obs.Now()
+			for i := 0; i < n; i++ {
+				fn(i)
+			}
+			busy.Add(obs.Since(t0))
+			return
+		}
 		for i := 0; i < n; i++ {
 			fn(i)
 		}

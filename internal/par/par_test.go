@@ -102,10 +102,11 @@ func TestPanicPropagates(t *testing.T) {
 	}
 }
 
-// TestForEachWorkerAccounting pins the pooled path's utilization metrics:
+// TestForEachWorkerAccounting pins the utilization metrics on both paths:
 // with a registry attached and enough schedulable parallelism to escape the
-// inline path, every worker reports busy time, and the inline serial path
-// (GOMAXPROCS=1) stays instrumentation-free.
+// inline path, every worker reports busy time; and the inline serial path
+// (GOMAXPROCS=1) reports busy time too — no idle — so a single-core run
+// derives utilization 1 instead of the 0/0 ratio pr8's bench recorded.
 func TestForEachWorkerAccounting(t *testing.T) {
 	old := runtime.GOMAXPROCS(4)
 	defer runtime.GOMAXPROCS(old)
@@ -132,10 +133,19 @@ func TestForEachWorkerAccounting(t *testing.T) {
 	}
 
 	runtime.GOMAXPROCS(1)
-	ForEach(4, 16, func(i int) { sum.Add(1) })
+	ForEach(4, 16, func(i int) {
+		acc := 0
+		for j := 0; j < 20000; j++ {
+			acc += j ^ i
+		}
+		sum.Add(int64(acc))
+	})
 	after := reg.Snapshot()
-	if after.Counters["par.worker.busy_ns"] != snap.Counters["par.worker.busy_ns"] {
-		t.Error("inline serial path touched worker counters")
+	if after.Counters["par.worker.busy_ns"] <= snap.Counters["par.worker.busy_ns"] {
+		t.Error("inline serial path recorded no busy time")
+	}
+	if after.Counters["par.worker.idle_ns"] != snap.Counters["par.worker.idle_ns"] {
+		t.Error("inline serial path recorded idle time (one worker never idles)")
 	}
 	_ = sum.Load()
 }

@@ -11,15 +11,20 @@
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"regexp"
 	"strconv"
 	"strings"
+	"sync"
+	"syscall"
 	"time"
 
 	"gopim/internal/obs"
@@ -35,6 +40,24 @@ type Record struct {
 	RunAll     RunAll             `json:"run_all"`
 	Explore    *Explore           `json:"explore,omitempty"`
 	Obs        *ObsStats          `json:"obs,omitempty"`
+	Serve      *ServeStats        `json:"serve,omitempty"`
+}
+
+// ServeStats times the pimsimd service path against the same packed
+// store: K concurrent identical `run all` sweeps submitted over HTTP to
+// one warm server. JobsPerSec is submit-to-completion throughput across
+// the batch; CoalesceHitRate is the fraction of cell requests served
+// without computing (coalesced onto an in-flight computation or answered
+// from the memo) — (K-1)/K when cross-request single-flight works.
+// Omitted from records predating the serve layer.
+type ServeStats struct {
+	Jobs            int     `json:"jobs"`
+	WallMS          int64   `json:"wall_ms"`
+	JobsPerSec      float64 `json:"jobs_per_sec"`
+	CellRequests    int64   `json:"cell_requests"`
+	CellsComputed   int64   `json:"cells_computed"`
+	CoalesceHitRate float64 `json:"coalesce_hit_rate"`
+	OutputIdentical bool    `json:"output_identical"`
 }
 
 // ObsStats is what the observability layer's run reports say about the
@@ -104,7 +127,12 @@ func main() {
 	}
 
 	// Micro-benchmarks named by the perf PR: hierarchy span walks, the
-	// worker pool, trace replay, and the SWAR SAD primitive.
+	// worker pool, trace replay, and the SWAR SAD primitive. Each pattern
+	// runs -count=3 and the record keeps the per-benchmark minimum:
+	// same-commit replay timings on a noisy box vary by ~50% run to run
+	// (the pr7->pr8 "drift" in this file's history was exactly that), and
+	// min-of-N is the standard way to read through scheduler noise toward
+	// the code's actual cost.
 	for _, b := range []struct{ pkg, pattern string }{
 		{".", "BenchmarkHierarchySpan"},
 		{".", "BenchmarkParMap"},
@@ -112,8 +140,8 @@ func main() {
 		{"./internal/vp9", "BenchmarkSWARSAD|BenchmarkScalarSAD"},
 		{"./internal/obs", "BenchmarkSpan|BenchmarkCounterAdd|BenchmarkHistogramObserve"},
 	} {
-		fmt.Fprintf(os.Stderr, "bench: go test -bench %s %s\n", b.pattern, b.pkg)
-		cmd := exec.Command("go", "test", "-run", "^$", "-bench", b.pattern, "-benchtime", *benchtime, b.pkg)
+		fmt.Fprintf(os.Stderr, "bench: go test -bench %s -count=3 %s\n", b.pattern, b.pkg)
+		cmd := exec.Command("go", "test", "-run", "^$", "-bench", b.pattern, "-benchtime", *benchtime, "-count=3", b.pkg)
 		outB, err := cmd.CombinedOutput()
 		if err != nil {
 			fatalf("benchmark %s failed: %v\n%s", b.pattern, err, outB)
@@ -123,7 +151,9 @@ func main() {
 			if err != nil {
 				fatalf("parsing %q: %v", m[0], err)
 			}
-			rec.Benchmarks[m[1]] = ns
+			if prev, ok := rec.Benchmarks[m[1]]; !ok || ns < prev {
+				rec.Benchmarks[m[1]] = ns
+			}
 		}
 	}
 
@@ -188,6 +218,11 @@ func main() {
 		rec.Explore.ConfigsPerSec = float64(configs) / (float64(exMS) / 1000)
 	}
 
+	// pimsimd service path against the same packed store: K concurrent
+	// identical sweeps over HTTP, timed submit-to-completion, verified
+	// byte-identical to the direct run, coalescing read from /metrics.
+	rec.Serve = serveBench(tmp, storeDir, 4, offOut)
+
 	rec.RunAll = RunAll{
 		TraceCacheOffMS: offMS,
 		TraceCacheOnMS:  onMS,
@@ -233,11 +268,174 @@ func main() {
 	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
 		fatalf("%v", err)
 	}
-	fmt.Printf("bench: run all %s scale: %d ms (cache off) -> %d ms (cache on) -> %d ms (cold, packed store), %.2fx, output identical; obs on: %d ms (%+.1f%%), cache hit %.1f%%, store cold/warm hit %.0f%%/%.0f%%, workers %.1f%% busy; explore %d configs in %d ms (%.0f configs/s); %d benchmarks -> %s\n",
+	fmt.Printf("bench: run all %s scale: %d ms (cache off) -> %d ms (cache on) -> %d ms (cold, packed store), %.2fx, output identical; obs on: %d ms (%+.1f%%), cache hit %.1f%%, store cold/warm hit %.0f%%/%.0f%%, workers %.1f%% busy; explore %d configs in %d ms (%.0f configs/s); serve %d jobs in %d ms (%.2f jobs/s, %.0f%% coalesced); %d benchmarks -> %s\n",
 		*scale, offMS, onMS, coldMS, rec.RunAll.Speedup,
 		rec.Obs.RunAllObsMS, rec.Obs.OverheadPct, rec.Obs.TraceCacheHitRate*100,
 		rec.Obs.StoreColdHitRate*100, rec.Obs.StoreWarmHitRate*100, rec.Obs.WorkerUtilization*100,
-		rec.Explore.Configs, rec.Explore.MS, rec.Explore.ConfigsPerSec, len(rec.Benchmarks), *out)
+		rec.Explore.Configs, rec.Explore.MS, rec.Explore.ConfigsPerSec,
+		rec.Serve.Jobs, rec.Serve.WallMS, rec.Serve.JobsPerSec, rec.Serve.CoalesceHitRate*100,
+		len(rec.Benchmarks), *out)
+}
+
+// serveBench builds pimsimd, serves the packed store, and times jobs
+// concurrent identical `run all` sweeps over HTTP end to end. Results
+// must be byte-identical to ref (the direct `pimsim run all` output);
+// divergence is fatal, like every other identity in this harness.
+func serveBench(tmp, storeDir string, jobs int, ref []byte) *ServeStats {
+	bin := filepath.Join(tmp, "pimsimd")
+	if outB, err := exec.Command("go", "build", "-o", bin, "./cmd/pimsimd").CombinedOutput(); err != nil {
+		fatalf("building pimsimd: %v\n%s", err, outB)
+	}
+	fmt.Fprintf(os.Stderr, "bench: %s -addr 127.0.0.1:0 -tracestore=%s (%d concurrent jobs)\n", bin, storeDir, jobs)
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-tracestore="+storeDir, "-job-workers", strconv.Itoa(jobs))
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := cmd.Start(); err != nil {
+		fatalf("starting pimsimd: %v", err)
+	}
+	// The startup banner carries the resolved address; keep draining
+	// stderr afterwards so the child never blocks on a full pipe.
+	sc := bufio.NewScanner(stderr)
+	addrRE := regexp.MustCompile(`serving on http://(\S+)`)
+	var addr string
+	for sc.Scan() {
+		if m := addrRE.FindStringSubmatch(sc.Text()); m != nil {
+			addr = m[1]
+			break
+		}
+	}
+	if addr == "" {
+		_ = cmd.Process.Kill()
+		fatalf("pimsimd printed no listen address")
+	}
+	//lint:ignore goroleak drains the child's stderr; exits when the pipe closes at cmd.Wait
+	go func() {
+		for sc.Scan() {
+		}
+	}()
+	defer func() {
+		_ = cmd.Process.Signal(syscall.SIGTERM)
+		_ = cmd.Wait()
+	}()
+
+	base := "http://" + addr
+	start := time.Now()
+	ids := make([]string, jobs)
+	errs := make([]error, jobs)
+	var wg sync.WaitGroup
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ids[i], errs[i] = submitJob(base, fmt.Sprintf(`{"kind":"run","tenant":"bench-%d"}`, i))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			fatalf("serve submit %d: %v", i, err)
+		}
+	}
+	identical := true
+	for _, id := range ids {
+		out, err := pollJobResult(base, id)
+		if err != nil {
+			fatalf("serve job %s: %v", id, err)
+		}
+		identical = identical && string(out) == string(ref)
+	}
+	wallMS := time.Since(start).Milliseconds()
+	if !identical {
+		fatalf("pimsimd job results differ from direct `pimsim run all` output")
+	}
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		fatalf("serve metrics: %v", err)
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&snap)
+	resp.Body.Close()
+	if err != nil {
+		fatalf("parsing /metrics: %v", err)
+	}
+	st := &ServeStats{
+		Jobs:            jobs,
+		WallMS:          wallMS,
+		CellRequests:    snap.Counters["serve.cells.requests"],
+		CellsComputed:   snap.Counters["serve.cells.computed"],
+		OutputIdentical: identical,
+	}
+	if wallMS > 0 {
+		st.JobsPerSec = float64(jobs) / (float64(wallMS) / 1000)
+	}
+	if st.CellRequests > 0 {
+		deduped := snap.Counters["serve.cells.coalesced"] + snap.Counters["serve.cells.memo_hits"]
+		st.CoalesceHitRate = float64(deduped) / float64(st.CellRequests)
+	}
+	return st
+}
+
+// submitJob POSTs a job spec to pimsimd and returns the admitted id.
+func submitJob(base, spec string) (string, error) {
+	resp, err := http.Post(base+"/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 202 {
+		body, _ := io.ReadAll(resp.Body)
+		return "", fmt.Errorf("POST /jobs: status %d: %s", resp.StatusCode, body)
+	}
+	var st struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return "", err
+	}
+	return st.ID, nil
+}
+
+// pollJobResult polls a pimsimd job to completion and returns its bytes.
+func pollJobResult(base, id string) ([]byte, error) {
+	deadline := time.Now().Add(5 * time.Minute)
+	for {
+		resp, err := http.Get(base + "/jobs/" + id)
+		if err != nil {
+			return nil, err
+		}
+		var st struct {
+			State string `json:"state"`
+			Error string `json:"error"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		switch st.State {
+		case "done":
+			resp, err := http.Get(base + "/jobs/" + id + "/result")
+			if err != nil {
+				return nil, err
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != 200 {
+				return nil, fmt.Errorf("GET result: status %d", resp.StatusCode)
+			}
+			return io.ReadAll(resp.Body)
+		case "failed", "canceled":
+			return nil, fmt.Errorf("job %s %s: %s", id, st.State, st.Error)
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("job %s still %s after 5m", id, st.State)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
 }
 
 // readReport parses a run report written by -report.

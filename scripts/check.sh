@@ -97,3 +97,12 @@ go run ./scripts/checkreport -warm "$tmpdir/report.json"
 	> "$tmpdir/explore-obs.txt" 2> /dev/null
 cmp "$tmpdir/explore.txt" "$tmpdir/explore-obs.txt"
 go run ./scripts/checkreport "$tmpdir/explore-report.json"
+
+# pimsimd gate (simulation-as-a-service): K concurrent identical sweep
+# submissions over HTTP against the packed store must return bytes
+# identical to `pimsim run all`, execute each kernel at most once
+# (obs-report-verified: kernel_executions == unique kernels — zero on this
+# warm store), coalesce every duplicate cell onto one computation, answer
+# /healthz mid-flight, and drain in-flight jobs on graceful shutdown with
+# no goroutine left behind.
+go run ./scripts/servesmoke -ref "$tmpdir/off.txt" -store "$store"

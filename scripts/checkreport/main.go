@@ -94,6 +94,16 @@ func main() {
 	if rep.Derived.KernelExecutions < 0 {
 		bad("derived kernel_executions is negative: %d", rep.Derived.KernelExecutions)
 	}
+	// Worker utilization must be real whenever the pool ran: par.ForEach
+	// times every path (including the single-core inline one), so a report
+	// with busy time but a zero ratio means the accounting broke again —
+	// the pr8 records carried worker_utilization: 0 for exactly that gap.
+	if busy := rep.Metrics.Counters["par.worker.busy_ns"]; busy > 0 && rep.Derived.WorkerUtilization <= 0 {
+		bad("worker pool was busy %d ns but derived worker_utilization is %.4f, want > 0", busy, rep.Derived.WorkerUtilization)
+	}
+	if _, ok := rep.Metrics.Counters["par.worker.busy_ns"]; !ok && rep.Meta.Command == "run" {
+		bad("run report has no par.worker.busy_ns counter: worker accounting never reached the registry")
+	}
 
 	if *warm {
 		hits := rep.Metrics.Counters[obs.PrefixTraceStore+"hits"]

@@ -1,0 +1,252 @@
+// Command servesmoke is the pimsimd end-to-end gate: it stands a serve
+// engine + HTTP API up in-process (against a packed trace store when
+// -store is given), submits K concurrent identical sweep jobs as distinct
+// tenants over the wire, polls them to completion, and asserts the
+// service contract:
+//
+//   - every response is byte-identical to the `pimsim run all` reference
+//     output (-ref), regardless of which tenant's request computed it;
+//   - no kernel executed more than once across all K jobs (the shared
+//     cache + single-flight memo: kernel_executions == cache records,
+//     and with a warm store both are zero);
+//   - each unique sweep cell was computed exactly once, every duplicate
+//     request coalesced or memo-served;
+//   - /healthz answers while jobs are in flight;
+//   - graceful shutdown drains: a job submitted right before Close still
+//     finishes done, and after Close no server goroutine survives
+//     (NumGoroutine settles back to the pre-server baseline).
+//
+// Usage: go run ./scripts/servesmoke -ref out.txt [-store DIR] [-jobs K]
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"gopim/experiments"
+	"gopim/internal/obs"
+	"gopim/internal/serve"
+	"gopim/internal/trace"
+)
+
+func main() {
+	refPath := flag.String("ref", "", "`file` holding the serial `pimsim run all` reference output (required)")
+	storeDir := flag.String("store", "", "packed trace store `directory` (empty = no store, cold cache)")
+	jobs := flag.Int("jobs", 3, "concurrent identical sweep submissions")
+	flag.Parse()
+	if *refPath == "" {
+		fatalf("usage: servesmoke -ref <reference output file> [-store DIR] [-jobs K]")
+	}
+	ref, err := os.ReadFile(*refPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	base := runtime.NumGoroutine()
+	cache := trace.NewCache()
+	if *storeDir != "" {
+		st, err := trace.OpenStore(*storeDir)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		cache.Store = st
+	}
+	reg := obs.NewRegistry()
+	srv := serve.NewServer(serve.Config{JobWorkers: *jobs, QueueCap: 2 * *jobs, Traces: cache, Reg: reg})
+	api, err := serve.ServeAPI("127.0.0.1:0", srv)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	baseURL := "http://" + api.Addr()
+
+	// K identical sweeps from K tenants, submitted concurrently.
+	ids := make([]string, *jobs)
+	var wg sync.WaitGroup
+	var submitErrs sync.Map
+	for i := 0; i < *jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id, err := submit(baseURL, fmt.Sprintf(`{"kind":"run","tenant":"tenant-%d"}`, i))
+			if err != nil {
+				submitErrs.Store(i, err)
+				return
+			}
+			ids[i] = id
+		}(i)
+	}
+	wg.Wait()
+	submitErrs.Range(func(k, v any) bool { fatalf("submit %v: %v", k, v); return false })
+
+	// /healthz must answer while the sweeps are in flight.
+	if err := getJSONField(baseURL+"/healthz", "status", "ok"); err != nil {
+		fatalf("healthz during jobs: %v", err)
+	}
+
+	for i, id := range ids {
+		out, err := pollResult(baseURL, id)
+		if err != nil {
+			fatalf("job %s: %v", id, err)
+		}
+		if !bytes.Equal(out, ref) {
+			fatalf("tenant %d result (%d bytes) is not byte-identical to the pimsim run all reference (%d bytes)",
+				i, len(out), len(ref))
+		}
+	}
+
+	// Single-flight accounting, from the same registry /metrics serves.
+	rep := obs.BuildReport(reg, obs.RunMeta{Command: "serve", Workers: *jobs}, 1, nil)
+	c := rep.Metrics.Counters
+	records := c[obs.PrefixTraceCache+"records"]
+	if rep.Derived.KernelExecutions != records {
+		fatalf("kernel executions %d != unique kernels recorded %d: a kernel ran more than once",
+			rep.Derived.KernelExecutions, records)
+	}
+	if *storeDir != "" && rep.Derived.KernelExecutions != 0 {
+		fatalf("warm-store serve executed %d kernels, want 0", rep.Derived.KernelExecutions)
+	}
+	unique := int64(len(experiments.Names()))
+	total := int64(*jobs) * unique
+	if got := c["serve.cells.computed"]; got != unique {
+		fatalf("cells computed = %d, want %d (one per unique cell)", got, unique)
+	}
+	if got := c["serve.cells.requests"]; got != total {
+		fatalf("cell requests = %d, want %d", got, total)
+	}
+	if dedup := c["serve.cells.coalesced"] + c["serve.cells.memo_hits"]; dedup != total-unique {
+		fatalf("coalesced+memo_hits = %d, want %d duplicate requests deduped", dedup, total-unique)
+	}
+
+	// Graceful shutdown drains in-flight work: submit a job that is NOT
+	// already memoized, close immediately, and require it to have finished
+	// done (not canceled) once Close returns.
+	drainID, err := submit(baseURL, `{"kind":"explore","mode":"random","n":1,"seed":3,"tenant":"drain"}`)
+	if err != nil {
+		fatalf("drain submit: %v", err)
+	}
+	if err := api.Close(); err != nil {
+		fatalf("api close: %v", err)
+	}
+	srv.Close()
+	j, err := srv.Job(drainID)
+	if err != nil {
+		fatalf("drain job lookup: %v", err)
+	}
+	if st := j.Status(); st.State != serve.StateDone {
+		fatalf("after Close, drain job state = %s, want done: shutdown did not drain in-flight jobs", st.State)
+	}
+
+	// Leak gate: every server goroutine (runners, cells, HTTP, store
+	// writers) must have exited.
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > base {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			fatalf("goroutines did not settle after Close: %d running, want <= %d\n%s",
+				runtime.NumGoroutine(), base, buf[:n])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	fmt.Fprintf(os.Stderr,
+		"servesmoke: %d tenants byte-identical to reference; %d unique cells computed once (%d requests, %d deduped); kernel executions %d == records %d; drain + goroutine settle ok\n",
+		*jobs, unique, total, total-unique, rep.Derived.KernelExecutions, records)
+}
+
+// submit POSTs a job spec and returns the admitted job id.
+func submit(baseURL, spec string) (string, error) {
+	resp, err := http.Post(baseURL+"/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		body, _ := io.ReadAll(resp.Body)
+		return "", fmt.Errorf("POST /jobs: status %d: %s", resp.StatusCode, body)
+	}
+	var st struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return "", err
+	}
+	if st.ID == "" {
+		return "", fmt.Errorf("POST /jobs: empty job id")
+	}
+	return st.ID, nil
+}
+
+// pollResult polls /jobs/{id} until the job settles, then fetches the
+// result bytes — the poll-style client the stream endpoint is the push
+// alternative to.
+func pollResult(baseURL, id string) ([]byte, error) {
+	deadline := time.Now().Add(5 * time.Minute)
+	for {
+		resp, err := http.Get(baseURL + "/jobs/" + id)
+		if err != nil {
+			return nil, err
+		}
+		var st struct {
+			State string `json:"state"`
+			Error string `json:"error"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		switch st.State {
+		case "done":
+			resp, err := http.Get(baseURL + "/jobs/" + id + "/result")
+			if err != nil {
+				return nil, err
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return nil, fmt.Errorf("GET result: status %d", resp.StatusCode)
+			}
+			return io.ReadAll(resp.Body)
+		case "failed", "canceled":
+			return nil, fmt.Errorf("job %s %s: %s", id, st.State, st.Error)
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("job %s still %s after 5m", id, st.State)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// getJSONField GETs url and checks one string field of the JSON body.
+func getJSONField(url, field, want string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return err
+	}
+	if got, _ := m[field].(string); got != want {
+		return fmt.Errorf("%s = %q, want %q", field, got, want)
+	}
+	return nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "servesmoke: "+format+"\n", args...)
+	os.Exit(1)
+}
